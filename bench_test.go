@@ -1,0 +1,212 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (regenerating each exhibit at reduced trial counts), plus ablation and
+// substrate microbenchmarks. Regenerate the full-resolution exhibits with
+// cmd/etexp; these benches exist so `go test -bench=.` exercises every
+// experiment end to end and reports the cost of each pipeline stage.
+package etap
+
+import (
+	"fmt"
+	"testing"
+
+	"etap/internal/apps/all"
+	"etap/internal/core"
+	"etap/internal/exp"
+	"etap/internal/fault"
+	"etap/internal/minic"
+	"etap/internal/sim"
+)
+
+// benchOpt keeps benchmark iterations affordable; the shapes are the same
+// as the full runs, just noisier.
+func benchOpt() exp.Options {
+	o := exp.DefaultOptions()
+	o.Trials = 4
+	return o
+}
+
+func BenchmarkTable1Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := exp.Table1(); len(r.Rows) != 7 {
+			b.Fatalf("table 1 rows: %d", len(r.Rows))
+		}
+	}
+}
+
+func BenchmarkTable2Failures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table2(benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Tagging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table3(benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFigure(b *testing.B, fn func(exp.Options) (*exp.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1Susan(b *testing.B)    { benchFigure(b, exp.Figure1) }
+func BenchmarkFigure2MPEG(b *testing.B)     { benchFigure(b, exp.Figure2) }
+func BenchmarkFigure3MCF(b *testing.B)      { benchFigure(b, exp.Figure3) }
+func BenchmarkFigure4Blowfish(b *testing.B) { benchFigure(b, exp.Figure4) }
+func BenchmarkFigure5GSM(b *testing.B)      { benchFigure(b, exp.Figure5) }
+func BenchmarkFigure6ART(b *testing.B)      { benchFigure(b, exp.Figure6) }
+
+func BenchmarkPolicyAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.PolicyAblation(benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPotentialModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Potential(benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBitSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.BitSensitivity(benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Substrate microbenchmarks.
+
+// BenchmarkSimulator measures raw functional-simulation speed
+// (instructions per second) on the Blowfish workload.
+func BenchmarkSimulator(b *testing.B) {
+	a, _ := all.ByName("blowfish")
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := a.Input()
+	b.ResetTimer()
+	var instret uint64
+	for i := 0; i < b.N; i++ {
+		res := sim.Run(prog, sim.Config{Input: input})
+		if res.Outcome != sim.OK {
+			b.Fatalf("outcome %s", res.Outcome)
+		}
+		instret += res.Instret
+	}
+	b.ReportMetric(float64(instret)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkSimulatorWithPlan measures the fault-accounting overhead of the
+// inner loop (eligibility counting enabled, no flips scheduled).
+func BenchmarkSimulatorWithPlan(b *testing.B) {
+	a, _ := all.ByName("blowfish")
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := a.Input()
+	plan := &sim.FaultPlan{Eligible: core.EligibleAll(prog)}
+	b.ResetTimer()
+	var instret uint64
+	for i := 0; i < b.N; i++ {
+		res := sim.Run(prog, sim.Config{Input: input, Plan: plan})
+		if res.Outcome != sim.OK {
+			b.Fatalf("outcome %s", res.Outcome)
+		}
+		instret += res.Instret
+	}
+	b.ReportMetric(float64(instret)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkCompile measures the MiniC pipeline (parse, check, codegen,
+// assemble) on the largest application source.
+func BenchmarkCompile(b *testing.B) {
+	a, _ := all.ByName("mpeg")
+	src := a.Source()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := minic.Build(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyze measures the control-data analysis per policy on the
+// largest text segment.
+func BenchmarkAnalyze(b *testing.B) {
+	a, _ := all.ByName("mpeg")
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []core.Policy{core.PolicyControl, core.PolicyControlAddr, core.PolicyConservative} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(prog, pol); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInjectionTrial measures one full protected fault-injection trial
+// per application (build amortized outside the loop).
+func BenchmarkInjectionTrial(b *testing.B) {
+	for _, a := range all.Apps() {
+		a := a
+		b.Run(a.Name(), func(b *testing.B) {
+			prog, err := minic.Build(a.Source())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := core.Analyze(prog, core.PolicyControlAddr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			camp, err := fault.NewCampaign(prog, rep.Tagged, sim.Config{Input: a.Input()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				camp.Run(10, int64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkPlanGeneration measures error-schedule construction.
+func BenchmarkPlanGeneration(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("errors=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fault.NewPlan(nil, 5_000_000, n, int64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkMaskingDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Masking(benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

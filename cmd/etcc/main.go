@@ -1,0 +1,44 @@
+// Command etcc compiles a MiniC source file to the toolchain's MIPS-like
+// assembly.
+//
+// Usage:
+//
+//	etcc [-o out.s] prog.mc
+//
+// With -o omitted, the assembly is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"etap/internal/minic"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: etcc [-o out.s] prog.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	asm, err := minic.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(asm)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(asm), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

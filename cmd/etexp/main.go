@@ -1,0 +1,53 @@
+// Command etexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	etexp [-exp all|table1|table2|table3|figure1..figure6|ablation]
+//	      [-trials N] [-out file]
+//
+// Results render as text tables and ASCII charts. With -out, output is
+// also written to the named file (this is how the data blocks in
+// EXPERIMENTS.md are produced).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"etap"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment id or 'all'")
+	trials := flag.Int("trials", 0, "trials per measurement point (0 = default 40)")
+	outFile := flag.String("out", "", "also write results to this file")
+	flag.Parse()
+
+	ids := etap.ExperimentIDs()
+	if *which != "all" {
+		ids = strings.Split(*which, ",")
+	}
+
+	var b strings.Builder
+	for _, id := range ids {
+		start := time.Now()
+		text, err := etap.RunExperiment(strings.TrimSpace(id), *trials)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "%s\n", text)
+		fmt.Fprintf(&b, "[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+		fmt.Print(text + "\n")
+		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs]\n", id, time.Since(start).Seconds())
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

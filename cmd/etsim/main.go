@@ -1,0 +1,109 @@
+// Command etsim runs a program on the functional simulator.
+//
+// Usage:
+//
+//	etsim [-in input.bin] [-max N] [-errors N -seed S [-unprotected]] prog.{mc,s}
+//
+// MiniC sources (.mc) are compiled first; anything else is treated as
+// assembly. The program's output bytes go to stdout; run statistics go to
+// stderr. With -errors, single-bit faults are injected into the
+// analysis-tagged instructions (or all arithmetic with -unprotected).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"etap/internal/asm"
+	"etap/internal/core"
+	"etap/internal/fault"
+	"etap/internal/isa"
+	"etap/internal/minic"
+	"etap/internal/sim"
+)
+
+func main() {
+	inFile := flag.String("in", "", "input stream file")
+	maxInstr := flag.Uint64("max", 0, "instruction budget (0 = default)")
+	errors := flag.Int("errors", 0, "single-bit errors to inject")
+	seed := flag.Int64("seed", 1, "injection seed")
+	unprotected := flag.Bool("unprotected", false, "inject into all arithmetic instructions")
+	policy := flag.String("policy", "control+addr", "analysis policy: control, control+addr, conservative")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: etsim [flags] prog.{mc,s}")
+		os.Exit(2)
+	}
+
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	var prog *isa.Program
+	if strings.HasSuffix(flag.Arg(0), ".mc") {
+		prog, err = minic.Build(string(srcBytes))
+	} else {
+		prog, err = asm.Assemble(string(srcBytes))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	var input []byte
+	if *inFile != "" {
+		input, err = os.ReadFile(*inFile)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	var res sim.Result
+	if *errors > 0 {
+		var eligible []bool
+		if *unprotected {
+			eligible = core.EligibleAll(prog)
+		} else {
+			rep, aerr := core.Analyze(prog, parsePolicy(*policy))
+			if aerr != nil {
+				fail(aerr)
+			}
+			eligible = rep.Tagged
+		}
+		camp, cerr := fault.NewCampaign(prog, eligible, sim.Config{Input: input, MaxInstr: *maxInstr})
+		if cerr != nil {
+			fail(cerr)
+		}
+		res = camp.Run(*errors, *seed)
+	} else {
+		res = sim.Run(prog, sim.Config{Input: input, MaxInstr: *maxInstr})
+	}
+
+	os.Stdout.Write(res.Output)
+	fmt.Fprintf(os.Stderr, "outcome: %s", res.Outcome)
+	if res.Outcome == sim.Crash {
+		fmt.Fprintf(os.Stderr, " (%s)", res.Trap)
+	}
+	fmt.Fprintf(os.Stderr, "; exit=%d; instructions=%d; injected=%d\n",
+		res.ExitCode, res.Instret, res.Injected)
+	if res.Outcome != sim.OK {
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(s string) core.Policy {
+	switch s {
+	case "control":
+		return core.PolicyControl
+	case "conservative":
+		return core.PolicyConservative
+	default:
+		return core.PolicyControlAddr
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

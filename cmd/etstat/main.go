@@ -1,0 +1,73 @@
+// Command etstat prints control-data analysis statistics for a benchmark
+// application or a MiniC source file, optionally with the annotated
+// disassembly (tag markers and CVar sets).
+//
+// Usage:
+//
+//	etstat -app susan [-policy control] [-v]
+//	etstat prog.mc [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"etap"
+)
+
+func main() {
+	appName := flag.String("app", "", "benchmark name (susan, mpeg, mcf, blowfish, gsm, art, adpcm)")
+	policy := flag.String("policy", "control+addr", "analysis policy: control, control+addr, conservative")
+	verbose := flag.Bool("v", false, "print the annotated disassembly")
+	flag.Parse()
+
+	var source string
+	switch {
+	case *appName != "":
+		b, ok := etap.BenchmarkByName(*appName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *appName)
+			os.Exit(2)
+		}
+		source = b.Source()
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		source = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: etstat -app name | etstat prog.mc")
+		os.Exit(2)
+	}
+
+	sys, err := etap.Build(source, parsePolicy(*policy))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := sys.Stats()
+	fmt.Printf("policy:               %s\n", parsePolicy(*policy))
+	fmt.Printf("text instructions:    %d\n", st.TextInstructions)
+	fmt.Printf("tagged (low-rel):     %d (%.1f%%)\n", st.TaggedStatic,
+		100*float64(st.TaggedStatic)/float64(st.TextInstructions))
+	fmt.Printf("control slice:        %d (%.1f%%)\n", st.ControlSliceStatic,
+		100*float64(st.ControlSliceStatic)/float64(st.TextInstructions))
+	fmt.Printf("tolerant functions:   %d\n", st.TolerantFunctions)
+	if *verbose {
+		fmt.Println(sys.Listing())
+	}
+}
+
+func parsePolicy(s string) etap.Policy {
+	switch s {
+	case "control":
+		return etap.PolicyControl
+	case "conservative":
+		return etap.PolicyConservative
+	default:
+		return etap.PolicyControlAddr
+	}
+}

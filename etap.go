@@ -1,0 +1,372 @@
+// Package etap reproduces "Characterization of Error-Tolerant Applications
+// when Protecting Control Data" (Thaker et al., IISWC 2006): a toolchain
+// that compiles C-like programs to a MIPS-like ISA, statically identifies
+// the instructions that cannot influence control flow (the paper's CVar
+// def-use analysis), and characterizes application fidelity under
+// single-bit fault injection with and without control-data protection.
+//
+// The public API covers the full pipeline:
+//
+//	sys, _ := etap.Build(source, etap.PolicyControlAddr)
+//	fmt.Println(sys.Stats())            // how much is low-reliability
+//	camp, _ := sys.NewCampaign(input, true)
+//	res := camp.Run(10, 42)             // 10 bit flips, seed 42
+//
+// The seven benchmark applications of the paper's Table 1 are available
+// through Benchmarks, and the paper's tables and figures can be regenerated
+// with RunExperiment. Everything underneath lives in internal/ packages:
+// the ISA and assembler, the functional simulator with SimpleScalar-style
+// lazy memory, the MiniC compiler, the control-data analysis, the fault
+// injector, the fidelity measures, and the experiment harness.
+package etap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"etap/internal/apps"
+	"etap/internal/apps/all"
+	"etap/internal/core"
+	"etap/internal/exp"
+	"etap/internal/fault"
+	"etap/internal/isa"
+	"etap/internal/minic"
+	"etap/internal/sim"
+)
+
+// Policy selects the protection policy of the static analysis.
+type Policy int
+
+const (
+	// PolicyControl is the paper's Section 3 analysis: only control
+	// instructions (branches, indirect jumps, syscalls, faultable
+	// divisions) seed the CVar set, and definitions propagate backward
+	// through registers. Memory is untracked.
+	PolicyControl Policy = iota
+	// PolicyControlAddr additionally protects every memory-address
+	// computation. It is the default for reproducing the paper's
+	// failure-rate results (see DESIGN.md).
+	PolicyControlAddr
+	// PolicyConservative additionally protects every stored value, closing
+	// the memory-aliasing hole at the cost of tagging almost nothing.
+	PolicyConservative
+)
+
+func (p Policy) String() string { return toCore(p).String() }
+
+func toCore(p Policy) core.Policy {
+	switch p {
+	case PolicyControlAddr:
+		return core.PolicyControlAddr
+	case PolicyConservative:
+		return core.PolicyConservative
+	default:
+		return core.PolicyControl
+	}
+}
+
+// Outcome classifies a simulated run.
+type Outcome int
+
+const (
+	// Completed means the program exited normally.
+	Completed Outcome = iota
+	// Crashed means a trap fired (bad jump, misaligned access, division by
+	// zero, bad syscall, resource exhaustion) — the paper's "crashing"
+	// catastrophic failure.
+	Crashed
+	// TimedOut means the instruction budget was exhausted — the paper's
+	// "infinite execution time" catastrophic failure.
+	TimedOut
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case Crashed:
+		return "crashed"
+	case TimedOut:
+		return "timed out"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// RunResult reports one simulated execution.
+type RunResult struct {
+	Outcome      Outcome
+	Output       []byte
+	ExitCode     int32
+	Instructions uint64
+	// InjectedErrors is how many scheduled bit flips actually fired before
+	// the run ended.
+	InjectedErrors int
+	// TrapDescription explains a crash ("bad program counter at pc=...").
+	TrapDescription string
+}
+
+func fromSim(r sim.Result) RunResult {
+	out := RunResult{
+		Output:         r.Output,
+		ExitCode:       r.ExitCode,
+		Instructions:   r.Instret,
+		InjectedErrors: r.Injected,
+	}
+	switch r.Outcome {
+	case sim.OK:
+		out.Outcome = Completed
+	case sim.Crash:
+		out.Outcome = Crashed
+		out.TrapDescription = r.Trap.String()
+	case sim.Timeout:
+		out.Outcome = TimedOut
+	}
+	return out
+}
+
+// AnalysisStats summarizes the control-data analysis of a program.
+type AnalysisStats struct {
+	// TextInstructions is the static instruction count.
+	TextInstructions int
+	// TaggedStatic counts instructions tagged low-reliability (legal
+	// injection sites under protection).
+	TaggedStatic int
+	// ControlSliceStatic counts instructions in the control slice.
+	ControlSliceStatic int
+	// TolerantFunctions counts functions the programmer marked tolerant.
+	TolerantFunctions int
+}
+
+// System is a compiled and analyzed program.
+type System struct {
+	prog   *isa.Program
+	report *core.Report
+}
+
+// Build compiles MiniC source and runs the control-data analysis under the
+// given policy. The source marks error-tolerant functions with the
+// `tolerant` qualifier; only instructions inside those functions can be
+// tagged low-reliability.
+func Build(source string, policy Policy) (*System, error) {
+	prog, err := minic.Build(source)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.Analyze(prog, toCore(policy))
+	if err != nil {
+		return nil, err
+	}
+	return &System{prog: prog, report: rep}, nil
+}
+
+// Stats returns the static analysis summary.
+func (s *System) Stats() AnalysisStats {
+	st := s.report.Stats()
+	return AnalysisStats{
+		TextInstructions:   st.TextInstrs,
+		TaggedStatic:       st.TaggedStatic,
+		ControlSliceStatic: st.ControlStatic,
+		TolerantFunctions:  st.TolerantFuncs,
+	}
+}
+
+// Listing renders the annotated disassembly: per instruction, a marker
+// ('T' = tagged low-reliability, 'C' = control slice) and the CVar set at
+// the point below it, in the bracket notation of the paper's worked
+// example.
+func (s *System) Listing() string {
+	var b strings.Builder
+	labels := make(map[int][]string)
+	for name, idx := range s.prog.Symbols {
+		labels[idx] = append(labels[idx], name)
+	}
+	for _, names := range labels {
+		sort.Strings(names)
+	}
+	fi := 0
+	for idx, in := range s.prog.Text {
+		for fi < len(s.prog.Funcs) && s.prog.Funcs[fi].Start == idx {
+			f := s.prog.Funcs[fi]
+			attr := ""
+			if f.Tolerant {
+				attr = " tolerant"
+			}
+			fmt.Fprintf(&b, "\n%s:%s\n", f.Name, attr)
+			fi++
+		}
+		mark := ' '
+		switch {
+		case s.report.Tagged[idx]:
+			mark = 'T'
+		case s.report.ControlSlice[idx]:
+			mark = 'C'
+		}
+		fmt.Fprintf(&b, "%6d  %c  %-32s %s\n", idx, mark, isa.Disasm(in), s.report.CVarIn[idx])
+	}
+	return b.String()
+}
+
+// Run executes the program once without fault injection.
+func (s *System) Run(input []byte) RunResult {
+	return fromSim(sim.Run(s.prog, sim.Config{Input: input}))
+}
+
+// Campaign is a reusable fault-injection setup for one input.
+type Campaign struct {
+	c *fault.Campaign
+}
+
+// NewCampaign prepares injections against this system. With protected
+// true, errors strike only analysis-tagged instructions (the rest is
+// assumed protected by redundancy, as in the paper's §4); with protected
+// false, every result-writing arithmetic instruction is exposed — the
+// unchanged application on unreliable hardware.
+func (s *System) NewCampaign(input []byte, protected bool) (*Campaign, error) {
+	eligible := s.report.Tagged
+	if !protected {
+		eligible = core.EligibleAll(s.prog)
+	}
+	c, err := fault.NewCampaign(s.prog, eligible, sim.Config{Input: input})
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{c: c}, nil
+}
+
+// CleanOutput is the fault-free output (the golden reference for fidelity
+// comparison).
+func (c *Campaign) CleanOutput() []byte { return c.c.Clean.Output }
+
+// CleanInstructions is the fault-free dynamic instruction count.
+func (c *Campaign) CleanInstructions() uint64 { return c.c.Clean.Instret }
+
+// LowReliabilityFraction is the fraction of the dynamic instruction stream
+// eligible for injection (Table 3's measure when protection is on).
+func (c *Campaign) LowReliabilityFraction() float64 { return c.c.EligibleFraction() }
+
+// Run injects n single-bit errors, uniformly distributed over the dynamic
+// eligible instructions, deterministically in seed.
+func (c *Campaign) Run(n int, seed int64) RunResult {
+	return fromSim(c.c.Run(n, seed))
+}
+
+// Benchmark is one of the paper's Table 1 applications.
+type Benchmark struct {
+	app apps.App
+}
+
+// Benchmarks returns the seven applications in Table 1 order.
+func Benchmarks() []*Benchmark {
+	as := all.Apps()
+	out := make([]*Benchmark, len(as))
+	for i, a := range as {
+		out[i] = &Benchmark{app: a}
+	}
+	return out
+}
+
+// BenchmarkByName fetches one application ("susan", "mpeg", "mcf",
+// "blowfish", "gsm", "art", "adpcm").
+func BenchmarkByName(name string) (*Benchmark, bool) {
+	a, ok := all.ByName(name)
+	if !ok {
+		return nil, false
+	}
+	return &Benchmark{app: a}, true
+}
+
+// Name is the short identifier.
+func (b *Benchmark) Name() string { return b.app.Name() }
+
+// Title describes the application.
+func (b *Benchmark) Title() string { return b.app.Title() }
+
+// FidelityName labels the fidelity measure.
+func (b *Benchmark) FidelityName() string { return b.app.FidelityName() }
+
+// Source is the application's MiniC program.
+func (b *Benchmark) Source() string { return b.app.Source() }
+
+// Input is the deterministic benchmark input.
+func (b *Benchmark) Input() []byte { return b.app.Input() }
+
+// Score evaluates a corrupted output against the fault-free output,
+// returning the application's fidelity value and whether it passes the
+// fidelity threshold.
+func (b *Benchmark) Score(golden, corrupted []byte) (value float64, acceptable bool) {
+	s := b.app.Score(golden, corrupted)
+	return s.Value, s.Acceptable
+}
+
+// Build compiles and analyzes the benchmark.
+func (b *Benchmark) Build(policy Policy) (*System, error) {
+	return Build(b.app.Source(), policy)
+}
+
+// ExperimentIDs lists the experiments RunExperiment accepts.
+func ExperimentIDs() []string {
+	return []string{"table1", "table2", "table3", "figure1", "figure2", "figure3", "figure4", "figure5", "figure6", "ablation", "potential", "bits", "masking"}
+}
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// returns its rendered text. Trials ≤ 0 selects the default (40 per
+// point). IDs are listed by ExperimentIDs.
+func RunExperiment(id string, trials int) (string, error) {
+	opt := exp.DefaultOptions()
+	if trials > 0 {
+		opt.Trials = trials
+	}
+	switch id {
+	case "table1":
+		return exp.Table1().Render(), nil
+	case "table2":
+		r, err := exp.Table2(opt)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "table3":
+		r, err := exp.Table3(opt)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "ablation":
+		r, err := exp.PolicyAblation(opt)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "potential":
+		r, err := exp.Potential(opt)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "bits":
+		r, err := exp.BitSensitivity(opt)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "masking":
+		r, err := exp.Masking(opt)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "figure1", "figure2", "figure3", "figure4", "figure5", "figure6":
+		fns := map[string]func(exp.Options) (*exp.Figure, error){
+			"figure1": exp.Figure1, "figure2": exp.Figure2, "figure3": exp.Figure3,
+			"figure4": exp.Figure4, "figure5": exp.Figure5, "figure6": exp.Figure6,
+		}
+		f, err := fns[id](opt)
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	default:
+		return "", fmt.Errorf("etap: unknown experiment %q (have %s)", id, strings.Join(ExperimentIDs(), ", "))
+	}
+}

@@ -1,0 +1,241 @@
+package etap
+
+import (
+	"strings"
+	"testing"
+)
+
+const testSource = `
+char data[64];
+
+tolerant void scale(char *p, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        p[i] = p[i] * 2;
+    }
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) { data[i] = inb(); }
+    scale(data, 64);
+    for (i = 0; i < 64; i = i + 1) { outb(data[i]); }
+    return 0;
+}
+`
+
+func testInput() []byte {
+	in := make([]byte, 64)
+	for i := range in {
+		in[i] = byte(i)
+	}
+	return in
+}
+
+func TestBuildAndRun(t *testing.T) {
+	sys, err := Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(testInput())
+	if res.Outcome != Completed {
+		t.Fatalf("outcome %s (%s)", res.Outcome, res.TrapDescription)
+	}
+	if len(res.Output) != 64 || res.Output[10] != 20 {
+		t.Fatalf("output wrong: len %d", len(res.Output))
+	}
+	if res.Instructions == 0 {
+		t.Fatalf("no instructions counted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("int main() { return x; }", PolicyControl); err == nil {
+		t.Fatalf("bad program accepted")
+	}
+	if _, err := Build("", PolicyControl); err == nil {
+		t.Fatalf("empty program accepted")
+	}
+}
+
+func TestStatsAndListing(t *testing.T) {
+	sys, err := Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.TextInstructions == 0 || st.TolerantFunctions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.TaggedStatic == 0 {
+		t.Fatalf("nothing tagged in a tolerant program")
+	}
+	if st.TaggedStatic+st.ControlSliceStatic > st.TextInstructions {
+		t.Fatalf("tag/control sets overlap: %+v", st)
+	}
+	listing := sys.Listing()
+	for _, want := range []string{"scale: tolerant", "main:", "  T  ", "  C  ", "["} {
+		if !strings.Contains(listing, want) {
+			t.Fatalf("listing missing %q", want)
+		}
+	}
+}
+
+func TestCampaignInjection(t *testing.T) {
+	sys, err := Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := sys.NewCampaign(testInput(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.CleanOutput()) != 64 {
+		t.Fatalf("clean output length %d", len(camp.CleanOutput()))
+	}
+	if f := camp.LowReliabilityFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("low-rel fraction %f", f)
+	}
+	res := camp.Run(2, 1)
+	if res.Outcome != Completed {
+		t.Fatalf("protected 2-error run %s (%s)", res.Outcome, res.TrapDescription)
+	}
+	if res.InjectedErrors != 2 {
+		t.Fatalf("injected %d", res.InjectedErrors)
+	}
+	// Determinism.
+	res2 := camp.Run(2, 1)
+	if string(res.Output) != string(res2.Output) {
+		t.Fatalf("same seed produced different outputs")
+	}
+	// Different seed (usually) different corruption; at minimum it must
+	// not crash the protected pixel math.
+	res3 := camp.Run(2, 99)
+	if res3.Outcome != Completed {
+		t.Fatalf("seed 99 run %s", res3.Outcome)
+	}
+}
+
+func TestUnprotectedCampaign(t *testing.T) {
+	sys, err := Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := sys.NewCampaign(testInput(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := sys.NewCampaign(testInput(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unprotected eligible stream strictly contains the protected one.
+	if on.LowReliabilityFraction() >= off.LowReliabilityFraction() {
+		t.Fatalf("protected fraction %.3f >= unprotected %.3f",
+			on.LowReliabilityFraction(), off.LowReliabilityFraction())
+	}
+}
+
+func TestBenchmarksRegistry(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 7 {
+		t.Fatalf("%d benchmarks", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		names[b.Name()] = true
+		if b.Title() == "" || b.FidelityName() == "" || b.Source() == "" || len(b.Input()) == 0 {
+			t.Fatalf("benchmark %s incomplete", b.Name())
+		}
+	}
+	for _, want := range []string{"susan", "mpeg", "mcf", "blowfish", "gsm", "art", "adpcm"} {
+		if !names[want] {
+			t.Fatalf("missing benchmark %s", want)
+		}
+	}
+	if _, ok := BenchmarkByName("nosuch"); ok {
+		t.Fatalf("unknown benchmark resolved")
+	}
+	b, ok := BenchmarkByName("adpcm")
+	if !ok {
+		t.Fatalf("adpcm missing")
+	}
+	if v, acceptable := b.Score([]byte{1, 2}, []byte{1, 2}); v != 100 || !acceptable {
+		t.Fatalf("identical score %f/%v", v, acceptable)
+	}
+}
+
+func TestBenchmarkBuildAndInject(t *testing.T) {
+	b, _ := BenchmarkByName("adpcm")
+	sys, err := b.Build(PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := sys.NewCampaign(b.Input(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ADPCM's predictor is recursive, so a single early flip can shift the
+	// whole decoded stream: fidelity varies hugely by seed. The invariants
+	// are that protected runs complete and scores stay in range.
+	best := 0.0
+	for seed := int64(1); seed <= 6; seed++ {
+		res := camp.Run(3, seed)
+		if res.Outcome != Completed {
+			t.Fatalf("seed %d: run %s (%s)", seed, res.Outcome, res.TrapDescription)
+		}
+		v, _ := b.Score(camp.CleanOutput(), res.Output)
+		if v < 0 || v > 100 {
+			t.Fatalf("seed %d: fidelity %f out of range", seed, v)
+		}
+		if v > best {
+			best = v
+		}
+	}
+	if best < 50 {
+		t.Fatalf("every seed collapsed fidelity (best %.1f%%); injection is likely broken", best)
+	}
+}
+
+func TestRunExperimentTable1(t *testing.T) {
+	out, err := RunExperiment("table1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "susan") || !strings.Contains(out, "Fidelity") {
+		t.Fatalf("table1 output: %s", out)
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("table99", 0); err == nil {
+		t.Fatalf("unknown experiment accepted")
+	}
+}
+
+func TestExperimentIDsComplete(t *testing.T) {
+	ids := ExperimentIDs()
+	want := []string{"table1", "table2", "table3", "figure1", "figure2", "figure3", "figure4", "figure5", "figure6", "ablation", "potential", "bits", "masking"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v", ids)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyControl.String() != "control" ||
+		PolicyControlAddr.String() != "control+addr" ||
+		PolicyConservative.String() != "conservative" {
+		t.Fatalf("policy strings: %s %s %s", PolicyControl, PolicyControlAddr, PolicyConservative)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if Completed.String() != "completed" || Crashed.String() != "crashed" || TimedOut.String() != "timed out" {
+		t.Fatalf("outcome strings wrong")
+	}
+}

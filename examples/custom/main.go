@@ -1,0 +1,115 @@
+// Custom: write your own error-tolerant application against the public
+// API. The program is a small fixed-point FIR filter; the example shows
+// the paper-style annotated listing (which instructions the analysis
+// tagged, with the CVar sets of the worked example's bracket notation) and
+// then measures fidelity under injection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"etap"
+)
+
+const source = `
+// 5-tap moving-average FIR over 16-bit samples, Q8 coefficients.
+const int taps[5] = { 26, 51, 102, 51, 26 };
+
+int hist[5];
+int samples[512];
+
+tolerant int fir(int x) {
+    int acc = 0;
+    int k;
+    hist[4] = hist[3];
+    hist[3] = hist[2];
+    hist[2] = hist[1];
+    hist[1] = hist[0];
+    hist[0] = x;
+    for (k = 0; k < 5; k = k + 1) {
+        acc = acc + taps[k] * hist[k];
+    }
+    return acc >> 8;
+}
+
+int main() {
+    int n = inw();
+    int i;
+    if (n > 512) { n = 512; }
+    for (i = 0; i < n; i = i + 1) {
+        int s = inh();
+        if (s >= 32768) { s = s - 65536; }
+        samples[i] = s;
+    }
+    for (i = 0; i < n; i = i + 1) {
+        outh(fir(samples[i]) & 0xffff);
+    }
+    return 0;
+}
+`
+
+func main() {
+	sys, err := etap.Build(source, etap.PolicyControlAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the annotated fir() body: T = tagged low-reliability,
+	// C = control slice, brackets = CVar below the instruction.
+	fmt.Println("annotated listing (excerpt around fir):")
+	listing := sys.Listing()
+	if i := strings.Index(listing, "\nfir:"); i >= 0 {
+		rest := listing[i+1:]
+		if j := strings.Index(rest[1:], "\n\n"); j >= 0 {
+			rest = rest[:j+1]
+		}
+		lines := strings.Split(rest, "\n")
+		if len(lines) > 40 {
+			lines = lines[:40]
+		}
+		fmt.Println(strings.Join(lines, "\n"))
+	}
+
+	// Input: a ramp with a glitch.
+	input := []byte{0, 2, 0, 0} // n = 512 little-endian
+	input[0] = 0
+	input[1] = 2
+	for i := 0; i < 512; i++ {
+		v := uint16(i * 50 % 8192)
+		input = append(input, byte(v), byte(v>>8))
+	}
+
+	camp, err := sys.NewCampaign(input, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden := camp.CleanOutput()
+	fmt.Printf("\nclean run: %d instructions, %.1f%% of the dynamic stream is low-reliability\n",
+		camp.CleanInstructions(), 100*camp.LowReliabilityFraction())
+
+	for _, errs := range []int{1, 5, 20} {
+		worst := 0
+		fails := 0
+		const trials = 10
+		for seed := int64(0); seed < trials; seed++ {
+			res := camp.Run(errs, seed)
+			if res.Outcome != etap.Completed {
+				fails++
+				continue
+			}
+			diff := 0
+			for i := range golden {
+				if i < len(res.Output) && res.Output[i] != golden[i] {
+					diff++
+				}
+			}
+			if diff > worst {
+				worst = diff
+			}
+		}
+		fmt.Printf("%2d errors: %d/%d failed, worst case %d/%d output bytes corrupted\n",
+			errs, fails, trials, worst, len(golden))
+	}
+}

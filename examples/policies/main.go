@@ -1,0 +1,56 @@
+// Policies: compare the three protection policies on the Blowfish
+// benchmark — how much of the dynamic instruction stream each one leaves
+// injectable, and what failure rate results at a fixed error count. This
+// is the coverage/exposure trade-off DESIGN.md discusses: the paper's
+// literal control-only slice tags the most work but leaves address
+// computations exposed; protecting addresses removes most crashes; the
+// conservative policy protects stored values too and tags almost nothing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"etap"
+)
+
+func main() {
+	bench, ok := etap.BenchmarkByName("blowfish")
+	if !ok {
+		log.Fatal("blowfish benchmark not registered")
+	}
+	const errs = 20
+	const trials = 15
+
+	fmt.Printf("Blowfish, %d errors per run, %d trials per policy\n\n", errs, trials)
+	fmt.Printf("%-14s  %12s  %10s  %14s\n", "policy", "low-rel %", "failures", "avg bytes ok")
+	for _, pol := range []etap.Policy{etap.PolicyControl, etap.PolicyControlAddr, etap.PolicyConservative} {
+		sys, err := bench.Build(pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		camp, err := sys.NewCampaign(bench.Input(), true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		golden := camp.CleanOutput()
+		fails := 0
+		fidSum, fidN := 0.0, 0
+		for seed := int64(1); seed <= trials; seed++ {
+			res := camp.Run(errs, seed)
+			if res.Outcome != etap.Completed {
+				fails++
+				continue
+			}
+			v, _ := bench.Score(golden, res.Output)
+			fidSum += v
+			fidN++
+		}
+		avg := 0.0
+		if fidN > 0 {
+			avg = fidSum / float64(fidN)
+		}
+		fmt.Printf("%-14s  %11.1f%%  %6d/%d  %13.1f%%\n",
+			pol, 100*camp.LowReliabilityFraction(), fails, trials, avg)
+	}
+}

@@ -1,0 +1,90 @@
+// Quickstart: compile a tiny error-tolerant program, inject bit errors
+// with and without control-data protection, and watch the paper's headline
+// effect — protected runs degrade gracefully while unprotected runs crash
+// or hang.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"etap"
+)
+
+// The program applies a brightness threshold to a 256-byte "image" read
+// from input. The pixel math is error-tolerant (a flipped pixel is just a
+// speck); the loop bookkeeping is not — which is exactly what the static
+// analysis separates.
+const source = `
+char img[256];
+
+tolerant void threshold(char *p, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        int v = p[i];
+        int boosted = v * 3 / 2;
+        if (boosted > 255) { boosted = 255; }
+        p[i] = boosted;
+    }
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 256; i = i + 1) { img[i] = inb(); }
+    threshold(img, 256);
+    for (i = 0; i < 256; i = i + 1) { outb(img[i]); }
+    return 0;
+}
+`
+
+func main() {
+	sys, err := etap.Build(source, etap.PolicyControlAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("program: %d instructions, %d tagged low-reliability (%.0f%%), %d in control slice\n\n",
+		st.TextInstructions, st.TaggedStatic,
+		100*float64(st.TaggedStatic)/float64(st.TextInstructions), st.ControlSliceStatic)
+
+	input := make([]byte, 256)
+	for i := range input {
+		input[i] = byte(i / 2)
+	}
+
+	for _, protected := range []bool{true, false} {
+		camp, err := sys.NewCampaign(input, protected)
+		if err != nil {
+			log.Fatal(err)
+		}
+		golden := camp.CleanOutput()
+		label := "protection ON (errors hit only tagged instructions)"
+		if !protected {
+			label = "protection OFF (errors hit any arithmetic result)"
+		}
+		fmt.Println(label)
+		for _, errs := range []int{1, 4, 16} {
+			crashes, hangs, totalWrong := 0, 0, 0
+			const trials = 20
+			for seed := int64(0); seed < trials; seed++ {
+				res := camp.Run(errs, seed)
+				switch res.Outcome {
+				case etap.Crashed:
+					crashes++
+				case etap.TimedOut:
+					hangs++
+				default:
+					for i := range golden {
+						if i < len(res.Output) && res.Output[i] != golden[i] {
+							totalWrong++
+						}
+					}
+				}
+			}
+			fmt.Printf("  %2d errors: %2d/%d crashed, %2d/%d hung, avg %.1f corrupted pixels per surviving run\n",
+				errs, crashes, trials, hangs, trials,
+				float64(totalWrong)/float64(trials-crashes-hangs))
+		}
+		fmt.Println()
+	}
+}

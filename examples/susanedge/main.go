@@ -1,0 +1,57 @@
+// Susanedge: reproduce the Figure 1 experiment interactively — run the
+// Susan edge detector under increasing error counts and print the PSNR of
+// each corrupted edge map against the fault-free one, with the analysis on
+// and off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"etap"
+)
+
+func main() {
+	bench, ok := etap.BenchmarkByName("susan")
+	if !ok {
+		log.Fatal("susan benchmark not registered")
+	}
+	sys, err := bench.Build(etap.PolicyControlAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s — %s\nfidelity: %s (threshold 10 dB)\n\n", bench.Name(), bench.Title(), bench.FidelityName())
+
+	const trials = 8
+	fmt.Printf("%8s  %22s  %22s\n", "errors", "PSNR dB (analysis ON)", "PSNR dB (analysis OFF)")
+	for _, errs := range []int{50, 200, 800, 1600, 2400} {
+		var row [2]float64
+		var fails [2]int
+		for mode, protected := range map[int]bool{0: true, 1: false} {
+			camp, err := sys.NewCampaign(bench.Input(), protected)
+			if err != nil {
+				log.Fatal(err)
+			}
+			golden := camp.CleanOutput()
+			sum, n := 0.0, 0
+			for seed := int64(1); seed <= trials; seed++ {
+				res := camp.Run(errs, seed*31+int64(errs))
+				if res.Outcome != etap.Completed {
+					fails[mode]++
+					continue
+				}
+				v, _ := bench.Score(golden, res.Output)
+				sum += v
+				n++
+			}
+			if n > 0 {
+				row[mode] = sum / float64(n)
+			}
+		}
+		fmt.Printf("%8d  %19.1f dB  %19.1f dB   (failed runs: on=%d off=%d of %d)\n",
+			errs, row[0], row[1], fails[0], fails[1], trials)
+	}
+	fmt.Println("\nWith control data protected, fidelity degrades smoothly; without it,")
+	fmt.Println("the same error counts crash the run or wreck the output entirely.")
+}

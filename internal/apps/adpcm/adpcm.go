@@ -1,0 +1,344 @@
+// Package adpcm is the paper's ADPCM benchmark: the IMA/DVI ADPCM
+// encode/decode pair from Jack Jansen's adpcm.c, as shipped in MiBench.
+// 16-bit PCM samples are compressed 4:1 to 4-bit codes and decompressed
+// again; the fidelity measure is the percentage of output bytes that match
+// the fault-free output (the paper's "% similarity of the output PCM
+// data"), because the benchmark does not separate header and data and its
+// output is not directly a playable file.
+package adpcm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"etap/internal/apps"
+	"etap/internal/fidelity"
+)
+
+// NumSamples is the synthetic speech-sample length.
+const NumSamples = 4000
+
+// stepsizeTable is the IMA ADPCM step size table (89 entries).
+var stepsizeTable = [89]int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+// indexTable is the IMA index adjustment table.
+var indexTable = [16]int32{
+	-1, -1, -1, -1, 2, 4, 6, 8,
+	-1, -1, -1, -1, 2, 4, 6, 8,
+}
+
+// EncodeIMA compresses 16-bit samples to 4-bit IMA codes, two per byte,
+// high nibble first (Jansen's packing).
+func EncodeIMA(samples []int16) []byte {
+	out := make([]byte, 0, (len(samples)+1)/2)
+	var valpred, index, outputbuffer int32
+	step := stepsizeTable[0]
+	bufferstep := true
+	for _, s := range samples {
+		val := int32(s)
+		diff := val - valpred
+		var sign int32
+		if diff < 0 {
+			sign = 8
+			diff = -diff
+		}
+		var delta int32
+		vpdiff := step >> 3
+		if diff >= step {
+			delta = 4
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 2
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 1
+			vpdiff += step
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		} else if valpred < -32768 {
+			valpred = -32768
+		}
+		delta |= sign
+		index += indexTable[delta]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		step = stepsizeTable[index]
+		if bufferstep {
+			outputbuffer = (delta << 4) & 0xf0
+		} else {
+			out = append(out, byte((delta&0x0f)|outputbuffer))
+		}
+		bufferstep = !bufferstep
+	}
+	if !bufferstep {
+		out = append(out, byte(outputbuffer))
+	}
+	return out
+}
+
+// DecodeIMA expands n samples from IMA codes.
+func DecodeIMA(codes []byte, n int) []int16 {
+	out := make([]int16, 0, n)
+	var valpred, index, inputbuffer int32
+	step := stepsizeTable[0]
+	bufferstep := false
+	pos := 0
+	for i := 0; i < n; i++ {
+		var delta int32
+		if bufferstep {
+			delta = inputbuffer & 0xf
+		} else {
+			if pos >= len(codes) {
+				break
+			}
+			inputbuffer = int32(codes[pos])
+			pos++
+			delta = (inputbuffer >> 4) & 0xf
+		}
+		bufferstep = !bufferstep
+		index += indexTable[delta]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		sign := delta & 8
+		delta &= 7
+		vpdiff := step >> 3
+		if delta&4 != 0 {
+			vpdiff += step
+		}
+		if delta&2 != 0 {
+			vpdiff += step >> 1
+		}
+		if delta&1 != 0 {
+			vpdiff += step >> 2
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		} else if valpred < -32768 {
+			valpred = -32768
+		}
+		step = stepsizeTable[index]
+		out = append(out, int16(valpred))
+	}
+	return out
+}
+
+// Speech generates the deterministic speech-like test signal: two tones
+// with slow envelopes plus low-level deterministic noise.
+func Speech(n int) []int16 {
+	out := make([]int16, n)
+	lcg := uint32(0x2545F491)
+	for i := 0; i < n; i++ {
+		t := float64(i) / 8000.0
+		env1 := 0.5 + 0.5*math.Sin(2*math.Pi*3.1*t)
+		env2 := 0.5 + 0.5*math.Sin(2*math.Pi*1.7*t+1.0)
+		v := 6000*math.Sin(2*math.Pi*180*t)*env1 +
+			2500*math.Sin(2*math.Pi*560*t+0.7)*env2
+		lcg = lcg*1664525 + 1013904223
+		v += float64(int32(lcg>>20)%97) - 48
+		if v > 32000 {
+			v = 32000
+		}
+		if v < -32000 {
+			v = -32000
+		}
+		out[i] = int16(v)
+	}
+	return out
+}
+
+// App is the ADPCM benchmark instance.
+type App struct {
+	samples []int16
+}
+
+// New creates the benchmark with the default synthetic speech input.
+func New() *App { return &App{samples: Speech(NumSamples)} }
+
+func (*App) Name() string  { return "adpcm" }
+func (*App) Title() string { return "ADPCM speech encode/decode (IMA, 4:1)" }
+func (*App) FidelityName() string {
+	return "% bytes matching fault-free output"
+}
+
+// Input encodes the sample count followed by the little-endian samples.
+func (a *App) Input() []byte {
+	buf := make([]byte, 4, 4+2*len(a.samples))
+	binary.LittleEndian.PutUint32(buf, uint32(len(a.samples)))
+	for _, s := range a.samples {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(s))
+	}
+	return buf
+}
+
+// Reference runs the Go codec on the same input.
+func (a *App) Reference() []byte {
+	codes := EncodeIMA(a.samples)
+	dec := DecodeIMA(codes, len(a.samples))
+	return fidelity.PCMToBytes(dec)
+}
+
+// Score is the byte-match percentage against the golden output; the run is
+// acceptable at 90% or better.
+func (a *App) Score(golden, corrupted []byte) apps.Score {
+	pct := 100 * fidelity.ByteMatch(golden, corrupted)
+	return apps.Score{Value: pct, Acceptable: pct >= 90}
+}
+
+// Source returns the MiniC program: read PCM, encode, decode, emit PCM.
+func (a *App) Source() string {
+	return fmt.Sprintf(adpcmSrc, NumSamples)
+}
+
+const adpcmSrc = `
+// IMA ADPCM encode/decode (Jack Jansen's adpcm.c, MiBench variant).
+const int NSAMP = %d;
+
+const int stepsizeTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+const int indexTable[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8,
+    -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+int pcmin[NSAMP];
+char codes[2048];
+int pcmout[NSAMP];
+
+tolerant void encode(int *inp, char *out, int n) {
+    int valpred = 0;
+    int index = 0;
+    int step = 7;
+    int bufferstep = 1;
+    int outputbuffer = 0;
+    int outp = 0;
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        int val = inp[i];
+        int diff = val - valpred;
+        int sign = 0;
+        if (diff < 0) { sign = 8; diff = -diff; }
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (diff >= step) { delta = 4; diff = diff - step; vpdiff = vpdiff + step; }
+        step = step >> 1;
+        if (diff >= step) { delta = delta | 2; diff = diff - step; vpdiff = vpdiff + step; }
+        step = step >> 1;
+        if (diff >= step) { delta = delta | 1; vpdiff = vpdiff + step; }
+        if (sign) { valpred = valpred - vpdiff; }
+        else { valpred = valpred + vpdiff; }
+        if (valpred > 32767) { valpred = 32767; }
+        else if (valpred < -32768) { valpred = -32768; }
+        delta = delta | sign;
+        index = index + indexTable[delta];
+        if (index < 0) { index = 0; }
+        if (index > 88) { index = 88; }
+        step = stepsizeTable[index];
+        if (bufferstep) {
+            outputbuffer = (delta << 4) & 0xf0;
+        } else {
+            out[outp] = (delta & 0x0f) | outputbuffer;
+            outp = outp + 1;
+        }
+        bufferstep = !bufferstep;
+    }
+    if (!bufferstep) { out[outp] = outputbuffer; }
+}
+
+tolerant void decode(char *inp, int *out, int n) {
+    int valpred = 0;
+    int index = 0;
+    int step = 7;
+    int inputbuffer = 0;
+    int bufferstep = 0;
+    int pos = 0;
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        int delta;
+        if (bufferstep) {
+            delta = inputbuffer & 0xf;
+        } else {
+            inputbuffer = inp[pos];
+            pos = pos + 1;
+            delta = (inputbuffer >> 4) & 0xf;
+        }
+        bufferstep = !bufferstep;
+        index = index + indexTable[delta];
+        if (index < 0) { index = 0; }
+        if (index > 88) { index = 88; }
+        int sign = delta & 8;
+        delta = delta & 7;
+        int vpdiff = step >> 3;
+        if (delta & 4) { vpdiff = vpdiff + step; }
+        if (delta & 2) { vpdiff = vpdiff + (step >> 1); }
+        if (delta & 1) { vpdiff = vpdiff + (step >> 2); }
+        if (sign) { valpred = valpred - vpdiff; }
+        else { valpred = valpred + vpdiff; }
+        if (valpred > 32767) { valpred = 32767; }
+        else if (valpred < -32768) { valpred = -32768; }
+        step = stepsizeTable[index];
+        out[i] = valpred;
+    }
+}
+
+int main() {
+    int n = inw();
+    int i;
+    if (n > NSAMP) { n = NSAMP; }
+    for (i = 0; i < n; i = i + 1) {
+        int s = inh();
+        if (s >= 32768) { s = s - 65536; }
+        pcmin[i] = s;
+    }
+    encode(pcmin, codes, n);
+    decode(codes, pcmout, n);
+    for (i = 0; i < n; i = i + 1) {
+        outh(pcmout[i] & 0xffff);
+    }
+    return 0;
+}
+`

@@ -1,0 +1,108 @@
+package adpcm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"etap/internal/apps/apptest"
+	"etap/internal/fidelity"
+)
+
+func TestSimMatchesReference(t *testing.T) {
+	apptest.CheckReference(t, New())
+}
+
+func TestCodecRoundTripQuality(t *testing.T) {
+	samples := Speech(NumSamples)
+	codes := EncodeIMA(samples)
+	if len(codes) != NumSamples/2 {
+		t.Fatalf("code length = %d, want %d (4:1 compression)", len(codes), NumSamples/2)
+	}
+	dec := DecodeIMA(codes, NumSamples)
+	snr := fidelity.SNR16(samples, dec)
+	if snr < 20 {
+		t.Fatalf("round-trip SNR = %.1f dB, want >= 20 (codec broken)", snr)
+	}
+}
+
+func TestDecodeClampsOutOfRangeIndex(t *testing.T) {
+	// All-0xFF codes drive the index to its ceiling; decode must not panic
+	// and must produce the requested number of samples.
+	codes := make([]byte, 64)
+	for i := range codes {
+		codes[i] = 0xFF
+	}
+	dec := DecodeIMA(codes, 128)
+	if len(dec) != 128 {
+		t.Fatalf("decoded %d samples, want 128", len(dec))
+	}
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	codes := EncodeIMA(Speech(100))
+	dec := DecodeIMA(codes[:10], 100)
+	if len(dec) != 20 {
+		t.Fatalf("decoded %d samples from 10 bytes, want 20", len(dec))
+	}
+}
+
+// TestEncodeDecodeTracksInput: property — the decoded signal never drifts
+// unboundedly from the input for arbitrary sample streams.
+func TestEncodeDecodeTracksInput(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Smooth the raw stream: ADPCM only tracks band-limited signals.
+		sm := make([]int16, len(raw))
+		var acc int32
+		for i, v := range raw {
+			acc = (acc*7 + int32(v)) / 8
+			sm[i] = int16(acc)
+		}
+		dec := DecodeIMA(EncodeIMA(sm), len(sm))
+		if len(dec) != len(sm) {
+			return false
+		}
+		// The predictor adapts within ~one step-table sweep; allow a very
+		// loose absolute envelope to catch gross breakage only.
+		for i := 40; i < len(sm); i++ {
+			d := int32(sm[i]) - int32(dec[i])
+			if d < -20000 || d > 20000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputFormat(t *testing.T) {
+	a := New()
+	in := a.Input()
+	if len(in) != 4+2*NumSamples {
+		t.Fatalf("input length = %d, want %d", len(in), 4+2*NumSamples)
+	}
+}
+
+func TestScoreThreshold(t *testing.T) {
+	a := New()
+	golden := a.Reference()
+	if s := a.Score(golden, golden); !s.Acceptable || s.Value != 100 {
+		t.Fatalf("identical output score = %+v, want 100%% acceptable", s)
+	}
+	bad := make([]byte, len(golden))
+	if s := a.Score(golden, bad); s.Acceptable {
+		t.Fatalf("all-zero output should be unacceptable, got %+v", s)
+	}
+}
+
+func TestProtectedInjectionTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Table 2: the paper reports 2% failures at 3 errors; allow 1/8.
+	apptest.CheckProtectedTolerance(t, New(), 3, 8, 1)
+}

@@ -1,0 +1,49 @@
+// Package all registers the seven benchmark applications of the paper's
+// Table 1. It exists apart from package apps so the individual application
+// packages can import the shared interface without an import cycle.
+package all
+
+import (
+	"etap/internal/apps"
+	"etap/internal/apps/adpcm"
+	"etap/internal/apps/art"
+	"etap/internal/apps/blowfish"
+	"etap/internal/apps/gsm"
+	"etap/internal/apps/mcf"
+	"etap/internal/apps/mpegenc"
+	"etap/internal/apps/susan"
+)
+
+// Apps returns fresh instances of every benchmark, in the paper's Table 1
+// order.
+func Apps() []apps.App {
+	return []apps.App{
+		susan.New(),
+		mpegenc.New(),
+		mcf.New(),
+		blowfish.New(),
+		gsm.New(),
+		art.New(),
+		adpcm.New(),
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (apps.App, bool) {
+	for _, a := range Apps() {
+		if a.Name() == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the benchmark names in registry order.
+func Names() []string {
+	as := Apps()
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name()
+	}
+	return names
+}

@@ -1,0 +1,41 @@
+// Package apps defines the benchmark-application abstraction shared by the
+// experiment harness and collects the seven workloads of the paper's
+// Table 1 (Susan, MPEG, MCF, Blowfish, ADPCM, GSM, ART). Each application
+// provides its MiniC source (with error-tolerant functions marked), a
+// deterministic synthetic input, a pure-Go reference implementation used to
+// differentially test the compiler/simulator pipeline, and its fidelity
+// measure.
+package apps
+
+// Score is the result of evaluating one corrupted output against the
+// fault-free golden output.
+type Score struct {
+	// Value is the application's natural fidelity measure (Table 1):
+	// PSNR in dB for Susan, % bad frames for MPEG, % extra schedule cost
+	// for MCF, % bytes correct for Blowfish and ADPCM, % SNR from optimal
+	// for GSM, and confidence error (%) for ART.
+	Value float64
+	// Acceptable reports whether Value passes the application's fidelity
+	// threshold.
+	Acceptable bool
+}
+
+// App is one benchmark application.
+type App interface {
+	// Name is the short identifier (table row), e.g. "susan".
+	Name() string
+	// Title is the one-line description from Table 1.
+	Title() string
+	// FidelityName labels the fidelity measure, e.g. "PSNR (dB)".
+	FidelityName() string
+	// Source returns the MiniC program.
+	Source() string
+	// Input returns the deterministic input byte stream.
+	Input() []byte
+	// Reference returns the expected fault-free output, computed by a
+	// pure-Go implementation of the same algorithm. The simulated clean
+	// output must equal it exactly.
+	Reference() []byte
+	// Score evaluates a corrupted output against the golden output.
+	Score(golden, corrupted []byte) Score
+}

@@ -1,0 +1,379 @@
+// Package art is the paper's ART benchmark: SPEC CPU2000's Adaptive
+// Resonance Theory neural network, which trains on object templates and
+// then scans a thermal image with a window, reporting where and with what
+// confidence it recognizes a learned object. We implement the fuzzy-ART
+// core in binary32 floating point: fast-learning training normalizes each
+// template into bottom-up weights; recognition computes the fuzzy choice
+// function Σ min(x,w) / (α + |w|) per category over every window, with a
+// vigilance test rejecting weak matches. The fidelity measure is Table 1's
+// "error in confidence of match", and Figure 6 counts the share of runs
+// that still recognize the right object at the right place.
+package art
+
+import (
+	"fmt"
+
+	"etap/internal/apps"
+)
+
+// Geometry and model parameters.
+const (
+	ImgW   = 24
+	Win    = 8
+	NumCat = 3
+	// Rho is the vigilance threshold.
+	Rho = float32(0.55)
+	// Alpha is the choice parameter.
+	Alpha = float32(0.1)
+	// ConfTolerance is the acceptable relative confidence error (%).
+	ConfTolerance = 10.0
+)
+
+const (
+	tmplPix = Win * Win
+	imgPix  = ImgW * ImgW
+)
+
+// Templates returns the three learned 8×8 object patterns (byte
+// intensities): a plane (cross), a helicopter (X with rotor), and a tank
+// (solid hull with turret).
+func Templates() [][]byte {
+	mk := func(rows [8]string) []byte {
+		out := make([]byte, tmplPix)
+		for y, row := range rows {
+			for x := 0; x < 8; x++ {
+				if row[x] == '#' {
+					out[y*8+x] = 230
+				} else if row[x] == '+' {
+					out[y*8+x] = 120
+				}
+			}
+		}
+		return out
+	}
+	plane := mk([8]string{
+		"...##...",
+		"...##...",
+		"########",
+		"########",
+		"...##...",
+		"...##...",
+		"..####..",
+		"..####..",
+	})
+	helicopter := mk([8]string{
+		"#......#",
+		".#....#.",
+		"..####..",
+		"...##...",
+		"..####..",
+		".#....#.",
+		"#......#",
+		"...++...",
+	})
+	tank := mk([8]string{
+		"........",
+		"...++...",
+		"..####..",
+		"..####..",
+		"########",
+		"########",
+		"########",
+		".+.+.+.+",
+	})
+	return [][]byte{plane, helicopter, tank}
+}
+
+// TargetCat/TargetX/TargetY locate the embedded object in the default
+// thermal image.
+const (
+	TargetCat = 1
+	TargetX   = 10
+	TargetY   = 6
+)
+
+// Thermal generates the deterministic thermal image: noisy warm background
+// with the target template embedded at (TargetX, TargetY).
+func Thermal() []byte {
+	img := make([]byte, imgPix)
+	lcg := uint32(0xA5A5F00D)
+	for i := range img {
+		lcg = lcg*1664525 + 1013904223
+		img[i] = byte(20 + lcg>>27) // 20..51
+	}
+	tmpl := Templates()[TargetCat]
+	for y := 0; y < Win; y++ {
+		for x := 0; x < Win; x++ {
+			v := int32(tmpl[y*8+x])
+			v = v * 9 / 10
+			p := (TargetY+y)*ImgW + TargetX + x
+			if v > int32(img[p]) {
+				img[p] = byte(v)
+			}
+		}
+	}
+	return img
+}
+
+// Result is one recognition outcome.
+type Result struct {
+	Cat  int32
+	X, Y int32
+	Conf float32
+}
+
+// Recognize is the Go reference: train on the templates, scan the image,
+// return the best match. Float32 operation order matches the MiniC
+// program exactly.
+func Recognize(templates [][]byte, image []byte) Result {
+	var wgt [NumCat][tmplPix]float32
+	var wsum [NumCat]float32
+	for j := 0; j < NumCat; j++ {
+		var s float32
+		tf := make([]float32, tmplPix)
+		for k := 0; k < tmplPix; k++ {
+			tf[k] = float32(int32(templates[j][k])) / 255.0
+			s = s + tf[k]
+		}
+		d := 0.5 + s
+		var ws float32
+		for k := 0; k < tmplPix; k++ {
+			w := tf[k] / d
+			wgt[j][k] = w
+			ws = ws + w
+		}
+		wsum[j] = ws
+	}
+
+	img := make([]float32, imgPix)
+	for i := range img {
+		img[i] = float32(int32(image[i])) / 255.0
+	}
+
+	res := Result{Cat: -1, X: -1, Y: -1}
+	for y := 0; y+Win <= ImgW; y++ {
+		for x := 0; x+Win <= ImgW; x++ {
+			var xsum float32
+			for j2 := 0; j2 < Win; j2++ {
+				for i2 := 0; i2 < Win; i2++ {
+					xsum = xsum + img[(y+j2)*ImgW+x+i2]
+				}
+			}
+			xd := 0.5 + xsum
+			for j := 0; j < NumCat; j++ {
+				var num float32
+				for j2 := 0; j2 < Win; j2++ {
+					for i2 := 0; i2 < Win; i2++ {
+						xv := img[(y+j2)*ImgW+x+i2] / xd
+						wv := wgt[j][j2*8+i2]
+						if xv < wv {
+							num = num + xv
+						} else {
+							num = num + wv
+						}
+					}
+				}
+				if num >= Rho {
+					act := num / (Alpha + wsum[j])
+					if act > res.Conf {
+						res.Conf = act
+						res.Cat = int32(j)
+						res.X = int32(x)
+						res.Y = int32(y)
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// App is the ART benchmark instance.
+type App struct {
+	templates [][]byte
+	image     []byte
+	golden    Result
+}
+
+// New creates the benchmark with the default templates and thermal image.
+func New() *App {
+	a := &App{templates: Templates(), image: Thermal()}
+	a.golden = Recognize(a.templates, a.image)
+	return a
+}
+
+func (*App) Name() string         { return "art" }
+func (*App) Title() string        { return "ART neural-network thermal image recognition" }
+func (*App) FidelityName() string { return "confidence-of-match error (%)" }
+
+// Golden exposes the expected recognition (tests, reports).
+func (a *App) Golden() Result { return a.golden }
+
+// Input is the three templates followed by the image, as raw bytes.
+func (a *App) Input() []byte {
+	buf := make([]byte, 0, NumCat*tmplPix+imgPix)
+	for _, t := range a.templates {
+		buf = append(buf, t...)
+	}
+	return append(buf, a.image...)
+}
+
+// Reference formats the Go recognizer result as the program prints it.
+func (a *App) Reference() []byte {
+	return encodeResult(a.golden)
+}
+
+func encodeResult(r Result) []byte {
+	le := func(v int32) []byte {
+		return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	}
+	out := append([]byte(nil), le(r.Cat)...)
+	out = append(out, le(r.X)...)
+	out = append(out, le(r.Y)...)
+	out = append(out, le(int32(r.Conf*1000000))...)
+	return out
+}
+
+func decodeResult(b []byte) (Result, bool) {
+	if len(b) != 16 {
+		return Result{}, false
+	}
+	le := func(off int) int32 {
+		return int32(uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24)
+	}
+	return Result{Cat: le(0), X: le(4), Y: le(8), Conf: float32(le(12)) / 1000000}, true
+}
+
+// Score: the image is recognized when the corrupted run reports the golden
+// category within ±1 pixel and its confidence error stays within
+// ConfTolerance percent. Value is the confidence error (100 for malformed
+// output or misidentification).
+func (a *App) Score(golden, corrupted []byte) apps.Score {
+	g, ok := decodeResult(golden)
+	if !ok {
+		return apps.Score{Value: 100}
+	}
+	c, ok := decodeResult(corrupted)
+	if !ok {
+		return apps.Score{Value: 100}
+	}
+	abs32 := func(v int32) int32 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	if c.Cat != g.Cat || abs32(c.X-g.X) > 1 || abs32(c.Y-g.Y) > 1 {
+		return apps.Score{Value: 100}
+	}
+	confErr := float64(0)
+	if g.Conf != 0 {
+		d := float64(c.Conf-g.Conf) / float64(g.Conf) * 100
+		if d < 0 {
+			d = -d
+		}
+		confErr = d
+	}
+	return apps.Score{Value: confErr, Acceptable: confErr <= ConfTolerance}
+}
+
+func (a *App) Source() string {
+	return fmt.Sprintf(artSrc, ImgW, NumCat, Win)
+}
+
+const artSrc = `
+// Fuzzy-ART recognizer: fast-learning training on templates, windowed
+// scan with the choice function and vigilance test.
+const int IW = %[1]d;
+const int NCAT = %[2]d;
+const int WIN = %[3]d;
+const int TPIX = 64;
+const int IPIX = 576;
+
+float tmpl[192];
+float wgt[192];
+float wsum[3];
+float img[576];
+
+int bestCat;
+int bestX;
+int bestY;
+float bestT;
+
+tolerant void train() {
+    int j;
+    int k;
+    for (j = 0; j < NCAT; j = j + 1) {
+        float s = 0.0;
+        for (k = 0; k < TPIX; k = k + 1) { s = s + tmpl[j * 64 + k]; }
+        float d = 0.5 + s;
+        float ws = 0.0;
+        for (k = 0; k < TPIX; k = k + 1) {
+            float w = tmpl[j * 64 + k] / d;
+            wgt[j * 64 + k] = w;
+            ws = ws + w;
+        }
+        wsum[j] = ws;
+    }
+}
+
+tolerant void scan() {
+    int x;
+    int y;
+    int j;
+    int i2;
+    int j2;
+    bestCat = -1;
+    bestX = -1;
+    bestY = -1;
+    bestT = 0.0;
+    for (y = 0; y + WIN <= IW; y = y + 1) {
+        for (x = 0; x + WIN <= IW; x = x + 1) {
+            float xsum = 0.0;
+            for (j2 = 0; j2 < WIN; j2 = j2 + 1) {
+                for (i2 = 0; i2 < WIN; i2 = i2 + 1) {
+                    xsum = xsum + img[(y + j2) * IW + x + i2];
+                }
+            }
+            float xd = 0.5 + xsum;
+            for (j = 0; j < NCAT; j = j + 1) {
+                float num = 0.0;
+                for (j2 = 0; j2 < WIN; j2 = j2 + 1) {
+                    for (i2 = 0; i2 < WIN; i2 = i2 + 1) {
+                        float xv = img[(y + j2) * IW + x + i2] / xd;
+                        float wv = wgt[j * 64 + j2 * 8 + i2];
+                        if (xv < wv) { num = num + xv; }
+                        else { num = num + wv; }
+                    }
+                }
+                if (num >= 0.55) {
+                    float act = num / (0.1 + wsum[j]);
+                    if (act > bestT) {
+                        bestT = act;
+                        bestCat = j;
+                        bestX = x;
+                        bestY = y;
+                    }
+                }
+            }
+        }
+    }
+}
+
+int main() {
+    int i;
+    for (i = 0; i < NCAT * TPIX; i = i + 1) {
+        tmpl[i] = (float)inb() / 255.0;
+    }
+    for (i = 0; i < IPIX; i = i + 1) {
+        img[i] = (float)inb() / 255.0;
+    }
+    train();
+    scan();
+    outw(bestCat);
+    outw(bestX);
+    outw(bestY);
+    outw((int)(bestT * 1000000.0));
+    return 0;
+}
+`

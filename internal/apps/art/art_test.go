@@ -1,0 +1,126 @@
+package art
+
+import (
+	"testing"
+
+	"etap/internal/apps/apptest"
+)
+
+func TestSimMatchesReference(t *testing.T) {
+	apptest.CheckReference(t, New())
+}
+
+func TestRecognizesTarget(t *testing.T) {
+	a := New()
+	g := a.Golden()
+	if g.Cat != TargetCat {
+		t.Fatalf("recognized category %d, want %d (conf %f at %d,%d)", g.Cat, TargetCat, g.Conf, g.X, g.Y)
+	}
+	if abs(g.X-TargetX) > 1 || abs(g.Y-TargetY) > 1 {
+		t.Fatalf("recognized at (%d,%d), want near (%d,%d)", g.X, g.Y, TargetX, TargetY)
+	}
+	if g.Conf <= 0.5 {
+		t.Fatalf("confidence %f too low", g.Conf)
+	}
+}
+
+func TestEachTemplateRecognizable(t *testing.T) {
+	// Embed each template into a fresh background and verify it wins.
+	for cat := 0; cat < NumCat; cat++ {
+		img := make([]byte, imgPix)
+		lcg := uint32(12345 + cat)
+		for i := range img {
+			lcg = lcg*1664525 + 1013904223
+			img[i] = byte(18 + lcg>>27)
+		}
+		tmpl := Templates()[cat]
+		const px, py = 8, 12
+		for y := 0; y < Win; y++ {
+			for x := 0; x < Win; x++ {
+				v := int32(tmpl[y*8+x]) * 9 / 10
+				p := (py+y)*ImgW + px + x
+				if v > int32(img[p]) {
+					img[p] = byte(v)
+				}
+			}
+		}
+		r := Recognize(Templates(), img)
+		if r.Cat != int32(cat) {
+			t.Errorf("template %d recognized as %d (conf %f at %d,%d)", cat, r.Cat, r.Conf, r.X, r.Y)
+			continue
+		}
+		if abs(r.X-px) > 1 || abs(r.Y-py) > 1 {
+			t.Errorf("template %d found at (%d,%d), want near (%d,%d)", cat, r.X, r.Y, px, py)
+		}
+	}
+}
+
+func TestNoFalsePositiveOnNoise(t *testing.T) {
+	img := make([]byte, imgPix)
+	lcg := uint32(777)
+	for i := range img {
+		lcg = lcg*1664525 + 1013904223
+		img[i] = byte(15 + lcg>>27)
+	}
+	r := Recognize(Templates(), img)
+	if r.Cat != -1 && r.Conf > 0.8 {
+		t.Fatalf("background noise recognized as %d with confidence %f", r.Cat, r.Conf)
+	}
+}
+
+func TestScoreSemantics(t *testing.T) {
+	a := New()
+	g := a.Reference()
+	if s := a.Score(g, g); !s.Acceptable || s.Value != 0 {
+		t.Fatalf("clean score = %+v", s)
+	}
+	// Wrong category.
+	wrong := append([]byte(nil), g...)
+	wrong[0] ^= 0x02
+	if s := a.Score(g, wrong); s.Acceptable {
+		t.Fatalf("misidentification accepted: %+v", s)
+	}
+	// Truncated output.
+	if s := a.Score(g, g[:8]); s.Acceptable {
+		t.Fatalf("truncated output accepted")
+	}
+	// Position off by more than one.
+	moved := append([]byte(nil), g...)
+	moved[4] += 3
+	if s := a.Score(g, moved); s.Acceptable {
+		t.Fatalf("distant match accepted")
+	}
+}
+
+func TestTemplatesDistinct(t *testing.T) {
+	ts := Templates()
+	for i := 0; i < len(ts); i++ {
+		for j := i + 1; j < len(ts); j++ {
+			same := true
+			for k := range ts[i] {
+				if ts[i][k] != ts[j][k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("templates %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func abs(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestProtectedInjectionTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Table 2: ART "never suffers from catastrophic error" at 4 errors.
+	apptest.CheckProtectedTolerance(t, New(), 4, 8, 0)
+}

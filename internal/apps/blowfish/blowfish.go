@@ -1,0 +1,318 @@
+// Package blowfish is the paper's Blowfish benchmark: Schneier's symmetric
+// block cipher with its standard π-derived subkeys, run over an ASCII text
+// in ECB mode — encrypt, then decrypt, and compare the round trip against
+// the original. The fidelity measure is the percentage of matching bytes
+// (Table 1). Only the data-path functions (the Feistel rounds applied to
+// the text) are marked error-tolerant; key expansion is protected, so an
+// injected error corrupts at most the blocks it touches rather than every
+// block through a poisoned subkey.
+package blowfish
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"etap/internal/apps"
+	"etap/internal/fidelity"
+)
+
+// DataLen is the plaintext length (a multiple of the 8-byte block).
+const DataLen = 2048
+
+// Cipher is the Go reference implementation.
+type Cipher struct {
+	p [18]uint32
+	s [4][256]uint32
+}
+
+// NewCipher performs the standard Blowfish key expansion. Keys of 4 to 56
+// bytes are accepted.
+func NewCipher(key []byte) *Cipher {
+	c := &Cipher{}
+	c.p, c.s = initialState()
+	j := 0
+	for i := 0; i < 18; i++ {
+		var d uint32
+		for k := 0; k < 4; k++ {
+			d = d<<8 | uint32(key[j])
+			j = (j + 1) % len(key)
+		}
+		c.p[i] ^= d
+	}
+	var l, r uint32
+	for i := 0; i < 18; i += 2 {
+		l, r = c.EncryptBlock(l, r)
+		c.p[i], c.p[i+1] = l, r
+	}
+	for b := 0; b < 4; b++ {
+		for i := 0; i < 256; i += 2 {
+			l, r = c.EncryptBlock(l, r)
+			c.s[b][i], c.s[b][i+1] = l, r
+		}
+	}
+	return c
+}
+
+func (c *Cipher) f(x uint32) uint32 {
+	return ((c.s[0][x>>24] + c.s[1][x>>16&0xFF]) ^ c.s[2][x>>8&0xFF]) + c.s[3][x&0xFF]
+}
+
+// EncryptBlock encrypts one 64-bit block given as two halves.
+func (c *Cipher) EncryptBlock(l, r uint32) (uint32, uint32) {
+	for i := 0; i < 16; i++ {
+		l ^= c.p[i]
+		r ^= c.f(l)
+		l, r = r, l
+	}
+	l, r = r, l
+	r ^= c.p[16]
+	l ^= c.p[17]
+	return l, r
+}
+
+// DecryptBlock inverts EncryptBlock.
+func (c *Cipher) DecryptBlock(l, r uint32) (uint32, uint32) {
+	for i := 17; i > 1; i-- {
+		l ^= c.p[i]
+		r ^= c.f(l)
+		l, r = r, l
+	}
+	l, r = r, l
+	r ^= c.p[1]
+	l ^= c.p[0]
+	return l, r
+}
+
+// ECB applies fn to each big-endian 8-byte block of src.
+func ecb(src []byte, fn func(l, r uint32) (uint32, uint32)) []byte {
+	dst := make([]byte, len(src))
+	for i := 0; i+8 <= len(src); i += 8 {
+		l := binary.BigEndian.Uint32(src[i:])
+		r := binary.BigEndian.Uint32(src[i+4:])
+		l, r = fn(l, r)
+		binary.BigEndian.PutUint32(dst[i:], l)
+		binary.BigEndian.PutUint32(dst[i+4:], r)
+	}
+	return dst
+}
+
+// Encrypt encrypts src (length must be a multiple of 8) in ECB mode.
+func (c *Cipher) Encrypt(src []byte) []byte { return ecb(src, c.EncryptBlock) }
+
+// Decrypt decrypts src in ECB mode.
+func (c *Cipher) Decrypt(src []byte) []byte { return ecb(src, c.DecryptBlock) }
+
+// Text generates the deterministic ASCII plaintext.
+func Text(n int) []byte {
+	words := []string{
+		"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dogs",
+		"error", "tolerant", "applications", "protect", "control", "data",
+		"schedule", "vehicle", "network", "simplex", "cipher", "block",
+	}
+	var b strings.Builder
+	lcg := uint32(0xB5297A4D)
+	for b.Len() < n {
+		lcg = lcg*1664525 + 1013904223
+		b.WriteString(words[lcg>>24%uint32(len(words))])
+		if lcg&0x10000 != 0 {
+			b.WriteByte(' ')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	return []byte(b.String()[:n])
+}
+
+// Key is the fixed 16-byte test key.
+func Key() []byte { return []byte("etap-blowfish-k1") }
+
+// App is the Blowfish benchmark instance.
+type App struct {
+	key  []byte
+	text []byte
+}
+
+// New creates the benchmark with the default key and plaintext.
+func New() *App { return &App{key: Key(), text: Text(DataLen)} }
+
+func (*App) Name() string         { return "blowfish" }
+func (*App) Title() string        { return "Blowfish encryption round trip (ECB)" }
+func (*App) FidelityName() string { return "% bytes correct after decrypt(encrypt(text))" }
+
+// Input is: data length (word), 16-byte key, plaintext bytes.
+func (a *App) Input() []byte {
+	buf := make([]byte, 4, 4+len(a.key)+len(a.text))
+	binary.LittleEndian.PutUint32(buf, uint32(len(a.text)))
+	buf = append(buf, a.key...)
+	buf = append(buf, a.text...)
+	return buf
+}
+
+// Reference round-trips the plaintext through the Go cipher.
+func (a *App) Reference() []byte {
+	c := NewCipher(a.key)
+	return c.Decrypt(c.Encrypt(a.text))
+}
+
+// Score is the byte-match percentage; acceptable at 90% or better.
+func (a *App) Score(golden, corrupted []byte) apps.Score {
+	pct := 100 * fidelity.ByteMatch(golden, corrupted)
+	return apps.Score{Value: pct, Acceptable: pct >= 90}
+}
+
+// Source generates the MiniC program with the π tables inlined. The block
+// cipher exists twice: a protected copy used by key expansion (xb/xf) and a
+// tolerant copy used on the data path (eb/db/tf), mirroring the paper's
+// per-function eligibility.
+func (a *App) Source() string {
+	w := PiWords()
+	pvals := make([]string, 18)
+	for i := range pvals {
+		pvals[i] = fmt.Sprintf("%d", w[i])
+	}
+	svals := make([]string, 4*256)
+	for i := range svals {
+		svals[i] = fmt.Sprintf("%d", w[18+i])
+	}
+	return fmt.Sprintf(blowfishSrc, DataLen, strings.Join(pvals, ", "), joinWrapped(svals))
+}
+
+func joinWrapped(vals []string) string {
+	var b strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteString(", ")
+			if i%16 == 0 {
+				b.WriteString("\n    ")
+			}
+		}
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+const blowfishSrc = `
+// Blowfish (Schneier, 1993) with standard pi-derived subkeys, ECB mode.
+const int NDATA = %[1]d;
+
+int P[18] = { %[2]s };
+int S[1024] = { %[3]s
+};
+
+char key[16];
+char buf[2080];
+
+int xl;
+int xr;
+
+// Protected copies for key expansion.
+int xf(int x) {
+    return ((S[(x >> 24) & 0xff] + S[256 + ((x >> 16) & 0xff)])
+            ^ S[512 + ((x >> 8) & 0xff)]) + S[768 + (x & 0xff)];
+}
+
+void xb() {
+    int l = xl;
+    int r = xr;
+    int i;
+    for (i = 0; i < 16; i = i + 1) {
+        int t;
+        l = l ^ P[i];
+        r = r ^ xf(l);
+        t = l; l = r; r = t;
+    }
+    xl = r ^ P[17];
+    xr = l ^ P[16];
+}
+
+void expand_key() {
+    int i;
+    int j = 0;
+    for (i = 0; i < 18; i = i + 1) {
+        int d = 0;
+        int k;
+        for (k = 0; k < 4; k = k + 1) {
+            d = (d << 8) | key[j];
+            j = (j + 1) %% 16;
+        }
+        P[i] = P[i] ^ d;
+    }
+    xl = 0;
+    xr = 0;
+    for (i = 0; i < 18; i = i + 2) {
+        xb();
+        P[i] = xl;
+        P[i + 1] = xr;
+    }
+    for (i = 0; i < 1024; i = i + 2) {
+        xb();
+        S[i] = xl;
+        S[i + 1] = xr;
+    }
+}
+
+// Tolerant data path.
+tolerant int tf(int x) {
+    return ((S[(x >> 24) & 0xff] + S[256 + ((x >> 16) & 0xff)])
+            ^ S[512 + ((x >> 8) & 0xff)]) + S[768 + (x & 0xff)];
+}
+
+tolerant void eb() {
+    int l = xl;
+    int r = xr;
+    int i;
+    for (i = 0; i < 16; i = i + 1) {
+        int t;
+        l = l ^ P[i];
+        r = r ^ tf(l);
+        t = l; l = r; r = t;
+    }
+    xl = r ^ P[17];
+    xr = l ^ P[16];
+}
+
+tolerant void db() {
+    int l = xl;
+    int r = xr;
+    int i;
+    for (i = 17; i > 1; i = i - 1) {
+        int t;
+        l = l ^ P[i];
+        r = r ^ tf(l);
+        t = l; l = r; r = t;
+    }
+    xl = r ^ P[0];
+    xr = l ^ P[1];
+}
+
+tolerant void crypt_data(int n, int decrypt) {
+    int i;
+    for (i = 0; i + 8 <= n; i = i + 8) {
+        xl = (buf[i] << 24) | (buf[i+1] << 16) | (buf[i+2] << 8) | buf[i+3];
+        xr = (buf[i+4] << 24) | (buf[i+5] << 16) | (buf[i+6] << 8) | buf[i+7];
+        if (decrypt) { db(); } else { eb(); }
+        buf[i]   = (xl >> 24) & 0xff;
+        buf[i+1] = (xl >> 16) & 0xff;
+        buf[i+2] = (xl >> 8) & 0xff;
+        buf[i+3] = xl & 0xff;
+        buf[i+4] = (xr >> 24) & 0xff;
+        buf[i+5] = (xr >> 16) & 0xff;
+        buf[i+6] = (xr >> 8) & 0xff;
+        buf[i+7] = xr & 0xff;
+    }
+}
+
+int main() {
+    int n = inw();
+    int i;
+    if (n > NDATA) { n = NDATA; }
+    for (i = 0; i < 16; i = i + 1) { key[i] = inb(); }
+    for (i = 0; i < n; i = i + 1) { buf[i] = inb(); }
+    expand_key();
+    crypt_data(n, 0);
+    crypt_data(n, 1);
+    for (i = 0; i < n; i = i + 1) { outb(buf[i]); }
+    return 0;
+}
+`

@@ -1,0 +1,75 @@
+package blowfish
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Blowfish's initial P-array and S-boxes are the leading 1042 32-bit words
+// of the fractional part of π. Rather than embedding the constant blob, we
+// derive it with Machin's formula (π = 16·atan(1/5) − 4·atan(1/239)) in
+// fixed-point big-integer arithmetic; a unit test pins the well-known
+// leading words (P[0] = 0x243F6A88 ...) so a generation bug cannot slip
+// through.
+
+const piWords = 18 + 4*256
+
+// piPrec is the fixed-point precision in bits: enough for all words plus
+// guard bits against rounding in the series tails.
+const piPrec = piWords*32 + 96
+
+var (
+	piOnce sync.Once
+	piTab  []uint32
+)
+
+// atanInv returns atan(1/x) · 2^piPrec as an integer, by the alternating
+// series atan(1/x) = Σ (−1)^k / ((2k+1)·x^(2k+1)).
+func atanInv(x int64) *big.Int {
+	sum := new(big.Int)
+	term := new(big.Int).Lsh(big.NewInt(1), piPrec)
+	term.Quo(term, big.NewInt(x))
+	xx := big.NewInt(x * x)
+	t := new(big.Int)
+	for k := int64(0); term.Sign() != 0; k++ {
+		t.Quo(term, big.NewInt(2*k+1))
+		if k%2 == 0 {
+			sum.Add(sum, t)
+		} else {
+			sum.Sub(sum, t)
+		}
+		term.Quo(term, xx)
+	}
+	return sum
+}
+
+// PiWords returns the first piWords 32-bit words of π's fractional part.
+func PiWords() []uint32 {
+	piOnce.Do(func() {
+		pi := new(big.Int).Mul(big.NewInt(16), atanInv(5))
+		pi.Sub(pi, new(big.Int).Mul(big.NewInt(4), atanInv(239)))
+		// Fractional part: π − 3.
+		frac := new(big.Int).Sub(pi, new(big.Int).Lsh(big.NewInt(3), piPrec))
+		piTab = make([]uint32, piWords)
+		shifted := new(big.Int)
+		mask := big.NewInt(0xFFFFFFFF)
+		for i := 0; i < piWords; i++ {
+			shifted.Rsh(frac, uint(piPrec-32*(i+1)))
+			shifted.And(shifted, mask)
+			piTab[i] = uint32(shifted.Uint64())
+		}
+	})
+	return piTab
+}
+
+// initialState returns fresh copies of the initial P-array and S-boxes.
+func initialState() ([18]uint32, [4][256]uint32) {
+	w := PiWords()
+	var p [18]uint32
+	var s [4][256]uint32
+	copy(p[:], w[:18])
+	for b := 0; b < 4; b++ {
+		copy(s[b][:], w[18+b*256:18+(b+1)*256])
+	}
+	return p, s
+}

@@ -1,0 +1,329 @@
+// Package gsm is the paper's GSM benchmark, substituted per DESIGN.md by a
+// frame-based fixed-point LPC speech codec that keeps GSM 06.10's
+// structure: per-frame short-term linear prediction (the LARc parameter
+// role is played by a Q8 first-order predictor coefficient) plus
+// block-adaptive PCM quantization of the residual (the role of GSM's RPE
+// grid with its per-subframe scale). Encode and decode both run inside the
+// simulator. The fidelity measure follows the paper: signal-to-noise of the
+// decoded output with errors relative to the decoded output without, and
+// Figure 5's "% SNR from optimal" (a 6 dB loss is the intelligibility
+// threshold).
+package gsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"etap/internal/apps"
+	"etap/internal/fidelity"
+)
+
+const (
+	// NumSamples is the speech-sample count (a multiple of FrameLen).
+	NumSamples = 4000
+	// FrameLen is the analysis frame length, matching GSM 06.10.
+	FrameLen = 160
+	// ThresholdDB is the tolerable SNR loss from the paper ("a 6 dB loss
+	// ... does not distort voice communications beyond recognition").
+	ThresholdDB = 6.0
+)
+
+// SubLen is the subframe length over which the residual scale adapts,
+// matching GSM 06.10's four 40-sample RPE subblocks per frame.
+const SubLen = 40
+
+// NumSub is the number of subframes per frame.
+const NumSub = FrameLen / SubLen
+
+// EncodeFrame compresses one frame: predictor coefficient a (Q8), one
+// residual scale per subframe, and 4-bit residual codes packed two per
+// byte. All arithmetic is 32-bit integer and mirrors the MiniC program
+// exactly.
+func EncodeFrame(x []int32) (a int32, scales [NumSub]int32, codes []byte) {
+	var r0, r1 int32
+	for n := 1; n < len(x); n++ {
+		r0 += (x[n] >> 4) * (x[n] >> 4)
+		r1 += (x[n] >> 4) * (x[n-1] >> 4)
+	}
+	if r0 > 0 {
+		a = (r1 << 8) / r0
+	}
+	if a > 256 {
+		a = 256
+	}
+	if a < -256 {
+		a = -256
+	}
+	res := make([]int32, len(x))
+	var prev int32
+	for n := 0; n < len(x); n++ {
+		res[n] = x[n] - (a*prev)>>8
+		prev = x[n]
+	}
+	for s := 0; s < NumSub; s++ {
+		var emax int32
+		for n := s * SubLen; n < (s+1)*SubLen; n++ {
+			e := res[n]
+			if e < 0 {
+				e = -e
+			}
+			if e > emax {
+				emax = e
+			}
+		}
+		scales[s] = emax/7 + 1
+	}
+	codes = make([]byte, 0, (len(x)+1)/2)
+	var nib, have int32
+	for n := 0; n < len(x); n++ {
+		c := res[n] / scales[n/SubLen]
+		if c > 7 {
+			c = 7
+		}
+		if c < -7 {
+			c = -7
+		}
+		c += 8
+		if have == 0 {
+			nib = c << 4
+			have = 1
+		} else {
+			codes = append(codes, byte(nib|c))
+			have = 0
+		}
+	}
+	if have != 0 {
+		codes = append(codes, byte(nib))
+	}
+	return a, scales, codes
+}
+
+// DecodeFrame reconstructs one frame from its parameters.
+func DecodeFrame(a int32, scales [NumSub]int32, codes []byte, n int) []int32 {
+	out := make([]int32, n)
+	var prev int32
+	for i := 0; i < n; i++ {
+		var c int32
+		if i%2 == 0 {
+			c = int32(codes[i/2]>>4) - 8
+		} else {
+			c = int32(codes[i/2]&0xF) - 8
+		}
+		s := i / SubLen
+		if s >= NumSub {
+			s = NumSub - 1
+		}
+		v := c*scales[s] + (a*prev)>>8
+		if v > 32767 {
+			v = 32767
+		}
+		if v < -32768 {
+			v = -32768
+		}
+		out[i] = v
+		prev = v
+	}
+	return out
+}
+
+// Codec round-trips a full sample stream (Go reference of the simulated
+// program's pipeline).
+func Codec(samples []int16) []int16 {
+	out := make([]int16, 0, len(samples))
+	for f := 0; f+FrameLen <= len(samples); f += FrameLen {
+		x := make([]int32, FrameLen)
+		for i := range x {
+			x[i] = int32(samples[f+i])
+		}
+		a, scales, codes := EncodeFrame(x)
+		dec := DecodeFrame(a, scales, codes, FrameLen)
+		for _, v := range dec {
+			out = append(out, int16(v))
+		}
+	}
+	return out
+}
+
+// Speech generates the deterministic voice-like signal: a pitch harmonic
+// stack with formant-style amplitude modulation and deterministic noise.
+func Speech(n int) []int16 {
+	out := make([]int16, n)
+	lcg := uint32(0x1F2E3D4C)
+	for i := 0; i < n; i++ {
+		t := float64(i) / 8000.0
+		pitch := 120 + 30*math.Sin(2*math.Pi*1.3*t)
+		v := 7000 * math.Sin(2*math.Pi*pitch*t) * (0.6 + 0.4*math.Sin(2*math.Pi*2.2*t))
+		v += 2200 * math.Sin(2*math.Pi*3.1*pitch*t+0.5)
+		lcg = lcg*1664525 + 1013904223
+		v += float64(int32(lcg>>21)%129) - 64
+		if v > 32000 {
+			v = 32000
+		}
+		if v < -32000 {
+			v = -32000
+		}
+		out[i] = int16(v)
+	}
+	return out
+}
+
+// App is the GSM benchmark instance.
+type App struct {
+	samples  []int16
+	snrClean float64 // SNR of the clean round trip vs the original
+}
+
+// New creates the benchmark with the default speech input.
+func New() *App {
+	a := &App{samples: Speech(NumSamples)}
+	a.snrClean = fidelity.SNR16(a.samples, Codec(a.samples))
+	return a
+}
+
+func (*App) Name() string         { return "gsm" }
+func (*App) Title() string        { return "GSM-style LPC speech encode/decode" }
+func (*App) FidelityName() string { return "% SNR relative to fault-free decode" }
+
+// Input is the sample count followed by little-endian samples.
+func (a *App) Input() []byte {
+	buf := make([]byte, 4, 4+2*len(a.samples))
+	binary.LittleEndian.PutUint32(buf, uint32(len(a.samples)))
+	for _, s := range a.samples {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(s))
+	}
+	return buf
+}
+
+func (a *App) Reference() []byte { return fidelity.PCMToBytes(Codec(a.samples)) }
+
+// Score compares SNR (vs the original speech) of the corrupted decode with
+// the clean decode, expressed as Figure 5's percentage; a loss of more
+// than 6 dB is unacceptable.
+func (a *App) Score(golden, corrupted []byte) apps.Score {
+	snr := fidelity.SNR16(a.samples, fidelity.BytesToPCM(corrupted))
+	pct := 0.0
+	if a.snrClean > 0 {
+		pct = 100 * snr / a.snrClean
+	}
+	if pct < 0 {
+		pct = 0
+	}
+	return apps.Score{Value: pct, Acceptable: a.snrClean-snr <= ThresholdDB}
+}
+
+// SNRLoss reports the dB loss for a corrupted output (used in tests and
+// EXPERIMENTS.md commentary).
+func (a *App) SNRLoss(corrupted []byte) float64 {
+	return a.snrClean - fidelity.SNR16(a.samples, fidelity.BytesToPCM(corrupted))
+}
+
+func (a *App) Source() string {
+	return fmt.Sprintf(gsmSrc, NumSamples, FrameLen)
+}
+
+const gsmSrc = `
+// Frame-based fixed-point LPC codec (GSM 06.10 structure: short-term
+// prediction + block-adaptive residual quantization).
+const int NSAMP = %d;
+const int FRAME = %d;
+
+const int SUB = 40;
+
+int pcmin[NSAMP];
+int pcmout[NSAMP];
+int res[FRAME];
+char codes[80];
+
+int coefA;
+int scales[4];
+
+tolerant void encode_frame(int *x, int base) {
+    int r0 = 0;
+    int r1 = 0;
+    int n;
+    int s;
+    for (n = 1; n < FRAME; n = n + 1) {
+        int xn = x[base + n] >> 4;
+        int xp = x[base + n - 1] >> 4;
+        r0 = r0 + xn * xn;
+        r1 = r1 + xn * xp;
+    }
+    int a = 0;
+    if (r0 > 0) { a = (r1 << 8) / r0; }
+    if (a > 256) { a = 256; }
+    if (a < -256) { a = -256; }
+
+    int prev = 0;
+    for (n = 0; n < FRAME; n = n + 1) {
+        res[n] = x[base + n] - ((a * prev) >> 8);
+        prev = x[base + n];
+    }
+    for (s = 0; s < 4; s = s + 1) {
+        int emax = 0;
+        for (n = s * SUB; n < (s + 1) * SUB; n = n + 1) {
+            int e = res[n];
+            if (e < 0) { e = -e; }
+            if (e > emax) { emax = e; }
+        }
+        scales[s] = emax / 7 + 1;
+    }
+
+    int nib = 0;
+    int have = 0;
+    int outp = 0;
+    for (n = 0; n < FRAME; n = n + 1) {
+        int c = res[n] / scales[n / SUB];
+        if (c > 7) { c = 7; }
+        if (c < -7) { c = -7; }
+        c = c + 8;
+        if (have == 0) {
+            nib = c << 4;
+            have = 1;
+        } else {
+            codes[outp] = nib | c;
+            outp = outp + 1;
+            have = 0;
+        }
+    }
+    if (have) { codes[outp] = nib; }
+    coefA = a;
+}
+
+tolerant void decode_frame(int *out, int base) {
+    int prev = 0;
+    int i;
+    for (i = 0; i < FRAME; i = i + 1) {
+        int c;
+        if (i %% 2 == 0) { c = (codes[i / 2] >> 4) - 8; }
+        else { c = (codes[i / 2] & 0xf) - 8; }
+        int s = i / SUB;
+        if (s > 3) { s = 3; }
+        int v = c * scales[s] + ((coefA * prev) >> 8);
+        if (v > 32767) { v = 32767; }
+        if (v < -32768) { v = -32768; }
+        out[base + i] = v;
+        prev = v;
+    }
+}
+
+int main() {
+    int n = inw();
+    int i;
+    int f;
+    if (n > NSAMP) { n = NSAMP; }
+    for (i = 0; i < n; i = i + 1) {
+        int s = inh();
+        if (s >= 32768) { s = s - 65536; }
+        pcmin[i] = s;
+    }
+    for (f = 0; f + FRAME <= n; f = f + FRAME) {
+        encode_frame(pcmin, f);
+        decode_frame(pcmout, f);
+    }
+    for (i = 0; i < n - n %% FRAME; i = i + 1) {
+        outh(pcmout[i] & 0xffff);
+    }
+    return 0;
+}
+`

@@ -1,0 +1,113 @@
+package gsm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"etap/internal/apps/apptest"
+	"etap/internal/fidelity"
+)
+
+func TestSimMatchesReference(t *testing.T) {
+	apptest.CheckReference(t, New())
+}
+
+func TestCodecQuality(t *testing.T) {
+	orig := Speech(NumSamples)
+	dec := Codec(orig)
+	snr := fidelity.SNR16(orig, dec)
+	if snr < 8 {
+		t.Fatalf("clean codec SNR = %.1f dB, want >= 8 (codec broken)", snr)
+	}
+	t.Logf("clean codec SNR = %.2f dB", snr)
+}
+
+func TestFrameParameterRanges(t *testing.T) {
+	orig := Speech(NumSamples)
+	for f := 0; f+FrameLen <= len(orig); f += FrameLen {
+		x := make([]int32, FrameLen)
+		for i := range x {
+			x[i] = int32(orig[f+i])
+		}
+		a, scales, codes := EncodeFrame(x)
+		if a < -256 || a > 256 {
+			t.Fatalf("frame %d: predictor %d out of Q8 range", f/FrameLen, a)
+		}
+		for s, sc := range scales {
+			if sc < 1 {
+				t.Fatalf("frame %d sub %d: scale %d < 1", f/FrameLen, s, sc)
+			}
+		}
+		if len(codes) != FrameLen/2 {
+			t.Fatalf("frame %d: %d code bytes, want %d", f/FrameLen, len(codes), FrameLen/2)
+		}
+	}
+}
+
+// TestDecodeBoundedProperty: decoded samples always stay within int16 for
+// arbitrary (even hostile) parameters — the decoder must be robust to
+// corrupted streams.
+func TestDecodeBoundedProperty(t *testing.T) {
+	f := func(a int16, rawScales [NumSub]int16, codes [80]byte) bool {
+		var scales [NumSub]int32
+		for i, s := range rawScales {
+			scales[i] = int32(s)
+			if scales[i] == 0 {
+				scales[i] = 1
+			}
+		}
+		av := int32(a)
+		if av > 256 {
+			av = 256
+		}
+		if av < -256 {
+			av = -256
+		}
+		out := DecodeFrame(av, scales, codes[:], FrameLen)
+		for _, v := range out {
+			if v > 32767 || v < -32768 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSilentFrame: an all-zero frame round-trips to silence.
+func TestSilentFrame(t *testing.T) {
+	x := make([]int32, FrameLen)
+	a, scales, codes := EncodeFrame(x)
+	dec := DecodeFrame(a, scales, codes, FrameLen)
+	for i, v := range dec {
+		if v != 0 {
+			t.Fatalf("silent frame decoded sample %d = %d", i, v)
+		}
+	}
+}
+
+func TestScoreSemantics(t *testing.T) {
+	a := New()
+	g := a.Reference()
+	s := a.Score(g, g)
+	if !s.Acceptable || s.Value < 99.9 {
+		t.Fatalf("identical decode score = %+v, want 100%% acceptable", s)
+	}
+	// Zeroed output: massive SNR loss, unacceptable.
+	if s := a.Score(g, make([]byte, len(g))); s.Acceptable {
+		t.Fatalf("silence should be unacceptable, got %+v", s)
+	}
+	if loss := a.SNRLoss(g); loss > 0.001 {
+		t.Fatalf("clean SNR loss = %f, want 0", loss)
+	}
+}
+
+func TestProtectedInjectionTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Table 2: 0% failures at 40 errors.
+	apptest.CheckProtectedTolerance(t, New(), 40, 8, 0)
+}

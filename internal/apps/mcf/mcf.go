@@ -1,0 +1,356 @@
+// Package mcf is the paper's MCF benchmark: SPEC CPU2000's single-depot
+// vehicle scheduler. Per DESIGN.md the network simplex solver is
+// substituted by an equivalent min-cost-flow formulation solved with
+// successive shortest paths (Bellman-Ford augmentation): scheduling which
+// trip follows which on the same vehicle is exactly a minimum-cost
+// assignment, where chaining two compatible trips costs the deadhead and
+// breaking the chain costs a pull-in plus a pull-out. The program prints
+// the total schedule cost and the successor permutation; fidelity follows
+// Table 1 ("% extra time in schedule") and Figure 3 counts the share of
+// runs whose schedule is complete and exactly optimal.
+package mcf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"etap/internal/apps"
+)
+
+// NumTrips is the default instance size.
+const NumTrips = 16
+
+// MaxTrips is the MiniC program's capacity.
+const MaxTrips = 16
+
+// Instance is one vehicle-scheduling instance reduced to its successor
+// cost matrix.
+type Instance struct {
+	N    int
+	Cost []int32 // N×N, Cost[i*N+j] = cost of trip j following trip i
+}
+
+// Generate builds a deterministic instance: timetabled trips on a grid,
+// deadhead costs for compatible pairs, pull-in/pull-out otherwise.
+func Generate(n int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	start := make([]int32, n)
+	dur := make([]int32, n)
+	x := make([]int32, n)
+	y := make([]int32, n)
+	for i := 0; i < n; i++ {
+		start[i] = int32(rng.Intn(600))
+		dur[i] = int32(20 + rng.Intn(70))
+		x[i] = int32(rng.Intn(20))
+		y[i] = int32(rng.Intn(20))
+	}
+	abs := func(v int32) int32 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	inst := &Instance{N: n, Cost: make([]int32, n*n)}
+	for i := 0; i < n; i++ {
+		endI := start[i] + dur[i]
+		depotI := abs(x[i]-10) + abs(y[i]-10)
+		for j := 0; j < n; j++ {
+			travel := abs(x[i]-x[j]) + abs(y[i]-y[j])
+			depotJ := abs(x[j]-10) + abs(y[j]-10)
+			var c int32
+			if i != j && endI+travel+5 <= start[j] {
+				wait := start[j] - endI - travel
+				c = 2*travel + wait/4
+			} else {
+				c = 2*(depotI+depotJ) + 80 // end vehicle after i, new one before j
+			}
+			inst.Cost[i*n+j] = c
+		}
+	}
+	return inst
+}
+
+// Solve runs the successive-shortest-paths assignment exactly as the MiniC
+// program does (same arc order, same relaxation order), returning the total
+// cost and the successor permutation. It returns ok=false if no perfect
+// assignment exists (impossible for complete matrices).
+func Solve(inst *Instance) (total int32, succ []int32, ok bool) {
+	n := inst.N
+	nv := 2 + 2*n
+	type arc struct {
+		from, to, cost, cap int32
+	}
+	arcs := make([]arc, 0, 2*(n*n+2*n))
+	add := func(from, to, cost, cap int32) {
+		arcs = append(arcs, arc{from, to, cost, cap})
+		arcs = append(arcs, arc{to, from, -cost, 0})
+	}
+	for i := 0; i < n; i++ {
+		add(0, int32(2+i), 0, 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			add(int32(2+i), int32(2+n+j), inst.Cost[i*n+j], 1)
+		}
+	}
+	for j := 0; j < n; j++ {
+		add(int32(2+n+j), 1, 0, 1)
+	}
+
+	const inf = int32(16_000_000)
+	dist := make([]int32, nv)
+	parent := make([]int32, nv)
+	for k := 0; k < n; k++ {
+		for v := 0; v < nv; v++ {
+			dist[v] = inf
+			parent[v] = -1
+		}
+		dist[0] = 0
+		changed := true
+		for it := 0; it < nv && changed; it++ {
+			changed = false
+			for e := range arcs {
+				a := &arcs[e]
+				if a.cap > 0 && dist[a.from] < inf && dist[a.from]+a.cost < dist[a.to] {
+					dist[a.to] = dist[a.from] + a.cost
+					parent[a.to] = int32(e)
+					changed = true
+				}
+			}
+		}
+		if dist[1] >= inf {
+			return 0, nil, false
+		}
+		total += dist[1]
+		for v := int32(1); v != 0; {
+			e := parent[v]
+			arcs[e].cap--
+			arcs[e^1].cap++
+			v = arcs[e].from
+		}
+	}
+
+	succ = make([]int32, n)
+	for e := 2 * n; e < 2*n+2*n*n; e += 2 {
+		if arcs[e].cap == 0 {
+			i := arcs[e].from - 2
+			j := arcs[e].to - 2 - int32(n)
+			succ[i] = j
+		}
+	}
+	return total, succ, true
+}
+
+// CostOf evaluates a successor permutation against the instance.
+func (inst *Instance) CostOf(succ []int32) (int32, bool) {
+	if len(succ) != inst.N {
+		return 0, false
+	}
+	seen := make([]bool, inst.N)
+	var total int32
+	for i, j := range succ {
+		if j < 0 || int(j) >= inst.N || seen[j] {
+			return 0, false
+		}
+		seen[j] = true
+		total += inst.Cost[i*inst.N+int(j)]
+	}
+	return total, true
+}
+
+// App is the MCF benchmark instance.
+type App struct {
+	inst    *Instance
+	optimal int32
+}
+
+// New creates the benchmark with the default instance.
+func New() *App {
+	inst := Generate(NumTrips, 20060410)
+	opt, _, ok := Solve(inst)
+	if !ok {
+		panic("mcf: default instance unsolvable")
+	}
+	return &App{inst: inst, optimal: opt}
+}
+
+func (*App) Name() string         { return "mcf" }
+func (*App) Title() string        { return "MCF single-depot vehicle scheduler (min-cost flow)" }
+func (*App) FidelityName() string { return "% extra cost over the optimal schedule" }
+
+// Optimal exposes the instance's optimal cost (for tests and reports).
+func (a *App) Optimal() int32 { return a.optimal }
+
+// Input is: N, then the N×N cost matrix, as little-endian words.
+func (a *App) Input() []byte {
+	buf := make([]byte, 0, 4+4*len(a.inst.Cost))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(a.inst.N))
+	for _, c := range a.inst.Cost {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+	}
+	return buf
+}
+
+// Reference formats the Go solver's result the way the program prints it.
+func (a *App) Reference() []byte {
+	total, succ, _ := Solve(a.inst)
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(total))
+	for _, s := range succ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s))
+	}
+	return buf
+}
+
+// Score validates the corrupted schedule: it must be a complete permutation
+// whose recomputed cost matches both the claimed cost and the optimum.
+// Value is the percentage of extra cost (100 when the schedule is invalid
+// or incomplete, the paper's "not just inoptimal, but incomplete" case).
+func (a *App) Score(golden, corrupted []byte) apps.Score {
+	n := a.inst.N
+	if len(corrupted) != 4+4*n {
+		return apps.Score{Value: 100, Acceptable: false}
+	}
+	claimed := int32(binary.LittleEndian.Uint32(corrupted))
+	succ := make([]int32, n)
+	for i := 0; i < n; i++ {
+		succ[i] = int32(binary.LittleEndian.Uint32(corrupted[4+4*i:]))
+	}
+	actual, valid := a.inst.CostOf(succ)
+	if !valid || actual != claimed {
+		return apps.Score{Value: 100, Acceptable: false}
+	}
+	extra := 100 * float64(actual-a.optimal) / float64(a.optimal)
+	if extra < 0 {
+		// Cheaper than optimal is impossible; the claimed matrix walk was
+		// corrupted somewhere else.
+		return apps.Score{Value: 100, Acceptable: false}
+	}
+	return apps.Score{Value: extra, Acceptable: extra == 0}
+}
+
+func (a *App) Source() string {
+	return fmt.Sprintf(mcfSrc, MaxTrips)
+}
+
+const mcfSrc = `
+// Min-cost-flow vehicle scheduler: successive shortest paths over the
+// trip-successor assignment network.
+const int MAXN = %[1]d;
+const int MAXV = 34;
+const int MAXARC = 576;
+const int INF = 16000000;
+
+int n;
+int cost[256];
+int arcFrom[MAXARC];
+int arcTo[MAXARC];
+int arcCost[MAXARC];
+int arcCap[MAXARC];
+int narcs;
+int dist[MAXV];
+int parent[MAXV];
+int succ[MAXN];
+
+void add_arc(int from, int to, int c, int cap) {
+    arcFrom[narcs] = from;
+    arcTo[narcs] = to;
+    arcCost[narcs] = c;
+    arcCap[narcs] = cap;
+    narcs = narcs + 1;
+    arcFrom[narcs] = to;
+    arcTo[narcs] = from;
+    arcCost[narcs] = -c;
+    arcCap[narcs] = 0;
+    narcs = narcs + 1;
+}
+
+tolerant void build() {
+    int i;
+    int j;
+    narcs = 0;
+    for (i = 0; i < n; i = i + 1) { add_arc(0, 2 + i, 0, 1); }
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            add_arc(2 + i, 2 + n + j, cost[i * n + j], 1);
+        }
+    }
+    for (j = 0; j < n; j = j + 1) { add_arc(2 + n + j, 1, 0, 1); }
+}
+
+tolerant int bellman() {
+    int v;
+    int e;
+    int it;
+    int nv = 2 + n + n;
+    for (v = 0; v < nv; v = v + 1) {
+        dist[v] = INF;
+        parent[v] = -1;
+    }
+    dist[0] = 0;
+    int changed = 1;
+    for (it = 0; it < nv && changed; it = it + 1) {
+        changed = 0;
+        for (e = 0; e < narcs; e = e + 1) {
+            if (arcCap[e] > 0 && dist[arcFrom[e]] < INF) {
+                int nd = dist[arcFrom[e]] + arcCost[e];
+                if (nd < dist[arcTo[e]]) {
+                    dist[arcTo[e]] = nd;
+                    parent[arcTo[e]] = e;
+                    changed = 1;
+                }
+            }
+        }
+    }
+    return dist[1];
+}
+
+tolerant int augment() {
+    int v = 1;
+    while (v != 0) {
+        int e = parent[v];
+        if (e < 0) { return -1; }
+        arcCap[e] = arcCap[e] - 1;
+        arcCap[e ^ 1] = arcCap[e ^ 1] + 1;
+        v = arcFrom[e];
+    }
+    return 0;
+}
+
+tolerant int solve() {
+    int total = 0;
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        int d = bellman();
+        if (d >= INF) { return -1; }
+        if (augment() < 0) { return -1; }
+        total = total + d;
+    }
+    return total;
+}
+
+tolerant void extract() {
+    int e;
+    int last = 2 * n + 2 * n * n;
+    for (e = 2 * n; e < last; e = e + 2) {
+        if (arcCap[e] == 0) {
+            succ[arcFrom[e] - 2] = arcTo[e] - 2 - n;
+        }
+    }
+}
+
+int main() {
+    int i;
+    n = inw();
+    if (n > MAXN) { n = MAXN; }
+    if (n < 1) { n = 1; }
+    int nn = n * n;
+    for (i = 0; i < nn; i = i + 1) { cost[i] = inw(); }
+    build();
+    int total = solve();
+    extract();
+    outw(total);
+    for (i = 0; i < n; i = i + 1) { outw(succ[i]); }
+    return 0;
+}
+`

@@ -1,0 +1,155 @@
+package mcf
+
+import (
+	"testing"
+
+	"etap/internal/apps/apptest"
+)
+
+func TestSimMatchesReference(t *testing.T) {
+	apptest.CheckReference(t, New())
+}
+
+// TestSolverOptimalSmall cross-checks the SSP solver against brute-force
+// enumeration of all permutations on small instances.
+func TestSolverOptimalSmall(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		inst := Generate(7, seed)
+		got, succ, ok := Solve(inst)
+		if !ok {
+			t.Fatalf("seed %d: solver failed", seed)
+		}
+		if c, valid := inst.CostOf(succ); !valid || c != got {
+			t.Fatalf("seed %d: solver's own schedule costs %d (valid=%v), claimed %d", seed, c, valid, got)
+		}
+		want := bruteForce(inst)
+		if got != want {
+			t.Fatalf("seed %d: SSP cost %d, brute force %d", seed, got, want)
+		}
+	}
+}
+
+func bruteForce(inst *Instance) int32 {
+	n := inst.N
+	perm := make([]int32, n)
+	used := make([]bool, n)
+	best := int32(1 << 30)
+	var rec func(i int, cost int32)
+	rec = func(i int, cost int32) {
+		if cost >= best {
+			return
+		}
+		if i == n {
+			best = cost
+			return
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			perm[i] = int32(j)
+			rec(i+1, cost+inst.Cost[i*n+j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestCostOfValidation(t *testing.T) {
+	inst := Generate(5, 3)
+	if _, ok := inst.CostOf([]int32{0, 1, 2, 3}); ok {
+		t.Fatalf("short schedule accepted")
+	}
+	if _, ok := inst.CostOf([]int32{0, 0, 2, 3, 4}); ok {
+		t.Fatalf("duplicate successor accepted")
+	}
+	if _, ok := inst.CostOf([]int32{0, 1, 2, 3, 9}); ok {
+		t.Fatalf("out-of-range successor accepted")
+	}
+	if _, ok := inst.CostOf([]int32{4, 3, 2, 1, 0}); !ok {
+		t.Fatalf("valid permutation rejected")
+	}
+}
+
+func TestScoreRejectsCorruption(t *testing.T) {
+	a := New()
+	g := a.Reference()
+	if s := a.Score(g, g); !s.Acceptable || s.Value != 0 {
+		t.Fatalf("clean schedule score = %+v, want optimal", s)
+	}
+	// Truncated output = incomplete schedule.
+	if s := a.Score(g, g[:8]); s.Acceptable {
+		t.Fatalf("truncated schedule accepted")
+	}
+	// Lying about the cost.
+	lie := append([]byte(nil), g...)
+	lie[0] ^= 0xFF
+	if s := a.Score(g, lie); s.Acceptable {
+		t.Fatalf("cost lie accepted")
+	}
+	// Swapping two successors keeps a valid permutation but (usually) a
+	// suboptimal cost; it must not be scored optimal unless the costs tie.
+	swapped := append([]byte(nil), g...)
+	copy(swapped[4:8], g[8:12])
+	copy(swapped[8:12], g[4:8])
+	// Fix the claimed cost so validation passes.
+	n := a.inst.N
+	succ := make([]int32, n)
+	for i := 0; i < n; i++ {
+		succ[i] = int32(uint32(swapped[4+4*i]) | uint32(swapped[5+4*i])<<8 |
+			uint32(swapped[6+4*i])<<16 | uint32(swapped[7+4*i])<<24)
+	}
+	if c, valid := a.inst.CostOf(succ); valid {
+		swapped[0] = byte(c)
+		swapped[1] = byte(c >> 8)
+		swapped[2] = byte(c >> 16)
+		swapped[3] = byte(c >> 24)
+		s := a.Score(g, swapped)
+		if c > a.optimal && s.Acceptable {
+			t.Fatalf("suboptimal schedule (cost %d vs %d) accepted", c, a.optimal)
+		}
+		if c > a.optimal && s.Value <= 0 {
+			t.Fatalf("extra-cost value = %v for suboptimal schedule", s.Value)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(NumTrips, 42)
+	b := Generate(NumTrips, 42)
+	for i := range a.Cost {
+		if a.Cost[i] != b.Cost[i] {
+			t.Fatalf("instance not deterministic at %d", i)
+		}
+	}
+	c := Generate(NumTrips, 43)
+	same := true
+	for i := range a.Cost {
+		if a.Cost[i] != c.Cost[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical instances")
+	}
+}
+
+func TestCostsNonNegative(t *testing.T) {
+	inst := Generate(NumTrips, 7)
+	for i, c := range inst.Cost {
+		if c < 0 {
+			t.Fatalf("cost[%d] = %d < 0", i, c)
+		}
+	}
+}
+
+func TestProtectedInjectionTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Table 2: 0% failures at 1 error with protection.
+	apptest.CheckProtectedTolerance(t, New(), 1, 8, 0)
+}

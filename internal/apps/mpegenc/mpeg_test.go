@@ -1,0 +1,192 @@
+package mpegenc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"etap/internal/apps/apptest"
+	"etap/internal/fidelity"
+)
+
+func TestSimMatchesReference(t *testing.T) {
+	apptest.CheckReference(t, New())
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := make(map[int32]bool)
+	for _, v := range zigzag {
+		if v < 0 || v > 63 || seen[v] {
+			t.Fatalf("zigzag is not a permutation: %v", zigzag)
+		}
+		seen[v] = true
+	}
+	// Standard leading order.
+	want := []int32{0, 1, 8, 16, 9, 2, 3, 10}
+	for i, w := range want {
+		if zigzag[i] != w {
+			t.Fatalf("zigzag[%d] = %d, want %d", i, zigzag[i], w)
+		}
+	}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	f := func(pix [64]uint8) bool {
+		var blk, orig [64]int32
+		for i, p := range pix {
+			blk[i] = int32(p) - 128
+			orig[i] = blk[i]
+		}
+		fdct(&blk)
+		idct(&blk)
+		for i := range blk {
+			d := blk[i] - orig[i]
+			if d < -2 || d > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCTDCCoefficient(t *testing.T) {
+	var blk [64]int32
+	for i := range blk {
+		blk[i] = 100
+	}
+	fdct(&blk)
+	// Orthonormal DCT: DC = 8 * mean = 800; everything else ~0.
+	if blk[0] < 790 || blk[0] > 810 {
+		t.Fatalf("DC = %d, want ~800", blk[0])
+	}
+	for i := 1; i < 64; i++ {
+		if blk[i] < -2 || blk[i] > 2 {
+			t.Fatalf("AC[%d] = %d, want ~0", i, blk[i])
+		}
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	f := func(raw [64]int8) bool {
+		c := &codec{}
+		var blk, back [64]int32
+		for i, v := range raw {
+			// Sparsify: most coefficients zero, like real DCT output.
+			if v%3 == 0 {
+				blk[i] = 0
+			} else {
+				blk[i] = int32(v) / 2
+				if blk[i] > 125 {
+					blk[i] = 125
+				}
+				if blk[i] < -125 {
+					blk[i] = -125
+				}
+			}
+		}
+		c.emitBlock(&blk)
+		c.readBlock(&back)
+		return blk == back
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineQuality(t *testing.T) {
+	video := Video()
+	out := Pipeline(video)
+	if len(out) != NumFrames*(1+framePix) {
+		t.Fatalf("output length %d, want %d", len(out), NumFrames*(1+framePix))
+	}
+	for f := 0; f < NumFrames; f++ {
+		off := f * (1 + framePix)
+		wantType := byte(typeP)
+		if isIFrame(f) {
+			wantType = typeI
+		}
+		if out[off] != wantType {
+			t.Fatalf("frame %d type = %d, want %d", f, out[off], wantType)
+		}
+		src := video[f*framePix : (f+1)*framePix]
+		dec := out[off+1 : off+1+framePix]
+		if psnr := fidelity.PSNR(src, dec); psnr < 28 {
+			t.Fatalf("frame %d decode PSNR = %.1f dB, want >= 28", f, psnr)
+		}
+	}
+}
+
+func TestBadFramesCounting(t *testing.T) {
+	golden := Pipeline(Video())
+	if n := BadFrames(golden, golden); n != 0 {
+		t.Fatalf("clean run has %d bad frames", n)
+	}
+	// Truncated output: all missing frames are bad.
+	if n := BadFrames(golden, golden[:1+framePix]); n != NumFrames-1 {
+		t.Fatalf("truncated output: %d bad frames, want %d", n, NumFrames-1)
+	}
+	// Wreck one frame's pixels.
+	wrecked := append([]byte(nil), golden...)
+	off := 2 * (1 + framePix)
+	for i := 0; i < framePix; i++ {
+		wrecked[off+1+i] = byte(255 - wrecked[off+1+i])
+	}
+	if n := BadFrames(golden, wrecked); n != 1 {
+		t.Fatalf("one wrecked frame counted as %d bad", n)
+	}
+	// Corrupt a type byte only.
+	flipped := append([]byte(nil), golden...)
+	flipped[0] = typeP
+	if n := BadFrames(golden, flipped); n != 1 {
+		t.Fatalf("type flip counted as %d bad", n)
+	}
+}
+
+func TestDecoderResyncAfterGarbage(t *testing.T) {
+	video := Video()
+	c := &codec{}
+	for f := 0; f < NumFrames; f++ {
+		c.encodeFrame(video[f*framePix:(f+1)*framePix], isIFrame(f))
+	}
+	// Corrupt bytes inside the first frame's data (after its sync+type).
+	for i := 4; i < 40; i++ {
+		if c.bits[i] != markSync {
+			c.bits[i] = byte(i * 7)
+		}
+	}
+	types := make([]int32, 0, NumFrames)
+	for f := 0; f < NumFrames; f++ {
+		types = append(types, c.decodeFrame())
+	}
+	// Later frames must still be located via their sync markers.
+	for f := 2; f < NumFrames; f++ {
+		want := int32(typeP)
+		if isIFrame(f) {
+			want = typeI
+		}
+		if types[f] != want {
+			t.Fatalf("frame %d type after resync = %d, want %d", f, types[f], want)
+		}
+	}
+}
+
+func TestScoreThreshold(t *testing.T) {
+	a := New()
+	g := a.Reference()
+	if s := a.Score(g, g); !s.Acceptable || s.Value != 0 {
+		t.Fatalf("clean score = %+v", s)
+	}
+	if s := a.Score(g, g[:100]); s.Acceptable || s.Value != 100 {
+		t.Fatalf("empty decode score = %+v, want 100%% bad", s)
+	}
+}
+
+func TestProtectedInjectionTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Table 2: 0% failures at 20 errors with protection.
+	apptest.CheckProtectedTolerance(t, New(), 20, 6, 0)
+}

@@ -1,0 +1,193 @@
+// Package susan is the paper's Susan benchmark: SUSAN (Smallest Univalue
+// Segment Assimilating Nucleus) edge detection from MiBench. Each pixel's
+// circular 37-pixel mask is compared against the nucleus through the
+// standard similarity lookup table c(d) = 100·exp(-(d/t)^6); the USAN area
+// below the geometric threshold yields the edge response. The fidelity
+// measure is PSNR between the corrupted and fault-free edge maps (the
+// paper's ImageMagick comparison) with a 10 dB acceptability threshold.
+package susan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"etap/internal/apps"
+	"etap/internal/fidelity"
+)
+
+// Image dimensions and SUSAN parameters.
+const (
+	W = 64
+	H = 64
+	// T is the brightness difference threshold of the similarity LUT.
+	T = 20
+	// G is the geometric threshold: 3/4 of the maximum USAN area
+	// (37 mask pixels × 100).
+	G = 2775
+	// ThresholdDB is the fidelity threshold from the paper.
+	ThresholdDB = 10.0
+)
+
+// maskDX/maskDY are the offsets of the standard 37-pixel circular mask
+// (radius ≈ 3.4), row widths 3,5,7,7,7,5,3.
+var maskDX, maskDY = func() ([]int32, []int32) {
+	widths := []int{3, 5, 7, 7, 7, 5, 3}
+	var dxs, dys []int32
+	for r, w := range widths {
+		dy := r - 3
+		for dx := -(w / 2); dx <= w/2; dx++ {
+			dxs = append(dxs, int32(dx))
+			dys = append(dys, int32(dy))
+		}
+	}
+	return dxs, dys
+}()
+
+// lut is the brightness similarity table: c(d) = round(100·exp(-(d/T)^6)).
+var lut = func() [256]int32 {
+	var t [256]int32
+	for d := 0; d < 256; d++ {
+		t[d] = int32(math.Round(100 * math.Exp(-math.Pow(float64(d)/T, 6))))
+	}
+	return t
+}()
+
+// Edges computes the SUSAN edge response of a W×H image (Go reference).
+func Edges(img []byte) []byte {
+	out := make([]byte, W*H)
+	for y := 3; y < H-3; y++ {
+		for x := 3; x < W-3; x++ {
+			nuc := int32(img[y*W+x])
+			var n int32
+			for k := range maskDX {
+				p := int32(img[(y+int(maskDY[k]))*W+(x+int(maskDX[k]))])
+				d := p - nuc
+				if d < 0 {
+					d = -d
+				}
+				n += lut[d]
+			}
+			var e int32
+			if n < G {
+				e = G - n
+			}
+			out[y*W+x] = byte(e * 255 / G)
+		}
+	}
+	return out
+}
+
+// Scene generates the deterministic test image: a brightness gradient with
+// two rectangles, a disc, and mild deterministic noise.
+func Scene() []byte {
+	img := make([]byte, W*H)
+	lcg := uint32(0x9E3779B9)
+	for y := 0; y < H; y++ {
+		for x := 0; x < W; x++ {
+			v := 40 + x
+			if x >= 10 && x < 30 && y >= 12 && y < 28 {
+				v = 200
+			}
+			if x >= 35 && x < 55 && y >= 30 && y < 50 {
+				v = 90
+			}
+			dx, dy := x-20, y-45
+			if dx*dx+dy*dy <= 81 {
+				v = 150
+			}
+			lcg = lcg*1664525 + 1013904223
+			v += int(lcg>>28)%7 - 3
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			img[y*W+x] = byte(v)
+		}
+	}
+	return img
+}
+
+// App is the Susan benchmark instance.
+type App struct {
+	img []byte
+}
+
+// New creates the benchmark with the default synthetic scene.
+func New() *App { return &App{img: Scene()} }
+
+func (*App) Name() string         { return "susan" }
+func (*App) Title() string        { return "Susan edge detection (MiBench)" }
+func (*App) FidelityName() string { return "PSNR vs fault-free output (dB)" }
+
+func (a *App) Input() []byte { return a.img }
+
+func (a *App) Reference() []byte { return Edges(a.img) }
+
+// Score is the PSNR between corrupted and golden edge maps; the paper's
+// threshold is 10 dB.
+func (a *App) Score(golden, corrupted []byte) apps.Score {
+	psnr := fidelity.PSNR(golden, corrupted)
+	return apps.Score{Value: psnr, Acceptable: psnr >= ThresholdDB}
+}
+
+// Source generates the MiniC program with the LUT and mask tables inlined.
+func (a *App) Source() string {
+	return fmt.Sprintf(susanSrc, W, H, G,
+		joinInts(lut[:]), joinInts(maskDX), joinInts(maskDY))
+}
+
+func joinInts(vals []int32) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+const susanSrc = `
+// SUSAN edge detection over a %[1]dx%[2]d grayscale image.
+const int W = %[1]d;
+const int H = %[2]d;
+const int G = %[3]d;
+const int NPIX = 4096;
+
+const char lut[256] = { %[4]s };
+const int dxs[37] = { %[5]s };
+const int dys[37] = { %[6]s };
+
+char img[NPIX];
+char edges[NPIX];
+
+tolerant void usan(char *in, char *out) {
+    int x;
+    int y;
+    int k;
+    for (y = 3; y < H - 3; y = y + 1) {
+        for (x = 3; x < W - 3; x = x + 1) {
+            int nuc = in[y * W + x];
+            int n = 0;
+            for (k = 0; k < 37; k = k + 1) {
+                int p = in[(y + dys[k]) * W + (x + dxs[k])];
+                int d = p - nuc;
+                if (d < 0) { d = -d; }
+                n = n + lut[d];
+            }
+            int e = 0;
+            if (n < G) { e = G - n; }
+            out[y * W + x] = e * 255 / G;
+        }
+    }
+}
+
+int main() {
+    int i;
+    int npix = W * H;
+    for (i = 0; i < npix; i = i + 1) { img[i] = inb(); }
+    usan(img, edges);
+    for (i = 0; i < npix; i = i + 1) { outb(edges[i]); }
+    return 0;
+}
+`

@@ -1,0 +1,124 @@
+package susan
+
+import (
+	"testing"
+
+	"etap/internal/apps/apptest"
+)
+
+func TestSimMatchesReference(t *testing.T) {
+	apptest.CheckReference(t, New())
+}
+
+func TestMaskShape(t *testing.T) {
+	if len(maskDX) != 37 || len(maskDY) != 37 {
+		t.Fatalf("mask has %d/%d offsets, want 37", len(maskDX), len(maskDY))
+	}
+	seen := map[[2]int32]bool{}
+	for i := range maskDX {
+		key := [2]int32{maskDX[i], maskDY[i]}
+		if seen[key] {
+			t.Fatalf("duplicate mask offset %v", key)
+		}
+		seen[key] = true
+	}
+	if !seen[[2]int32{0, 0}] {
+		t.Fatalf("mask must include the nucleus")
+	}
+}
+
+func TestLUTProperties(t *testing.T) {
+	if lut[0] != 100 {
+		t.Fatalf("lut[0] = %d, want 100 (identical brightness)", lut[0])
+	}
+	if lut[255] != 0 {
+		t.Fatalf("lut[255] = %d, want 0", lut[255])
+	}
+	for d := 1; d < 256; d++ {
+		if lut[d] > lut[d-1] {
+			t.Fatalf("lut must be non-increasing, lut[%d]=%d > lut[%d]=%d", d, lut[d], d-1, lut[d-1])
+		}
+	}
+}
+
+func TestEdgesRespondToEdges(t *testing.T) {
+	// A flat image has no edges; a step image has a strong response along
+	// the step.
+	flat := make([]byte, W*H)
+	for i := range flat {
+		flat[i] = 128
+	}
+	if out := Edges(flat); maxByte(out) != 0 {
+		t.Fatalf("flat image produced edge response %d", maxByte(out))
+	}
+
+	step := make([]byte, W*H)
+	for y := 0; y < H; y++ {
+		for x := 0; x < W; x++ {
+			if x >= W/2 {
+				step[y*W+x] = 220
+			} else {
+				step[y*W+x] = 30
+			}
+		}
+	}
+	out := Edges(step)
+	// Strong response at the boundary column, none far away.
+	if out[10*W+W/2] < 50 {
+		t.Fatalf("step edge response %d too weak", out[10*W+W/2])
+	}
+	if out[10*W+10] != 0 {
+		t.Fatalf("response %d far from the edge", out[10*W+10])
+	}
+}
+
+func TestBordersAreZero(t *testing.T) {
+	out := Edges(Scene())
+	for x := 0; x < W; x++ {
+		if out[x] != 0 || out[(H-1)*W+x] != 0 {
+			t.Fatalf("border pixel nonzero")
+		}
+	}
+}
+
+func TestSceneIsDeterministic(t *testing.T) {
+	a, b := Scene(), Scene()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scene differs at %d", i)
+		}
+	}
+}
+
+func TestScoreThreshold(t *testing.T) {
+	a := New()
+	g := a.Reference()
+	if s := a.Score(g, g); !s.Acceptable {
+		t.Fatalf("identical output must be acceptable, got %+v", s)
+	}
+	inv := make([]byte, len(g))
+	for i := range inv {
+		inv[i] = 255 - g[i]
+	}
+	if s := a.Score(g, inv); s.Acceptable {
+		t.Fatalf("inverted output should fail the 10 dB threshold, got %+v", s)
+	}
+}
+
+func maxByte(b []byte) byte {
+	var m byte
+	for _, v := range b {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func TestProtectedInjectionTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Table 2: susan absorbs the paper's 2200 errors without failing.
+	apptest.CheckProtectedTolerance(t, New(), 2200, 8, 0)
+}

@@ -1,0 +1,604 @@
+// Package asm assembles the textual MIPS-like assembly emitted by the MiniC
+// compiler (or written by hand in tests) into an isa.Program.
+//
+// Syntax summary:
+//
+//	# comment                       ; comment
+//	        .text                   switch to text segment (default)
+//	        .data                   switch to data segment
+//	        .func name [tolerant]   begin function (text only)
+//	        .endfunc                end function
+//	        .entry name             set the entry symbol (default __start, else first instruction)
+//	label:  add $t0, $t1, $t2       labels bind to the next instruction or datum
+//	        lw $t0, 8($sp)
+//	        beq $t0, $zero, done
+//	buf:    .space 64               data directives: .word .half .byte .float
+//	msg:    .asciiz "hi"            .ascii .space .align
+//
+// Pseudo-instructions: li, la, move, b, beqz, bnez, neg, not, blt, ble,
+// bgt, bge. la always expands to lui+ori so instruction counts are
+// deterministic before data layout completes; li sizes itself from the
+// literal.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"etap/internal/isa"
+)
+
+// Error is an assembly diagnostic bound to a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type fixup struct {
+	textIdx int
+	sym     string
+	half    uint8 // 0 = full (branch target), 1 = hi16, 2 = lo16
+	line    int
+}
+
+type assembler struct {
+	prog    *isa.Program
+	fixups  []fixup
+	inData  bool
+	curFunc int // index into prog.Funcs, -1 when none open
+	entry   string
+	errs    []error
+}
+
+// Assemble parses and assembles src into a validated program.
+func Assemble(src string) (*isa.Program, error) {
+	a := &assembler{
+		prog: &isa.Program{
+			Symbols:  make(map[string]int),
+			DataSyms: make(map[string]uint32),
+		},
+		curFunc: -1,
+	}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		a.line(lineNo+1, raw)
+		if len(a.errs) > 8 {
+			break
+		}
+	}
+	if a.curFunc >= 0 {
+		a.prog.Funcs[a.curFunc].End = len(a.prog.Text)
+	}
+	a.resolve()
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	if len(a.prog.Funcs) == 0 && len(a.prog.Text) > 0 {
+		a.prog.Funcs = []isa.FuncInfo{{Name: "__all", Start: 0, End: len(a.prog.Text)}}
+	}
+	switch {
+	case a.entry != "":
+		idx, ok := a.prog.Symbols[a.entry]
+		if !ok {
+			return nil, fmt.Errorf("asm: entry symbol %q not defined", a.entry)
+		}
+		a.prog.Entry = idx
+	default:
+		if idx, ok := a.prog.Symbols["__start"]; ok {
+			a.prog.Entry = idx
+		}
+	}
+	if err := a.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+func (a *assembler) errorf(line int, format string, args ...any) {
+	a.errs = append(a.errs, &Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '#', ';':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) line(lineNo int, raw string) {
+	s := strings.TrimSpace(stripComment(raw))
+	// Peel off leading labels.
+	for {
+		i := strings.IndexByte(s, ':')
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(s[:i])
+		if !isIdent(name) {
+			break
+		}
+		a.bindLabel(lineNo, name)
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return
+	}
+	if s[0] == '.' {
+		a.directive(lineNo, s)
+		return
+	}
+	a.instruction(lineNo, s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == '$' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) bindLabel(lineNo int, name string) {
+	if a.inData {
+		if _, dup := a.prog.DataSyms[name]; dup {
+			a.errorf(lineNo, "duplicate data label %q", name)
+			return
+		}
+		a.prog.DataSyms[name] = isa.DataBase + uint32(len(a.prog.Data))
+		return
+	}
+	if _, dup := a.prog.Symbols[name]; dup {
+		a.errorf(lineNo, "duplicate label %q", name)
+		return
+	}
+	a.prog.Symbols[name] = len(a.prog.Text)
+}
+
+func (a *assembler) directive(lineNo int, s string) {
+	name, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".entry":
+		a.entry = rest
+	case ".func":
+		fields := strings.Fields(rest)
+		if len(fields) == 0 || len(fields) > 2 {
+			a.errorf(lineNo, ".func wants: .func name [tolerant]")
+			return
+		}
+		tol := false
+		if len(fields) == 2 {
+			if fields[1] != "tolerant" {
+				a.errorf(lineNo, "unknown .func attribute %q", fields[1])
+				return
+			}
+			tol = true
+		}
+		if a.curFunc >= 0 {
+			a.errorf(lineNo, ".func %s while %s is still open", fields[0], a.prog.Funcs[a.curFunc].Name)
+			return
+		}
+		a.inData = false
+		a.prog.Funcs = append(a.prog.Funcs, isa.FuncInfo{Name: fields[0], Start: len(a.prog.Text), Tolerant: tol})
+		a.curFunc = len(a.prog.Funcs) - 1
+		a.bindLabel(lineNo, fields[0])
+	case ".endfunc":
+		if a.curFunc < 0 {
+			a.errorf(lineNo, ".endfunc without .func")
+			return
+		}
+		if a.prog.Funcs[a.curFunc].Start == len(a.prog.Text) {
+			a.errorf(lineNo, "function %q is empty", a.prog.Funcs[a.curFunc].Name)
+			return
+		}
+		a.prog.Funcs[a.curFunc].End = len(a.prog.Text)
+		a.curFunc = -1
+	case ".word", ".half", ".byte", ".float", ".space", ".align", ".ascii", ".asciiz":
+		if !a.inData {
+			a.errorf(lineNo, "%s outside .data", name)
+			return
+		}
+		a.dataDirective(lineNo, name, rest)
+	default:
+		a.errorf(lineNo, "unknown directive %s", name)
+	}
+}
+
+func (a *assembler) dataDirective(lineNo int, name, rest string) {
+	switch name {
+	case ".space":
+		n, err := strconv.ParseInt(rest, 0, 32)
+		if err != nil || n < 0 {
+			a.errorf(lineNo, "bad .space size %q", rest)
+			return
+		}
+		a.prog.Data = append(a.prog.Data, make([]byte, n)...)
+	case ".align":
+		n, err := strconv.ParseInt(rest, 0, 32)
+		if err != nil || n < 0 || n > 12 {
+			a.errorf(lineNo, "bad .align %q", rest)
+			return
+		}
+		size := 1 << n
+		for len(a.prog.Data)%size != 0 {
+			a.prog.Data = append(a.prog.Data, 0)
+		}
+	case ".ascii", ".asciiz":
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			a.errorf(lineNo, "bad string %s", rest)
+			return
+		}
+		a.prog.Data = append(a.prog.Data, str...)
+		if name == ".asciiz" {
+			a.prog.Data = append(a.prog.Data, 0)
+		}
+	case ".word", ".half", ".byte", ".float":
+		for _, f := range splitOperands(rest) {
+			switch name {
+			case ".float":
+				v, err := strconv.ParseFloat(f, 32)
+				if err != nil {
+					a.errorf(lineNo, "bad float %q", f)
+					return
+				}
+				a.prog.Data = binary.LittleEndian.AppendUint32(a.prog.Data, math.Float32bits(float32(v)))
+			default:
+				v, err := strconv.ParseInt(f, 0, 64)
+				if err != nil || v < math.MinInt32 || v > math.MaxUint32 {
+					a.errorf(lineNo, "bad integer %q", f)
+					return
+				}
+				switch name {
+				case ".word":
+					a.prog.Data = binary.LittleEndian.AppendUint32(a.prog.Data, uint32(v))
+				case ".half":
+					if v < math.MinInt16 || v > math.MaxUint16 {
+						a.errorf(lineNo, ".half value %d out of range", v)
+						return
+					}
+					a.prog.Data = binary.LittleEndian.AppendUint16(a.prog.Data, uint16(v))
+				case ".byte":
+					if v < math.MinInt8 || v > math.MaxUint8 {
+						a.errorf(lineNo, ".byte value %d out of range", v)
+						return
+					}
+					a.prog.Data = append(a.prog.Data, byte(v))
+				}
+			}
+		}
+	}
+}
+
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	if len(parts) == 1 && parts[0] == "" {
+		return nil
+	}
+	return parts
+}
+
+func (a *assembler) emit(in isa.Instr) {
+	a.prog.Text = append(a.prog.Text, in)
+}
+
+func (a *assembler) instruction(lineNo int, s string) {
+	if a.inData {
+		a.errorf(lineNo, "instruction in .data segment")
+		return
+	}
+	mn, rest, _ := strings.Cut(s, " ")
+	mn = strings.ToLower(strings.TrimSpace(mn))
+	ops := splitOperands(strings.TrimSpace(rest))
+
+	if a.pseudo(lineNo, mn, ops) {
+		return
+	}
+	op, ok := isa.OpByName(mn)
+	if !ok {
+		a.errorf(lineNo, "unknown mnemonic %q", mn)
+		return
+	}
+	in := isa.Instr{Op: op, Line: lineNo}
+	want := func(n int) bool {
+		if len(ops) != n {
+			a.errorf(lineNo, "%s wants %d operands, got %d", mn, n, len(ops))
+			return false
+		}
+		return true
+	}
+	switch isa.Format(op) {
+	case isa.FmtNone:
+		if !want(0) {
+			return
+		}
+	case isa.Fmt3R:
+		if !want(3) {
+			return
+		}
+		in.Rd, in.Rs, in.Rt = a.reg(lineNo, ops[0]), a.reg(lineNo, ops[1]), a.reg(lineNo, ops[2])
+	case isa.Fmt2RI:
+		if !want(3) {
+			return
+		}
+		in.Rd, in.Rs = a.reg(lineNo, ops[0]), a.reg(lineNo, ops[1])
+		in.Imm = a.immFor(lineNo, op, ops[2])
+	case isa.FmtRI:
+		if !want(2) {
+			return
+		}
+		in.Rd = a.reg(lineNo, ops[0])
+		in.Imm = a.immRange(lineNo, ops[1], 0, 0xFFFF)
+	case isa.Fmt2R:
+		if !want(2) {
+			return
+		}
+		in.Rd, in.Rs = a.reg(lineNo, ops[0]), a.reg(lineNo, ops[1])
+	case isa.FmtMem:
+		if !want(2) {
+			return
+		}
+		r := a.reg(lineNo, ops[0])
+		base, off, ok := parseMemOperand(ops[1])
+		if !ok {
+			a.errorf(lineNo, "bad memory operand %q (want off(reg))", ops[1])
+			return
+		}
+		in.Rs = a.reg(lineNo, base)
+		in.Imm = a.immRange(lineNo, off, math.MinInt16, math.MaxInt16)
+		if isa.ClassOf(op) == isa.ClassStore {
+			in.Rt = r
+		} else {
+			in.Rd = r
+		}
+	case isa.FmtBr2:
+		if !want(3) {
+			return
+		}
+		in.Rs, in.Rt = a.reg(lineNo, ops[0]), a.reg(lineNo, ops[1])
+		a.target(lineNo, &in, ops[2])
+	case isa.FmtBr1:
+		if !want(2) {
+			return
+		}
+		in.Rs = a.reg(lineNo, ops[0])
+		a.target(lineNo, &in, ops[1])
+	case isa.FmtJ:
+		if !want(1) {
+			return
+		}
+		a.target(lineNo, &in, ops[0])
+	case isa.FmtJR:
+		if !want(1) {
+			return
+		}
+		in.Rs = a.reg(lineNo, ops[0])
+	case isa.FmtJALR:
+		if !want(2) {
+			return
+		}
+		in.Rd, in.Rs = a.reg(lineNo, ops[0]), a.reg(lineNo, ops[1])
+	}
+	a.emit(in)
+}
+
+// pseudo expands pseudo-instructions; it reports whether mn was one.
+func (a *assembler) pseudo(lineNo int, mn string, ops []string) bool {
+	bad := func(usage string) bool {
+		a.errorf(lineNo, "%s wants: %s", mn, usage)
+		return true
+	}
+	switch mn {
+	case "li":
+		if len(ops) != 2 {
+			return bad("li $r, imm32")
+		}
+		rd := a.reg(lineNo, ops[0])
+		v64, err := strconv.ParseInt(ops[1], 0, 64)
+		if err != nil || v64 < math.MinInt32 || v64 > math.MaxUint32 {
+			a.errorf(lineNo, "bad li immediate %q", ops[1])
+			return true
+		}
+		v := uint32(v64)
+		switch {
+		case int32(v) >= math.MinInt16 && int32(v) <= math.MaxInt16:
+			a.emit(isa.Instr{Op: isa.ADDI, Rd: rd, Rs: isa.RegZero, Imm: int32(v), Line: lineNo})
+		case v&0xFFFF == 0:
+			a.emit(isa.Instr{Op: isa.LUI, Rd: rd, Imm: int32(v >> 16), Line: lineNo})
+		default:
+			a.emit(isa.Instr{Op: isa.LUI, Rd: rd, Imm: int32(v >> 16), Line: lineNo})
+			a.emit(isa.Instr{Op: isa.ORI, Rd: rd, Rs: rd, Imm: int32(v & 0xFFFF), Line: lineNo})
+		}
+	case "la":
+		if len(ops) != 2 {
+			return bad("la $r, symbol")
+		}
+		rd := a.reg(lineNo, ops[0])
+		a.fixups = append(a.fixups, fixup{textIdx: len(a.prog.Text), sym: ops[1], half: 1, line: lineNo})
+		a.emit(isa.Instr{Op: isa.LUI, Rd: rd, Sym: ops[1], Line: lineNo})
+		a.fixups = append(a.fixups, fixup{textIdx: len(a.prog.Text), sym: ops[1], half: 2, line: lineNo})
+		a.emit(isa.Instr{Op: isa.ORI, Rd: rd, Rs: rd, Sym: ops[1], Line: lineNo})
+	case "move":
+		if len(ops) != 2 {
+			return bad("move $d, $s")
+		}
+		a.emit(isa.Instr{Op: isa.OR, Rd: a.reg(lineNo, ops[0]), Rs: a.reg(lineNo, ops[1]), Rt: isa.RegZero, Line: lineNo})
+	case "neg":
+		if len(ops) != 2 {
+			return bad("neg $d, $s")
+		}
+		a.emit(isa.Instr{Op: isa.SUB, Rd: a.reg(lineNo, ops[0]), Rs: isa.RegZero, Rt: a.reg(lineNo, ops[1]), Line: lineNo})
+	case "not":
+		if len(ops) != 2 {
+			return bad("not $d, $s")
+		}
+		a.emit(isa.Instr{Op: isa.NOR, Rd: a.reg(lineNo, ops[0]), Rs: a.reg(lineNo, ops[1]), Rt: isa.RegZero, Line: lineNo})
+	case "b":
+		if len(ops) != 1 {
+			return bad("b label")
+		}
+		in := isa.Instr{Op: isa.BEQ, Rs: isa.RegZero, Rt: isa.RegZero, Line: lineNo}
+		a.target(lineNo, &in, ops[0])
+		a.emit(in)
+	case "beqz", "bnez":
+		if len(ops) != 2 {
+			return bad(mn + " $r, label")
+		}
+		op := isa.BEQ
+		if mn == "bnez" {
+			op = isa.BNE
+		}
+		in := isa.Instr{Op: op, Rs: a.reg(lineNo, ops[0]), Rt: isa.RegZero, Line: lineNo}
+		a.target(lineNo, &in, ops[1])
+		a.emit(in)
+	case "blt", "bge", "bgt", "ble":
+		if len(ops) != 3 {
+			return bad(mn + " $a, $b, label")
+		}
+		x, y := a.reg(lineNo, ops[0]), a.reg(lineNo, ops[1])
+		if mn == "bgt" || mn == "ble" {
+			x, y = y, x
+		}
+		a.emit(isa.Instr{Op: isa.SLT, Rd: isa.RegAT, Rs: x, Rt: y, Line: lineNo})
+		op := isa.BNE // blt, bgt: branch when x < y
+		if mn == "bge" || mn == "ble" {
+			op = isa.BEQ
+		}
+		in := isa.Instr{Op: op, Rs: isa.RegAT, Rt: isa.RegZero, Line: lineNo}
+		a.target(lineNo, &in, ops[2])
+		a.emit(in)
+	default:
+		return false
+	}
+	return true
+}
+
+func parseMemOperand(s string) (base, off string, ok bool) {
+	i := strings.IndexByte(s, '(')
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		return "", "", false
+	}
+	off = strings.TrimSpace(s[:i])
+	if off == "" {
+		off = "0"
+	}
+	base = strings.TrimSpace(s[i+1 : len(s)-1])
+	return base, off, true
+}
+
+func (a *assembler) reg(lineNo int, s string) isa.Reg {
+	if !strings.HasPrefix(s, "$") {
+		a.errorf(lineNo, "bad register %q", s)
+		return 0
+	}
+	r, ok := isa.RegByName(s[1:])
+	if !ok {
+		a.errorf(lineNo, "unknown register %q", s)
+		return 0
+	}
+	return r
+}
+
+func (a *assembler) immFor(lineNo int, op isa.Op, s string) int32 {
+	switch op {
+	case isa.ANDI, isa.ORI, isa.XORI:
+		return a.immRange(lineNo, s, 0, 0xFFFF)
+	case isa.SLL, isa.SRL, isa.SRA:
+		return a.immRange(lineNo, s, 0, 31)
+	default:
+		return a.immRange(lineNo, s, math.MinInt16, math.MaxInt16)
+	}
+}
+
+func (a *assembler) immRange(lineNo int, s string, lo, hi int64) int32 {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		a.errorf(lineNo, "bad immediate %q", s)
+		return 0
+	}
+	if v < lo || v > hi {
+		a.errorf(lineNo, "immediate %d out of range [%d,%d]", v, lo, hi)
+		return 0
+	}
+	return int32(v)
+}
+
+func (a *assembler) target(lineNo int, in *isa.Instr, s string) {
+	if strings.HasPrefix(s, "@") {
+		v, err := strconv.ParseInt(s[1:], 10, 32)
+		if err != nil {
+			a.errorf(lineNo, "bad absolute target %q", s)
+			return
+		}
+		in.Imm = int32(v)
+		return
+	}
+	in.Sym = s
+	a.fixups = append(a.fixups, fixup{textIdx: len(a.prog.Text), sym: s, half: 0, line: lineNo})
+}
+
+func (a *assembler) resolve() {
+	for _, f := range a.fixups {
+		if f.textIdx >= len(a.prog.Text) {
+			continue // emission failed earlier
+		}
+		in := &a.prog.Text[f.textIdx]
+		switch f.half {
+		case 0:
+			idx, ok := a.prog.Symbols[f.sym]
+			if !ok {
+				a.errorf(f.line, "undefined label %q", f.sym)
+				continue
+			}
+			in.Imm = int32(idx)
+		case 1, 2:
+			addr, ok := a.prog.DataSyms[f.sym]
+			if !ok {
+				// Allow la of text labels too (not used by the compiler).
+				if idx, tok := a.prog.Symbols[f.sym]; tok {
+					addr, ok = uint32(idx), true
+				}
+			}
+			if !ok {
+				a.errorf(f.line, "undefined data symbol %q", f.sym)
+				continue
+			}
+			if f.half == 1 {
+				in.Imm = int32(addr >> 16)
+			} else {
+				in.Imm = int32(addr & 0xFFFF)
+			}
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"etap/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.func main
+	addi $t0, $zero, 5
+	add $t1, $t0, $t0
+	jr $ra
+.endfunc
+`)
+	if len(p.Text) != 3 {
+		t.Fatalf("text length %d, want 3", len(p.Text))
+	}
+	if p.Text[0].Op != isa.ADDI || p.Text[0].Rd != isa.RegT0 || p.Text[0].Imm != 5 {
+		t.Fatalf("instr 0 = %+v", p.Text[0])
+	}
+	f, ok := p.FuncByName("main")
+	if !ok || f.Start != 0 || f.End != 3 || f.Tolerant {
+		t.Fatalf("func = %+v", f)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.func f
+top:
+	addi $t0, $t0, 1
+	bne $t0, $t1, top
+	beq $t0, $t1, done
+	j top
+done:
+	jr $ra
+.endfunc
+`)
+	if p.Text[1].Imm != 0 {
+		t.Fatalf("bne target = %d, want 0", p.Text[1].Imm)
+	}
+	if p.Text[2].Imm != 4 {
+		t.Fatalf("beq target = %d, want 4", p.Text[2].Imm)
+	}
+	if p.Text[3].Imm != 0 {
+		t.Fatalf("j target = %d, want 0", p.Text[3].Imm)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.func f
+	jr $ra
+.endfunc
+.data
+w:	.word 1, -2, 0x10
+h:	.half 1, 0xFFFF
+b:	.byte 1, 2, 3
+	.align 2
+f32:	.float 1.5
+s:	.asciiz "hi"
+sp:	.space 5
+`)
+	if got := p.DataSyms["w"]; got != isa.DataBase {
+		t.Fatalf("w at 0x%x", got)
+	}
+	// 3 words = 12 bytes, then halves at 12.
+	if got := p.DataSyms["h"]; got != isa.DataBase+12 {
+		t.Fatalf("h at 0x%x, want +12", got)
+	}
+	if got := p.DataSyms["b"]; got != isa.DataBase+16 {
+		t.Fatalf("b at 0x%x, want +16", got)
+	}
+	// bytes end at 19, aligned to 20 for the float.
+	if got := p.DataSyms["f32"]; got != isa.DataBase+20 {
+		t.Fatalf("f32 at 0x%x, want +20", got)
+	}
+	if got := p.DataSyms["s"]; got != isa.DataBase+24 {
+		t.Fatalf("s at 0x%x, want +24", got)
+	}
+	// Check encodings.
+	if p.Data[4] != 0xFE || p.Data[5] != 0xFF {
+		t.Fatalf("word -2 encoded as % x", p.Data[4:8])
+	}
+	if p.Data[24] != 'h' || p.Data[25] != 'i' || p.Data[26] != 0 {
+		t.Fatalf("asciiz encoded as % x", p.Data[24:27])
+	}
+	if len(p.Data) != 27+5 {
+		t.Fatalf("data length %d, want 32", len(p.Data))
+	}
+	// 1.5 as float32 = 0x3FC00000 little-endian.
+	if p.Data[20] != 0 || p.Data[21] != 0 || p.Data[22] != 0xC0 || p.Data[23] != 0x3F {
+		t.Fatalf("float 1.5 encoded as % x", p.Data[20:24])
+	}
+}
+
+func TestPseudoLi(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.func f
+	li $t0, 5
+	li $t1, -5
+	li $t2, 0x10000
+	li $t3, 0x12345678
+	jr $ra
+.endfunc
+`)
+	// small positive, small negative: one ADDI each; 0x10000: one LUI;
+	// full word: LUI+ORI.
+	want := []isa.Op{isa.ADDI, isa.ADDI, isa.LUI, isa.LUI, isa.ORI, isa.JR}
+	if len(p.Text) != len(want) {
+		t.Fatalf("text length %d, want %d", len(p.Text), len(want))
+	}
+	for i, op := range want {
+		if p.Text[i].Op != op {
+			t.Fatalf("instr %d op = %s, want %s", i, p.Text[i].Op, op)
+		}
+	}
+	if p.Text[3].Imm != 0x1234 || p.Text[4].Imm != 0x5678 {
+		t.Fatalf("li split = %x / %x", p.Text[3].Imm, p.Text[4].Imm)
+	}
+}
+
+func TestPseudoLaResolvesDataSymbol(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.func f
+	la $t0, buf
+	jr $ra
+.endfunc
+.data
+	.space 100
+buf:	.word 7
+`)
+	addr := p.DataSyms["buf"]
+	hi, lo := p.Text[0], p.Text[1]
+	if hi.Op != isa.LUI || lo.Op != isa.ORI {
+		t.Fatalf("la expanded to %s/%s", hi.Op, lo.Op)
+	}
+	if uint32(hi.Imm)<<16|uint32(lo.Imm) != addr {
+		t.Fatalf("la resolves to 0x%x, want 0x%x", uint32(hi.Imm)<<16|uint32(lo.Imm), addr)
+	}
+}
+
+func TestPseudoBranches(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.func f
+	blt $t0, $t1, out
+	bge $t0, $t1, out
+	bgt $t0, $t1, out
+	ble $t0, $t1, out
+	beqz $t0, out
+	bnez $t0, out
+	b out
+out:
+	jr $ra
+.endfunc
+`)
+	// blt/bge/bgt/ble = slt+branch (2 each), beqz/bnez/b = 1 each.
+	if len(p.Text) != 4*2+3+1 {
+		t.Fatalf("text length %d, want 12", len(p.Text))
+	}
+	if p.Text[0].Op != isa.SLT || p.Text[0].Rd != isa.RegAT {
+		t.Fatalf("blt first instr %+v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.BNE {
+		t.Fatalf("blt second op %s", p.Text[1].Op)
+	}
+	if p.Text[3].Op != isa.BEQ {
+		t.Fatalf("bge second op %s", p.Text[3].Op)
+	}
+	// bgt swaps operands.
+	if p.Text[4].Rs != isa.RegT0+1 || p.Text[4].Rt != isa.RegT0 {
+		t.Fatalf("bgt operands %+v", p.Text[4])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", ".text\nfrob $t0, $t1, $t2\n"},
+		{"bad register", ".text\nadd $t0, $t1, $q9\n"},
+		{"missing label", ".text\nj nowhere\n"},
+		{"duplicate label", ".text\nx:\nnop\nx:\nnop\n"},
+		{"imm out of range", ".text\naddi $t0, $t0, 99999\n"},
+		{"shift out of range", ".text\nsll $t0, $t0, 35\n"},
+		{"operand count", ".text\nadd $t0, $t1\n"},
+		{"instr in data", ".data\nadd $t0, $t1, $t2\n"},
+		{"word in text", ".text\n.word 5\n"},
+		{"nested func", ".text\n.func a\nnop\n.func b\nnop\n.endfunc\n.endfunc\n"},
+		{"endfunc alone", ".text\n.endfunc\n"},
+		{"empty func", ".text\n.func a\n.endfunc\n"},
+		{"bad mem operand", ".text\nlw $t0, $t1\n"},
+		{"byte range", ".data\n.byte 300\n"},
+		{"bad entry", ".entry nothere\n.text\nnop\n"},
+		{"duplicate data label", ".data\nx: .word 1\nx: .word 2\n"},
+		{"undefined la", ".text\nla $t0, missing\n"},
+		{"bad string", `.data` + "\n" + `.asciiz "unterminated` + "\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Assemble(c.src); err == nil {
+				t.Fatalf("assembled successfully, want error")
+			}
+		})
+	}
+}
+
+func TestCommentsAndLabelsOnOneLine(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.func f
+start: addi $t0, $zero, 1   # trailing comment
+next:  ; full line comment style
+	add $t1, $t0, $t0 ; another
+	jr $ra
+.endfunc
+`)
+	if p.Symbols["start"] != 0 || p.Symbols["next"] != 1 {
+		t.Fatalf("labels: %v", p.Symbols)
+	}
+	if len(p.Text) != 3 {
+		t.Fatalf("text length %d", len(p.Text))
+	}
+}
+
+func TestHashInsideStringIsNotComment(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.func f
+	nop
+.endfunc
+.data
+s: .asciiz "a#b"
+`)
+	want := []byte{'a', '#', 'b', 0}
+	for i, b := range want {
+		if p.Data[i] != b {
+			t.Fatalf("data = % x", p.Data[:4])
+		}
+	}
+}
+
+func TestEntrySelection(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.func helper
+	jr $ra
+.endfunc
+.func __start
+	nop
+.endfunc
+`)
+	if p.Entry != 1 {
+		t.Fatalf("entry = %d, want 1 (__start)", p.Entry)
+	}
+	p2 := mustAssemble(t, `
+.entry helper
+.text
+.func other
+	nop
+.endfunc
+.func helper
+	jr $ra
+.endfunc
+`)
+	if p2.Entry != 1 {
+		t.Fatalf("explicit entry = %d, want 1", p2.Entry)
+	}
+}
+
+// TestDisasmRoundTrip: disassembling any assembled instruction and
+// reassembling it reproduces the identical instruction (for ops without
+// label operands).
+func TestDisasmRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	roundTrippable := []isa.Op{
+		isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR, isa.XOR,
+		isa.NOR, isa.SLLV, isa.SRLV, isa.SRAV, isa.SLT, isa.SLTU,
+		isa.ADDI, isa.SLTI, isa.LW, isa.SW, isa.LB, isa.LBU, isa.LH, isa.LHU,
+		isa.SB, isa.SH, isa.JR, isa.CVTIF, isa.CVTFI, isa.ADDF, isa.SUBF,
+		isa.MULF, isa.DIVF, isa.CEQF, isa.CLTF, isa.CLEF, isa.NOP, isa.SYSCALL,
+	}
+	for trial := 0; trial < 300; trial++ {
+		op := roundTrippable[rng.Intn(len(roundTrippable))]
+		in := isa.Instr{
+			Op:  op,
+			Rd:  isa.Reg(rng.Intn(32)),
+			Rs:  isa.Reg(rng.Intn(32)),
+			Rt:  isa.Reg(rng.Intn(32)),
+			Imm: int32(rng.Intn(65536) - 32768),
+		}
+		// Restrict immediates to each format's legal range.
+		switch op {
+		case isa.ANDI, isa.ORI, isa.XORI:
+			in.Imm = int32(rng.Intn(65536))
+		case isa.SLL, isa.SRL, isa.SRA:
+			in.Imm = int32(rng.Intn(32))
+		}
+		src := ".text\n.func f\n\t" + isa.Disasm(in) + "\n\tjr $ra\n.endfunc\n"
+		p, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("reassemble %q: %v", isa.Disasm(in), err)
+		}
+		got := p.Text[0]
+		got.Line = 0
+		// Normalize operands the format does not encode.
+		norm := normalize(in)
+		gotNorm := normalize(got)
+		if gotNorm != norm {
+			t.Fatalf("round trip %q: got %+v, want %+v", isa.Disasm(in), gotNorm, norm)
+		}
+	}
+}
+
+// normalize zeroes fields a format ignores so comparisons are meaningful.
+func normalize(in isa.Instr) isa.Instr {
+	in.Line = 0
+	in.Sym = ""
+	switch isa.Format(in.Op) {
+	case isa.FmtNone:
+		in.Rd, in.Rs, in.Rt, in.Imm = 0, 0, 0, 0
+	case isa.Fmt3R:
+		in.Imm = 0
+	case isa.Fmt2RI, isa.FmtRI:
+		in.Rt = 0
+		if isa.Format(in.Op) == isa.FmtRI {
+			in.Rs = 0
+		}
+	case isa.Fmt2R:
+		in.Rt, in.Imm = 0, 0
+	case isa.FmtMem:
+		if in.Class() == isa.ClassStore {
+			in.Rd = 0
+		} else {
+			in.Rt = 0
+		}
+	case isa.FmtJR:
+		in.Rd, in.Rt, in.Imm = 0, 0, 0
+	}
+	return in
+}
+
+// TestProgramValidation: quick property — every successfully assembled
+// program passes Validate.
+func TestProgramValidation(t *testing.T) {
+	f := func(nInstr uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nInstr%20) + 1
+		var b strings.Builder
+		b.WriteString(".text\n.func f\n")
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				b.WriteString("\tadd $t0, $t1, $t2\n")
+			case 1:
+				b.WriteString("\tlw $t0, 0($sp)\n")
+			case 2:
+				b.WriteString("\tnop\n")
+			case 3:
+				b.WriteString("\tli $t3, 123456\n")
+			}
+		}
+		b.WriteString("\tjr $ra\n.endfunc\n")
+		p, err := Assemble(b.String())
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"etap/internal/isa"
+)
+
+// Policy selects how aggressively the analysis extends the paper's basic
+// control slice.
+type Policy uint8
+
+const (
+	// PolicyControl is the paper's Section 3 analysis: only control
+	// instructions seed CVar, and definitions (including loads) propagate
+	// backward through registers. Memory is untracked, so a value that is
+	// stored and later reloaded into a control computation escapes
+	// protection — the residual failure source the paper discusses in §5.1.
+	PolicyControl Policy = iota
+	// PolicyControlAddr additionally treats every load/store address base
+	// register as control-live, protecting all address computations (the
+	// "address operations" class of the authors' companion MICRO-05 WS
+	// paper). This removes misalignment crashes caused by corrupted
+	// addresses at the cost of tagging fewer instructions.
+	PolicyControlAddr
+	// PolicyConservative additionally treats every stored value as
+	// control-live, closing the memory-aliasing hole entirely (any value
+	// that reaches memory is protected). It is the sound-but-expensive
+	// upper bound used by the ablation benches.
+	PolicyConservative
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyControl:
+		return "control"
+	case PolicyControlAddr:
+		return "control+addr"
+	case PolicyConservative:
+		return "conservative"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// RegMask is a register set encoded as a bitmask (bit i = register i).
+// The zero register never appears in a mask.
+type RegMask uint32
+
+// Has reports whether r is in the set.
+func (m RegMask) Has(r isa.Reg) bool { return m&(1<<r) != 0 }
+
+// Count returns the number of registers in the set.
+func (m RegMask) Count() int { return bits.OnesCount32(uint32(m)) }
+
+// String renders the set in the paper's bracket notation, e.g. "[$3, $2]".
+// Registers print in descending numeric order to match the paper's example
+// listing (most recently added first is not tracked; descending is stable).
+func (m RegMask) String() string {
+	var parts []string
+	for r := isa.NumRegs - 1; r >= 0; r-- {
+		if m.Has(isa.Reg(r)) {
+			parts = append(parts, fmt.Sprintf("$%d", r))
+		}
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func maskOf(rs ...isa.Reg) RegMask {
+	var m RegMask
+	for _, r := range rs {
+		m |= 1 << r
+	}
+	return m &^ 1 // $zero is not a variable
+}
+
+// callerSaved is the register set a call clobbers under the toolchain's
+// convention: at, v0, v1, a0–a3, t0–t9, ra.
+const callerSaved RegMask = 1<<isa.RegAT | 1<<isa.RegV0 | 1<<isa.RegV1 |
+	0xF<<isa.RegA0 | 0xFF<<isa.RegT0 | 1<<isa.RegT8 | 1<<isa.RegT9 | 1<<isa.RegRA
+
+// argRegs is the register-argument set.
+const argRegs RegMask = 0xF << isa.RegA0
+
+// Summary is the inter-procedural summary of one function.
+type Summary struct {
+	// ArgsControl is the subset of a0–a3 that is control-live at function
+	// entry: a caller must protect the computations feeding those
+	// arguments.
+	ArgsControl RegMask
+	// RetControl records that at least one caller feeds the function's
+	// return value into a control computation, so definitions of v0 at the
+	// function's exits are control-live.
+	RetControl bool
+}
+
+// Report is the complete analysis result for one program.
+type Report struct {
+	Prog   *isa.Program
+	Policy Policy
+
+	// Tagged marks low-reliability instructions: arithmetic, destination
+	// not control-live, inside a tolerant function. These are the legal
+	// fault-injection sites when protection is on.
+	Tagged []bool
+	// ControlSlice marks instructions that are part of the control slice:
+	// control/syscall instructions plus any instruction whose destination
+	// is control-live at its program point.
+	ControlSlice []bool
+	// CVarOut[i] is the CVar set at the program point after instruction i
+	// (what the backward walk sees before processing i); the tagging
+	// decision for i tests its destination against this set.
+	CVarOut []RegMask
+	// CVarIn[i] is the CVar set after processing i — the values the
+	// paper's worked example prints in brackets next to each instruction.
+	CVarIn []RegMask
+
+	// Summaries holds the fixpoint inter-procedural summaries, indexed
+	// like Prog.Funcs.
+	Summaries []Summary
+}
+
+// Analyze runs the control-data analysis over a validated program.
+func Analyze(p *isa.Program, pol Policy) (*Report, error) {
+	cfgs, err := BuildCFG(p)
+	if err != nil {
+		return nil, err
+	}
+	entryToFunc := make(map[int]int, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		entryToFunc[f.Start] = fi
+	}
+
+	a := &analyzer{
+		prog:        p,
+		pol:         pol,
+		cfgs:        cfgs,
+		entryToFunc: entryToFunc,
+		sums:        make([]Summary, len(p.Funcs)),
+		blockIn:     make([][]RegMask, len(p.Funcs)),
+	}
+	for fi, cfg := range cfgs {
+		a.blockIn[fi] = make([]RegMask, len(cfg.Blocks))
+	}
+
+	// Outer fixpoint over function summaries; inner fixpoint per function.
+	// Summaries only grow, so this terminates.
+	for round := 0; ; round++ {
+		if round > 4*len(p.Funcs)+8 {
+			return nil, fmt.Errorf("core: summary fixpoint failed to converge")
+		}
+		changed := false
+		for fi := range cfgs {
+			if a.analyzeFunc(fi) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	r := &Report{
+		Prog:         p,
+		Policy:       pol,
+		Tagged:       make([]bool, len(p.Text)),
+		ControlSlice: make([]bool, len(p.Text)),
+		CVarOut:      make([]RegMask, len(p.Text)),
+		CVarIn:       make([]RegMask, len(p.Text)),
+		Summaries:    a.sums,
+	}
+	for fi := range cfgs {
+		a.classify(fi, r)
+	}
+	return r, nil
+}
+
+type analyzer struct {
+	prog        *isa.Program
+	pol         Policy
+	cfgs        []*FuncCFG
+	entryToFunc map[int]int
+	sums        []Summary
+	// blockIn[f][b] is the CVar set at block b's entry (the backward
+	// analysis result), kept across rounds so work is incremental.
+	blockIn [][]RegMask
+}
+
+// retMask is the control-live set at a function's exits.
+func (a *analyzer) retMask(fi int) RegMask {
+	if a.sums[fi].RetControl {
+		return maskOf(isa.RegV0)
+	}
+	return 0
+}
+
+// analyzeFunc runs the intra-procedural backward fixpoint for function fi
+// and reports whether any summary (its own ArgsControl or a callee's
+// RetControl) changed.
+func (a *analyzer) analyzeFunc(fi int) bool {
+	cfg := a.cfgs[fi]
+	in := a.blockIn[fi]
+	changed := false
+
+	// Worklist seeded with all blocks, processed in reverse order for
+	// faster convergence on reducible graphs.
+	dirty := make([]bool, len(cfg.Blocks))
+	work := make([]int, 0, len(cfg.Blocks))
+	for b := len(cfg.Blocks) - 1; b >= 0; b-- {
+		work = append(work, b)
+		dirty[b] = true
+	}
+
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		dirty[b] = false
+
+		blk := cfg.Blocks[b]
+		out := RegMask(0)
+		if blk.Return {
+			out = a.retMask(fi)
+		}
+		for _, s := range blk.Succs {
+			out |= in[s]
+		}
+		newIn := a.transferBlock(blk, out, &changed)
+		if newIn == in[b] {
+			continue
+		}
+		in[b] = newIn
+		// Predecessors are any blocks listing b as successor; rather than
+		// maintain reverse edges, mark all blocks dirty whose successor
+		// sets include b.
+		for pb := range cfg.Blocks {
+			if dirty[pb] {
+				continue
+			}
+			for _, s := range cfg.Blocks[pb].Succs {
+				if s == b {
+					dirty[pb] = true
+					work = append(work, pb)
+					break
+				}
+			}
+		}
+	}
+
+	entryIn := in[0]
+	newArgs := a.sums[fi].ArgsControl | (entryIn & argRegs)
+	if newArgs != a.sums[fi].ArgsControl {
+		a.sums[fi].ArgsControl = newArgs
+		changed = true
+	}
+	return changed
+}
+
+// transferBlock walks blk backward from out and returns the entry set.
+// Callee RetControl discoveries set *changed.
+func (a *analyzer) transferBlock(blk Block, out RegMask, changed *bool) RegMask {
+	cv := out
+	for idx := blk.End - 1; idx >= blk.Start; idx-- {
+		cv = a.step(a.prog.Text[idx], cv, changed)
+	}
+	return cv
+}
+
+// step applies the backward transfer function of one instruction. It is the
+// direct encoding of the paper's rules plus the policy extensions.
+func (a *analyzer) step(in isa.Instr, cv RegMask, changed *bool) RegMask {
+	var usesBuf [3]isa.Reg
+	switch in.Class() {
+	case isa.ClassControl:
+		switch in.Op {
+		case isa.JAL:
+			callee := a.entryToFunc[int(in.Imm)]
+			if cv.Has(isa.RegV0) && !a.sums[callee].RetControl {
+				a.sums[callee].RetControl = true
+				*changed = true
+			}
+			cv &^= callerSaved
+			cv |= a.sums[callee].ArgsControl
+		case isa.JALR:
+			// Unknown callee: assume all register arguments are control and
+			// the target register certainly is.
+			cv &^= callerSaved
+			cv |= argRegs | maskOf(in.Rs)
+		default:
+			cv |= maskOf(in.Uses(usesBuf[:0])...)
+		}
+	case isa.ClassSys:
+		cv &^= maskOf(isa.RegV0)
+		cv |= maskOf(isa.RegV0, isa.RegA0, isa.RegA1)
+	case isa.ClassArith:
+		// A division's divisor can raise a fault (divide by zero), which is
+		// a control event just like a branch: the chain feeding it must be
+		// protected even when the quotient itself is plain data.
+		if in.Op == isa.DIV || in.Op == isa.REM {
+			cv |= maskOf(in.Rt)
+		}
+		if in.Rd != isa.RegZero && cv.Has(in.Rd) {
+			cv &^= maskOf(in.Rd)
+			cv |= maskOf(in.Uses(usesBuf[:0])...)
+		}
+	case isa.ClassLoad:
+		if in.Rd != isa.RegZero && cv.Has(in.Rd) {
+			cv &^= maskOf(in.Rd)
+			cv |= maskOf(in.Rs)
+		}
+		if a.pol >= PolicyControlAddr {
+			cv |= maskOf(in.Rs)
+		}
+	case isa.ClassStore:
+		if a.pol >= PolicyControlAddr {
+			cv |= maskOf(in.Rs)
+		}
+		if a.pol >= PolicyConservative {
+			cv |= maskOf(in.Rt)
+		}
+	}
+	return cv &^ 1
+}
+
+// classify recomputes per-instruction sets from the converged block states
+// and fills the report.
+func (a *analyzer) classify(fi int, r *Report) {
+	cfg := a.cfgs[fi]
+	in := a.blockIn[fi]
+	tolerant := cfg.Func.Tolerant
+	var discard bool
+	for b, blk := range cfg.Blocks {
+		_ = b
+		out := RegMask(0)
+		if blk.Return {
+			out = a.retMask(fi)
+		}
+		for _, s := range blk.Succs {
+			out |= in[s]
+		}
+		cv := out
+		for idx := blk.End - 1; idx >= blk.Start; idx-- {
+			instr := a.prog.Text[idx]
+			r.CVarOut[idx] = cv
+			cv = a.step(instr, cv, &discard)
+			r.CVarIn[idx] = cv
+
+			switch instr.Class() {
+			case isa.ClassControl, isa.ClassSys:
+				r.ControlSlice[idx] = true
+			case isa.ClassArith:
+				if instr.Rd != isa.RegZero && r.CVarOut[idx].Has(instr.Rd) {
+					r.ControlSlice[idx] = true
+				} else if instr.IsInjectable() && tolerant {
+					r.Tagged[idx] = true
+				}
+			case isa.ClassLoad:
+				if instr.Rd != isa.RegZero && r.CVarOut[idx].Has(instr.Rd) {
+					r.ControlSlice[idx] = true
+				}
+			}
+		}
+	}
+}
+
+// TraceSlice runs a single backward pass over a straight-line instruction
+// sequence, starting from the given exit set, and returns the CVar set
+// after processing each instruction (indexed like instrs). It reproduces
+// the paper's worked example verbatim and is exposed for tests and
+// documentation; the real analysis iterates the same transfer function to
+// fixpoint over the CFG.
+func TraceSlice(instrs []isa.Instr, exit RegMask, pol Policy) []RegMask {
+	a := &analyzer{pol: pol}
+	res := make([]RegMask, len(instrs))
+	cv := exit
+	var discard bool
+	for i := len(instrs) - 1; i >= 0; i-- {
+		if instrs[i].Op == isa.JAL || instrs[i].Op == isa.JALR {
+			// TraceSlice has no call-graph context.
+			cv &^= callerSaved
+		} else {
+			cv = a.step(instrs[i], cv, &discard)
+		}
+		res[i] = cv
+	}
+	return res
+}
+
+// EligibleAll returns the protection-off injection mask: every injectable
+// (result-writing arithmetic) instruction in the whole program, regardless
+// of analysis or tolerance annotations. This models running the unchanged
+// application on unreliable hardware.
+func EligibleAll(p *isa.Program) []bool {
+	el := make([]bool, len(p.Text))
+	for i, in := range p.Text {
+		el[i] = in.IsInjectable()
+	}
+	return el
+}
+
+// Stats summarises a report for Table-3 style output.
+type Stats struct {
+	TextInstrs    int
+	Injectable    int // static injectable instruction count
+	TaggedStatic  int // static tagged (low-reliability) count
+	ControlStatic int // static control-slice count
+	TolerantFuncs int
+}
+
+// Stats computes static statistics from the report.
+func (r *Report) Stats() Stats {
+	s := Stats{TextInstrs: len(r.Prog.Text)}
+	for i := range r.Prog.Text {
+		if r.Prog.Text[i].IsInjectable() {
+			s.Injectable++
+		}
+		if r.Tagged[i] {
+			s.TaggedStatic++
+		}
+		if r.ControlSlice[i] {
+			s.ControlStatic++
+		}
+	}
+	for _, f := range r.Prog.Funcs {
+		if f.Tolerant {
+			s.TolerantFuncs++
+		}
+	}
+	return s
+}

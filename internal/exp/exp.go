@@ -1,0 +1,202 @@
+// Package exp is the experiment harness: it reproduces every table and
+// figure of the paper's evaluation (Tables 1–3, Figures 1–6) plus the
+// policy ablation described in DESIGN.md. Everything is deterministic
+// given Options.Seed; trials fan out over a worker pool.
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"etap/internal/apps"
+	"etap/internal/core"
+	"etap/internal/fault"
+	"etap/internal/isa"
+	"etap/internal/minic"
+	"etap/internal/sim"
+)
+
+// Options controls experiment scale and reproducibility.
+type Options struct {
+	// Trials per measurement point. Defaults to 40.
+	Trials int
+	// Policy for the protected configuration. The zero value,
+	// PolicyControl, is the paper's literal Section 3 analysis; DESIGN.md
+	// explains why the headline experiments use PolicyControlAddr (set by
+	// DefaultOptions), which additionally protects address computations the
+	// way the authors' companion work separates address operations.
+	Policy core.Policy
+	// Workers for the trial pool. Defaults to GOMAXPROCS.
+	Workers int
+	// Seed makes every injection schedule reproducible. Defaults to 1.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 40
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// DefaultOptions is the configuration used to regenerate EXPERIMENTS.md:
+// the address-protecting policy and full trial counts.
+func DefaultOptions() Options {
+	return Options{Policy: core.PolicyControlAddr}.withDefaults()
+}
+
+// Built is one benchmark compiled, analyzed and ready for injection
+// campaigns in both protection modes.
+type Built struct {
+	App    apps.App
+	Prog   *isa.Program
+	Report *core.Report
+	// On injects only into analysis-tagged instructions (protection on);
+	// Off injects into every arithmetic instruction (unchanged program on
+	// unreliable hardware).
+	On, Off *fault.Campaign
+	Golden  []byte
+}
+
+// Build compiles and analyzes one benchmark and prepares both campaigns.
+// It cross-checks the clean simulated output against the app's pure-Go
+// reference so a toolchain regression cannot silently skew results.
+func Build(app apps.App, pol core.Policy) (*Built, error) {
+	prog, err := minic.Build(app.Source())
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", app.Name(), err)
+	}
+	rep, err := core.Analyze(prog, pol)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", app.Name(), err)
+	}
+	cfg := sim.Config{Input: app.Input()}
+	on, err := fault.NewCampaign(prog, rep.Tagged, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s (protected): %w", app.Name(), err)
+	}
+	off, err := fault.NewCampaign(prog, core.EligibleAll(prog), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s (unprotected): %w", app.Name(), err)
+	}
+	if !bytes.Equal(on.Clean.Output, app.Reference()) {
+		return nil, fmt.Errorf("exp: %s: simulated clean output differs from Go reference", app.Name())
+	}
+	return &Built{App: app, Prog: prog, Report: rep, On: on, Off: off, Golden: on.Clean.Output}, nil
+}
+
+// Point aggregates one (error count, protection mode) measurement.
+type Point struct {
+	Errors    int
+	Trials    int
+	Crashes   int
+	Timeouts  int
+	Completed int
+	// MeanValue is the mean fidelity value over completed runs (NaN when
+	// every run failed).
+	MeanValue float64
+	// AcceptPct is the percentage of all trials that completed with
+	// acceptable fidelity.
+	AcceptPct float64
+	// FailPct is the percentage of catastrophic failures (crash or
+	// infinite run) over all trials.
+	FailPct float64
+}
+
+// RunPoint executes trials with n errors on campaign c.
+func (b *Built) RunPoint(c *fault.Campaign, n int, opt Options) Point {
+	opt = opt.withDefaults()
+	type outcome struct {
+		failed     bool
+		crash      bool
+		timeout    bool
+		value      float64
+		acceptable bool
+	}
+	results := make([]outcome, opt.Trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Workers)
+	for trial := 0; trial < opt.Trials; trial++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(trial int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seed := opt.Seed + int64(n)*100_003 + int64(trial)*7_919
+			res := c.Run(n, seed)
+			switch res.Outcome {
+			case sim.OK:
+				s := b.App.Score(b.Golden, res.Output)
+				results[trial] = outcome{value: s.Value, acceptable: s.Acceptable}
+			case sim.Crash:
+				results[trial] = outcome{failed: true, crash: true}
+			case sim.Timeout:
+				results[trial] = outcome{failed: true, timeout: true}
+			}
+		}(trial)
+	}
+	wg.Wait()
+
+	p := Point{Errors: n, Trials: opt.Trials}
+	var sum float64
+	accepted := 0
+	for _, r := range results {
+		if r.failed {
+			if r.crash {
+				p.Crashes++
+			} else {
+				p.Timeouts++
+			}
+			continue
+		}
+		p.Completed++
+		sum += r.value
+		if r.acceptable {
+			accepted++
+		}
+	}
+	if p.Completed > 0 {
+		p.MeanValue = sum / float64(p.Completed)
+	} else {
+		p.MeanValue = math.NaN()
+	}
+	p.AcceptPct = 100 * float64(accepted) / float64(opt.Trials)
+	p.FailPct = 100 * float64(p.Crashes+p.Timeouts) / float64(opt.Trials)
+	return p
+}
+
+// Sweep runs RunPoint for each error count.
+func (b *Built) Sweep(c *fault.Campaign, errorCounts []int, opt Options) []Point {
+	out := make([]Point, len(errorCounts))
+	for i, n := range errorCounts {
+		out[i] = b.RunPoint(c, n, opt)
+	}
+	return out
+}
+
+// TaggedDynamicPct is Table 3's "% low reliability instructions": the
+// dynamic fraction of the clean run spent in analysis-tagged instructions.
+func (b *Built) TaggedDynamicPct() float64 { return 100 * b.On.EligibleFraction() }
+
+func pct(f float64) string {
+	if math.IsNaN(f) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", f)
+}
+
+func num(f float64) string {
+	if math.IsNaN(f) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", f)
+}

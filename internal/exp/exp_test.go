@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"etap/internal/apps/all"
+	"etap/internal/core"
+)
+
+// fastOpt keeps harness tests quick.
+var fastOpt = Options{Trials: 6, Policy: core.PolicyControlAddr, Seed: 3}
+
+func TestBuildCrossChecksReference(t *testing.T) {
+	a, _ := all.ByName("adpcm")
+	b, err := Build(a, core.PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.On.Clean.Instret == 0 || b.Off.Clean.Instret == 0 {
+		t.Fatalf("clean runs missing")
+	}
+	if b.On.Clean.EligibleExec >= b.Off.Clean.EligibleExec {
+		t.Fatalf("protected eligible stream (%d) should be smaller than unprotected (%d)",
+			b.On.Clean.EligibleExec, b.Off.Clean.EligibleExec)
+	}
+	if len(b.Golden) == 0 {
+		t.Fatalf("no golden output")
+	}
+}
+
+func TestRunPointAggregates(t *testing.T) {
+	a, _ := all.ByName("adpcm")
+	b, err := Build(a, core.PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.RunPoint(b.On, 3, fastOpt)
+	if p.Trials != fastOpt.Trials {
+		t.Fatalf("trials = %d", p.Trials)
+	}
+	if p.Completed+p.Crashes+p.Timeouts != p.Trials {
+		t.Fatalf("outcome counts don't add up: %+v", p)
+	}
+	if p.FailPct < 0 || p.FailPct > 100 || p.AcceptPct < 0 || p.AcceptPct > 100 {
+		t.Fatalf("percentages out of range: %+v", p)
+	}
+	if p.Completed > 0 && math.IsNaN(p.MeanValue) {
+		t.Fatalf("mean value NaN with completions")
+	}
+}
+
+func TestZeroErrorsIsPerfect(t *testing.T) {
+	a, _ := all.ByName("gsm")
+	b, err := Build(a, core.PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.RunPoint(b.On, 0, fastOpt)
+	if p.FailPct != 0 || p.AcceptPct != 100 {
+		t.Fatalf("zero-error point: %+v", p)
+	}
+}
+
+func TestRunPointDeterministic(t *testing.T) {
+	a, _ := all.ByName("blowfish")
+	b, err := Build(a, core.PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := b.RunPoint(b.On, 5, fastOpt)
+	p2 := b.RunPoint(b.On, 5, fastOpt)
+	if p1 != p2 {
+		t.Fatalf("points differ: %+v vs %+v", p1, p2)
+	}
+}
+
+// TestProtectionReducesFailures is the paper's central claim, asserted
+// statistically with fixed seeds on the unprotected-vs-protected pair.
+func TestProtectionReducesFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"susan", "gsm"} {
+		a, _ := all.ByName(name)
+		b, err := Build(a, core.PolicyControlAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 40
+		on := b.RunPoint(b.On, errs, fastOpt)
+		off := b.RunPoint(b.Off, errs, fastOpt)
+		if on.FailPct > off.FailPct {
+			t.Errorf("%s: protected failures %.0f%% exceed unprotected %.0f%%", name, on.FailPct, off.FailPct)
+		}
+		if on.FailPct > 20 {
+			t.Errorf("%s: protected failure rate %.0f%% too high at %d errors", name, on.FailPct, errs)
+		}
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	r := Table1()
+	if len(r.Rows) != 7 {
+		t.Fatalf("table 1 has %d rows", len(r.Rows))
+	}
+	out := r.Render()
+	for _, name := range all.Names() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table 1 missing %s", name)
+		}
+	}
+}
+
+func TestTable3Measures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := Table3(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("table 3 has %d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Instret == 0 {
+			t.Errorf("%s: no instructions", row.App)
+		}
+		if row.LowRelPct <= 0 || row.LowRelPct > row.ArithPct {
+			t.Errorf("%s: low-rel %.1f%% outside (0, arith %.1f%%]", row.App, row.LowRelPct, row.ArithPct)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Table 3") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := fastOpt
+	opt.Trials = 3
+	f, err := Figure6(opt) // ART is the fastest sweep
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("figure 6 has %d series", len(f.Series))
+	}
+	out := f.Render()
+	for _, want := range []string{"Figure 6", "errors inserted", "% images recognized", "errors"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if len(f.Points["% images recognized"]) != len(f.Errors) {
+		t.Fatalf("points not recorded")
+	}
+}
+
+func TestTable2ErrorCountsMatchPaper(t *testing.T) {
+	// The experiment must use the paper's error pairs.
+	want := map[string][]int{
+		"susan":    {2200},
+		"mpeg":     {20, 120},
+		"mcf":      {1, 340},
+		"blowfish": {2, 20},
+		"gsm":      {10, 40},
+		"art":      {4},
+		"adpcm":    {3, 56},
+	}
+	for app, counts := range want {
+		got := table2Errors[app]
+		if len(got) != len(counts) {
+			t.Fatalf("%s: error counts %v, want %v", app, got, counts)
+		}
+		for i := range counts {
+			if got[i] != counts[i] {
+				t.Fatalf("%s: error counts %v, want %v", app, got, counts)
+			}
+		}
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	if _, err := appByNameOrErr("nosuch"); err == nil {
+		t.Fatalf("unknown app accepted")
+	}
+}
+
+func TestMaskingBins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := fastOpt
+	opt.Trials = 10
+	r, err := Masking(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		total := row.MaskedPct + row.ToleratedPct + row.DegradedPct + row.CatastrophicPct
+		if total < 99.9 || total > 100.1 {
+			t.Errorf("%s: bins sum to %.1f%%", row.App, total)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Masked") || !strings.Contains(out, "Catastrophic") {
+		t.Fatalf("render missing headers")
+	}
+}

@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"fmt"
+
+	"etap/internal/textplot"
+)
+
+// Figure is one reproduced figure: fidelity (and failure) series over an
+// error-count sweep.
+type Figure struct {
+	ID     string
+	Title  string
+	App    string
+	YLabel string
+	// Errors is the x axis.
+	Errors []int
+	// Series are named y-value vectors aligned with Errors.
+	Series []textplot.Series
+	// Points preserves the raw measurements per series name.
+	Points map[string][]Point
+	// Threshold, when non-nil, draws the paper's fidelity threshold.
+	Threshold *float64
+}
+
+func (f *Figure) xs() []float64 {
+	xs := make([]float64, len(f.Errors))
+	for i, e := range f.Errors {
+		xs[i] = float64(e)
+	}
+	return xs
+}
+
+func (f *Figure) addSeries(name string, ys []float64, pts []Point) {
+	f.Series = append(f.Series, textplot.Series{Name: name, X: f.xs(), Y: ys})
+	if pts != nil {
+		if f.Points == nil {
+			f.Points = map[string][]Point{}
+		}
+		f.Points[name] = pts
+	}
+}
+
+// Render draws the chart plus the numeric table behind it.
+func (f *Figure) Render() string {
+	series := f.Series
+	if f.Threshold != nil {
+		series = append(series, textplot.Series{
+			Name: fmt.Sprintf("fidelity threshold (%.0f)", *f.Threshold),
+			X:    f.xs(),
+			Y:    repeat(*f.Threshold, len(f.Errors)),
+		})
+	}
+	out := textplot.Chart(fmt.Sprintf("%s: %s", f.ID, f.Title), "errors inserted", f.YLabel, 56, 14, series)
+	headers := []string{"errors"}
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	rows := make([][]string, len(f.Errors))
+	for i := range f.Errors {
+		row := []string{fmt.Sprintf("%d", f.Errors[i])}
+		for _, s := range f.Series {
+			row = append(row, num(s.Y[i]))
+		}
+		rows[i] = row
+	}
+	return out + "\n" + textplot.Table(headers, rows)
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func values(pts []Point, f func(Point) float64) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = f(p)
+	}
+	return out
+}
+
+func meanValues(pts []Point) []float64 {
+	return values(pts, func(p Point) float64 { return p.MeanValue })
+}
+func failValues(pts []Point) []float64 {
+	return values(pts, func(p Point) float64 { return p.FailPct })
+}
+func acceptValues(pts []Point) []float64 {
+	return values(pts, func(p Point) float64 { return p.AcceptPct })
+}
+
+// buildFor compiles one named benchmark for a figure.
+func buildFor(name string, opt Options) (*Built, error) {
+	a, err := appByNameOrErr(name)
+	if err != nil {
+		return nil, err
+	}
+	return Build(a, opt.Policy)
+}
+
+// Figure1 — Susan: PSNR of the edge map versus errors inserted, with the
+// static analysis on and off, against the 10 dB threshold.
+func Figure1(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	b, err := buildFor("susan", opt)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID: "Figure 1", Title: "Susan results", App: "susan",
+		YLabel: "PSNR of pictures with error (dB)",
+		Errors: []int{100, 500, 920, 1100, 1550, 2300},
+	}
+	thr := 10.0
+	f.Threshold = &thr
+	on := b.Sweep(b.On, f.Errors, opt)
+	off := b.Sweep(b.Off, f.Errors, opt)
+	f.addSeries("static analysis ON", meanValues(on), on)
+	f.addSeries("static analysis OFF", meanValues(off), off)
+	return f, nil
+}
+
+// Figure2 — MPEG: percentage of bad frames and failed executions versus
+// errors, protection on.
+func Figure2(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	b, err := buildFor("mpeg", opt)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID: "Figure 2", Title: "MPEG results", App: "mpeg",
+		YLabel: "% of bad frames / % failed",
+		Errors: []int{10, 50, 100, 150, 300, 500},
+	}
+	thr := 10.0
+	f.Threshold = &thr
+	on := b.Sweep(b.On, f.Errors, opt)
+	f.addSeries("% bad frames (analysis ON)", meanValues(on), on)
+	f.addSeries("% failed executions", failValues(on), nil)
+	return f, nil
+}
+
+// Figure3 — MCF: percentage of optimal schedules found and failed runs.
+func Figure3(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	b, err := buildFor("mcf", opt)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID: "Figure 3", Title: "MCF results", App: "mcf",
+		YLabel: "% optimal schedules / % failed",
+		Errors: []int{1, 20, 50, 100, 150, 200, 250, 300},
+	}
+	on := b.Sweep(b.On, f.Errors, opt)
+	f.addSeries("% optimal schedules found", acceptValues(on), on)
+	f.addSeries("% failed executions", failValues(on), nil)
+	return f, nil
+}
+
+// Figure4 — Blowfish: percentage of bytes correct and failed executions.
+func Figure4(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	b, err := buildFor("blowfish", opt)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID: "Figure 4", Title: "Blowfish results", App: "blowfish",
+		YLabel: "% bytes correct / % failed",
+		Errors: []int{5, 10, 15, 20, 25, 30, 35, 40},
+	}
+	on := b.Sweep(b.On, f.Errors, opt)
+	f.addSeries("% bytes correct (fidelity)", meanValues(on), on)
+	f.addSeries("% failed executions", failValues(on), nil)
+	return f, nil
+}
+
+// Figure5 — GSM: SNR relative to the fault-free decode and failures.
+func Figure5(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	b, err := buildFor("gsm", opt)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID: "Figure 5", Title: "GSM results", App: "gsm",
+		YLabel: "% SNR from optimal / % failed",
+		Errors: []int{5, 10, 15, 20, 25, 30, 35, 40},
+	}
+	on := b.Sweep(b.On, f.Errors, opt)
+	f.addSeries("% SNR from optimal (fidelity)", meanValues(on), on)
+	f.addSeries("% failed executions", failValues(on), nil)
+	return f, nil
+}
+
+// Figure6 — ART: percentage of images recognized and failures.
+func Figure6(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	b, err := buildFor("art", opt)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID: "Figure 6", Title: "ART results", App: "art",
+		YLabel: "% images recognized / % failed",
+		Errors: []int{1, 2, 3, 4},
+	}
+	on := b.Sweep(b.On, f.Errors, opt)
+	f.addSeries("% images recognized", acceptValues(on), on)
+	f.addSeries("% failed executions", failValues(on), nil)
+	return f, nil
+}
+
+// Figures runs all six figures.
+func Figures(opt Options) ([]*Figure, error) {
+	builders := []func(Options) (*Figure, error){Figure1, Figure2, Figure3, Figure4, Figure5, Figure6}
+	out := make([]*Figure, 0, len(builders))
+	for _, fn := range builders {
+		f, err := fn(opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+
+	"etap/internal/apps/all"
+	"etap/internal/core"
+	"etap/internal/textplot"
+)
+
+// Section 5.3 of the paper ("Future Potential") argues that error
+// tolerance should buy cheaper or faster reliability: protect the control
+// instructions with a known redundancy scheme and run the low-reliability
+// instructions on unprotected hardware. Potential quantifies that: if a
+// protected instruction costs r times an unprotected one (r = 2 for dual
+// redundant execution with retry, r = 3 for TMR), the speedup of
+// selective protection over protecting everything is
+//
+//	speedup(r) = (N·r) / (N_protected·r + N_tagged·1)
+//
+// where the counts are dynamic. The same figure reads as an
+// energy-saving ratio under an energy-proportional cost model.
+
+// PotentialRow is one application's selective-protection payoff under one
+// policy.
+type PotentialRow struct {
+	App       string
+	Policy    core.Policy
+	LowRelPct float64
+	// SpeedupDMR/SpeedupTMR are the selective-protection speedups for
+	// redundancy factors 2 and 3.
+	SpeedupDMR float64
+	SpeedupTMR float64
+}
+
+// PotentialResult reproduces the §5.3 analysis over every benchmark, under
+// both the paper's control-only slice and the address-protecting policy.
+type PotentialResult struct {
+	Rows []PotentialRow
+}
+
+// Potential computes the selective-protection payoff per application.
+func Potential(opt Options) (*PotentialResult, error) {
+	opt = opt.withDefaults()
+	res := &PotentialResult{}
+	for _, a := range all.Apps() {
+		for _, pol := range []core.Policy{core.PolicyControl, core.PolicyControlAddr} {
+			b, err := Build(a, pol)
+			if err != nil {
+				return nil, err
+			}
+			frac := b.On.EligibleFraction() // tagged share of the dynamic stream
+			speedup := func(r float64) float64 {
+				return r / ((1-frac)*r + frac)
+			}
+			res.Rows = append(res.Rows, PotentialRow{
+				App:        a.Name(),
+				Policy:     pol,
+				LowRelPct:  100 * frac,
+				SpeedupDMR: speedup(2),
+				SpeedupTMR: speedup(3),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render formats the table.
+func (r *PotentialResult) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.App,
+			row.Policy.String(),
+			pct(row.LowRelPct),
+			fmt.Sprintf("%.2fx", row.SpeedupDMR),
+			fmt.Sprintf("%.2fx", row.SpeedupTMR),
+		}
+	}
+	return "Future potential (paper §5.3): speedup of protecting only control data\nover protecting everything, for dual-redundant (2x) and TMR (3x) hardware\n\n" +
+		textplot.Table([]string{"Algorithm", "Policy", "% low-rel (dynamic)", "Speedup (DMR)", "Speedup (TMR)"}, rows)
+}

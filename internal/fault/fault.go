@@ -1,0 +1,122 @@
+// Package fault builds and runs fault-injection campaigns following the
+// paper's methodology (§4): single bit flips, uniformly distributed over
+// the dynamic instances of the eligible instructions of a run, flipping one
+// uniformly chosen bit of the instruction's result. Everything is
+// deterministic given a seed, which the experiment harness and the tests
+// rely on.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"etap/internal/isa"
+	"etap/internal/sim"
+)
+
+// NewPlan schedules n single-bit flips uniformly over a dynamic eligible
+// stream of length streamLen, with bit positions uniform over the full
+// word. Ordinals are distinct; if n exceeds streamLen, the plan saturates
+// at streamLen flips.
+func NewPlan(eligible []bool, streamLen uint64, n int, seed int64) *sim.FaultPlan {
+	return NewPlanBits(eligible, streamLen, n, seed, 0, 31)
+}
+
+// NewPlanBits is NewPlan with bit positions restricted to [loBit, hiBit]
+// (inclusive), for sensitivity studies of where in the word an upset
+// lands.
+func NewPlanBits(eligible []bool, streamLen uint64, n int, seed int64, loBit, hiBit uint8) *sim.FaultPlan {
+	if hiBit > 31 {
+		hiBit = 31
+	}
+	if loBit > hiBit {
+		loBit = hiBit
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if uint64(n) > streamLen {
+		n = int(streamLen)
+	}
+	chosen := make(map[uint64]bool, n)
+	inj := make([]sim.Injection, 0, n)
+	for len(inj) < n {
+		at := uint64(rng.Int63n(int64(streamLen))) + 1
+		if chosen[at] {
+			continue
+		}
+		chosen[at] = true
+		bit := loBit + uint8(rng.Intn(int(hiBit-loBit)+1))
+		inj = append(inj, sim.Injection{At: at, Bit: bit})
+	}
+	sort.Slice(inj, func(i, j int) bool { return inj[i].At < inj[j].At })
+	return &sim.FaultPlan{Eligible: eligible, Injections: inj}
+}
+
+// Campaign is a reusable fault-injection setup for one program, input and
+// eligibility mask. Constructing it runs the program once cleanly to learn
+// the dynamic eligible-stream length and set the timeout budget.
+type Campaign struct {
+	Prog     *isa.Program
+	Eligible []bool
+	// Clean is the fault-free reference run.
+	Clean sim.Result
+	// Budget is the instruction limit applied to faulty runs; exceeding it
+	// classifies the run as an infinite execution.
+	Budget uint64
+
+	baseCfg sim.Config
+}
+
+// NewCampaign prepares a campaign. cfg.Plan and cfg.MaxInstr are managed by
+// the campaign and must be unset.
+func NewCampaign(p *isa.Program, eligible []bool, cfg sim.Config) (*Campaign, error) {
+	if cfg.Plan != nil {
+		return nil, fmt.Errorf("fault: cfg.Plan is managed by the campaign")
+	}
+	if len(eligible) != len(p.Text) {
+		return nil, fmt.Errorf("fault: eligibility mask has %d entries for %d instructions", len(eligible), len(p.Text))
+	}
+	probe := cfg
+	probe.Plan = &sim.FaultPlan{Eligible: eligible}
+	clean := sim.Run(p, probe)
+	if clean.Outcome != sim.OK {
+		return nil, fmt.Errorf("fault: clean run did not complete: %s (trap: %s)", clean.Outcome, clean.Trap)
+	}
+	if clean.EligibleExec == 0 {
+		return nil, fmt.Errorf("fault: no eligible instructions executed; nothing to inject into")
+	}
+	c := &Campaign{
+		Prog:     p,
+		Eligible: eligible,
+		Clean:    clean,
+		Budget:   clean.Instret*16 + 10_000_000,
+		baseCfg:  cfg,
+	}
+	return c, nil
+}
+
+// Run executes one faulty trial with n errors, deterministic in seed.
+func (c *Campaign) Run(n int, seed int64) sim.Result {
+	cfg := c.baseCfg
+	cfg.MaxInstr = c.Budget
+	cfg.Plan = NewPlan(c.Eligible, c.Clean.EligibleExec, n, seed)
+	return sim.Run(c.Prog, cfg)
+}
+
+// RunBits is Run with the flipped bit restricted to [loBit, hiBit].
+func (c *Campaign) RunBits(n int, seed int64, loBit, hiBit uint8) sim.Result {
+	cfg := c.baseCfg
+	cfg.MaxInstr = c.Budget
+	cfg.Plan = NewPlanBits(c.Eligible, c.Clean.EligibleExec, n, seed, loBit, hiBit)
+	return sim.Run(c.Prog, cfg)
+}
+
+// EligibleFraction is the dynamic fraction of executed instructions that
+// were eligible in the clean run — Table 3's "% low reliability
+// instructions" when the mask is the analysis tag set.
+func (c *Campaign) EligibleFraction() float64 {
+	if c.Clean.Instret == 0 {
+		return 0
+	}
+	return float64(c.Clean.EligibleExec) / float64(c.Clean.Instret)
+}

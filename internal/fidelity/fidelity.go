@@ -1,0 +1,179 @@
+// Package fidelity implements the application fidelity measures of Table 1:
+// PSNR between images (the ImageMagick comparison used for Susan and the
+// per-frame MPEG quality test), signal-to-noise ratio between PCM sample
+// streams (GSM), and byte-level similarity (Blowfish, ADPCM). It also holds
+// the small image/PCM containers the harness uses to move data between the
+// simulated applications and the Go-side metrics.
+package fidelity
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// PSNRCap is the value reported when two signals are identical (infinite
+// PSNR); 99 dB mirrors ImageMagick's convention of printing a large finite
+// number.
+const PSNRCap = 99.0
+
+// MSE returns the mean squared error between two byte signals. Signals of
+// different lengths are compared over the shorter prefix, and each missing
+// byte counts as a maximal (255) error, so truncated outputs score poorly
+// instead of panicking.
+func MSE(a, b []byte) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := float64(a[i]) - float64(b[i])
+		sum += d * d
+	}
+	miss := (len(a) - n) + (len(b) - n)
+	sum += float64(miss) * 255 * 255
+	total := n + miss
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two 8-bit
+// signals, capped at PSNRCap for identical inputs.
+func PSNR(a, b []byte) float64 {
+	mse := MSE(a, b)
+	if mse == 0 {
+		return PSNRCap
+	}
+	v := 10 * math.Log10(255*255/mse)
+	if v > PSNRCap {
+		return PSNRCap
+	}
+	return v
+}
+
+// ByteMatch returns the fraction (0..1) of positions where a and b agree.
+// Length mismatches count as disagreement, as in the paper's Blowfish and
+// ADPCM measures ("percent of bytes that match").
+func ByteMatch(a, b []byte) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	match := 0
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			match++
+		}
+	}
+	total := len(a)
+	if len(b) > total {
+		total = len(b)
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(match) / float64(total)
+}
+
+// SNR16 returns the signal-to-noise ratio in dB of test against the
+// reference 16-bit PCM stream: 10*log10(sum(ref^2)/sum((ref-test)^2)).
+// Identical streams return PSNRCap. A silent reference returns 0.
+// Length mismatches are penalised by treating missing samples as zeros.
+func SNR16(ref, test []int16) float64 {
+	n := len(ref)
+	if len(test) > n {
+		n = len(test)
+	}
+	var sig, noise float64
+	at := func(s []int16, i int) float64 {
+		if i < len(s) {
+			return float64(s[i])
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		r := at(ref, i)
+		d := r - at(test, i)
+		sig += r * r
+		noise += d * d
+	}
+	if sig == 0 {
+		return 0
+	}
+	if noise == 0 {
+		return PSNRCap
+	}
+	v := 10 * math.Log10(sig/noise)
+	if v > PSNRCap {
+		v = PSNRCap
+	}
+	return v
+}
+
+// PCMToBytes encodes 16-bit samples little-endian.
+func PCMToBytes(samples []int16) []byte {
+	out := make([]byte, 2*len(samples))
+	for i, s := range samples {
+		binary.LittleEndian.PutUint16(out[2*i:], uint16(s))
+	}
+	return out
+}
+
+// BytesToPCM decodes little-endian 16-bit samples; a trailing odd byte is
+// dropped (corrupted runs can emit odd lengths).
+func BytesToPCM(b []byte) []int16 {
+	n := len(b) / 2
+	out := make([]int16, n)
+	for i := 0; i < n; i++ {
+		out[i] = int16(binary.LittleEndian.Uint16(b[2*i:]))
+	}
+	return out
+}
+
+// Image is a simple 8-bit grayscale raster.
+type Image struct {
+	W, H int
+	Pix  []byte // row-major, len W*H
+}
+
+// NewImage allocates a zeroed W×H image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]byte, w*h)}
+}
+
+// At returns the pixel value; out-of-bounds coordinates clamp to the edge,
+// which matches the border handling of the Susan kernels.
+func (im *Image) At(x, y int) byte {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes a pixel; out-of-bounds writes are ignored.
+func (im *Image) Set(x, y int, v byte) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// ImagePSNR compares two rasters with PSNR; dimension mismatch is an error.
+func ImagePSNR(a, b *Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("fidelity: image size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	return PSNR(a.Pix, b.Pix), nil
+}

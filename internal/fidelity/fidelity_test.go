@@ -1,0 +1,193 @@
+package fidelity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSE(t *testing.T) {
+	if got := MSE([]byte{0, 0}, []byte{0, 0}); got != 0 {
+		t.Fatalf("identical MSE = %f", got)
+	}
+	if got := MSE([]byte{10}, []byte{13}); got != 9 {
+		t.Fatalf("MSE = %f, want 9", got)
+	}
+	// Missing bytes count as maximal error.
+	if got := MSE([]byte{5, 5}, []byte{5}); got != 255*255/2.0 {
+		t.Fatalf("truncated MSE = %f, want %f", got, 255*255/2.0)
+	}
+	if got := MSE(nil, nil); got != 0 {
+		t.Fatalf("empty MSE = %f", got)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	if got := PSNR([]byte{1, 2, 3}, []byte{1, 2, 3}); got != PSNRCap {
+		t.Fatalf("identical PSNR = %f, want cap", got)
+	}
+	// Single gray level off by 1 everywhere: PSNR = 20*log10(255) ≈ 48.13.
+	a := make([]byte, 100)
+	b := make([]byte, 100)
+	for i := range b {
+		b[i] = 1
+	}
+	got := PSNR(a, b)
+	if math.Abs(got-48.13) > 0.01 {
+		t.Fatalf("PSNR = %f, want ~48.13", got)
+	}
+	// Maximal difference.
+	for i := range b {
+		a[i], b[i] = 0, 255
+	}
+	if got := PSNR(a, b); got != 0 {
+		t.Fatalf("max-difference PSNR = %f, want 0", got)
+	}
+}
+
+// TestPSNRSymmetry: PSNR(a,b) == PSNR(b,a).
+func TestPSNRSymmetry(t *testing.T) {
+	f := func(a, b []byte) bool {
+		return PSNR(a, b) == PSNR(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPSNRRange: PSNR is always within [0, cap].
+func TestPSNRRange(t *testing.T) {
+	f := func(a, b []byte) bool {
+		p := PSNR(a, b)
+		return p >= 0 && p <= PSNRCap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteMatch(t *testing.T) {
+	if got := ByteMatch([]byte("abcd"), []byte("abcd")); got != 1 {
+		t.Fatalf("identical = %f", got)
+	}
+	if got := ByteMatch([]byte("abcd"), []byte("abXd")); got != 0.75 {
+		t.Fatalf("3/4 = %f", got)
+	}
+	if got := ByteMatch([]byte("abcd"), []byte("ab")); got != 0.5 {
+		t.Fatalf("truncated = %f", got)
+	}
+	if got := ByteMatch([]byte("ab"), []byte("abcd")); got != 0.5 {
+		t.Fatalf("extended = %f", got)
+	}
+	if got := ByteMatch(nil, nil); got != 1 {
+		t.Fatalf("empty = %f", got)
+	}
+}
+
+// TestByteMatchBounds: result always within [0, 1], and 1 only for equal
+// slices.
+func TestByteMatchBounds(t *testing.T) {
+	f := func(a, b []byte) bool {
+		m := ByteMatch(a, b)
+		if m < 0 || m > 1 {
+			return false
+		}
+		if m == 1 && len(a) == len(b) {
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSNR16(t *testing.T) {
+	ref := []int16{1000, -1000, 1000, -1000}
+	if got := SNR16(ref, ref); got != PSNRCap {
+		t.Fatalf("identical SNR = %f", got)
+	}
+	// Half-amplitude error: SNR = 10*log10(sum(sig²)/sum((sig/2)²)) ≈ 6.02.
+	half := []int16{500, -500, 500, -500}
+	if got := SNR16(ref, half); math.Abs(got-6.02) > 0.01 {
+		t.Fatalf("half SNR = %f, want ~6.02", got)
+	}
+	if got := SNR16(nil, nil); got != 0 {
+		t.Fatalf("empty SNR = %f", got)
+	}
+	if got := SNR16(make([]int16, 4), []int16{1, 2, 3, 4}); got != 0 {
+		t.Fatalf("silent reference SNR = %f", got)
+	}
+}
+
+func TestSNR16Truncation(t *testing.T) {
+	ref := []int16{1000, 1000, 1000, 1000}
+	// Missing samples count as zeros: huge noise.
+	if got := SNR16(ref, ref[:2]); got > 3.1 {
+		t.Fatalf("truncated SNR = %f, want ~3", got)
+	}
+}
+
+func TestPCMRoundTrip(t *testing.T) {
+	f := func(samples []int16) bool {
+		back := BytesToPCM(PCMToBytes(samples))
+		if len(back) != len(samples) {
+			return false
+		}
+		for i := range samples {
+			if back[i] != samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesToPCMOddLength(t *testing.T) {
+	got := BytesToPCM([]byte{1, 0, 2})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("odd-length decode = %v", got)
+	}
+}
+
+func TestImage(t *testing.T) {
+	im := NewImage(4, 3)
+	im.Set(1, 2, 77)
+	if im.At(1, 2) != 77 {
+		t.Fatalf("set/get failed")
+	}
+	// Clamped reads.
+	im.Set(0, 0, 10)
+	if im.At(-5, -5) != 10 {
+		t.Fatalf("clamped read = %d", im.At(-5, -5))
+	}
+	im.Set(3, 2, 20)
+	if im.At(99, 99) != 20 {
+		t.Fatalf("clamped read high = %d", im.At(99, 99))
+	}
+	// Ignored out-of-bounds writes.
+	im.Set(-1, 0, 99)
+	im.Set(4, 0, 99)
+	if im.At(0, 0) != 10 {
+		t.Fatalf("out-of-bounds write leaked")
+	}
+}
+
+func TestImagePSNR(t *testing.T) {
+	a, b := NewImage(2, 2), NewImage(2, 2)
+	v, err := ImagePSNR(a, b)
+	if err != nil || v != PSNRCap {
+		t.Fatalf("identical images: %f, %v", v, err)
+	}
+	c := NewImage(3, 2)
+	if _, err := ImagePSNR(a, c); err == nil {
+		t.Fatalf("size mismatch accepted")
+	}
+}

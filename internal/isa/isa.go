@@ -1,0 +1,394 @@
+// Package isa defines the MIPS-like 32-bit instruction set used by the
+// whole toolchain: the MiniC compiler emits it, the assembler encodes it,
+// the simulator executes it, and the control-data analysis reasons about it.
+//
+// The ISA is deliberately close to the MIPS subset the paper's examples use
+// (three-register ALU ops, load/store with register+offset addressing,
+// compare-and-branch, jump-and-link) with a small word-oriented float
+// extension: float values live in the same 32 general registers as integers
+// and float opcodes reinterpret the register bits as IEEE-754 binary32.
+// Keeping a single register file makes the paper's fault model ("flip a bit
+// in the result of an instruction") uniform across integer and float code.
+package isa
+
+import "fmt"
+
+// Reg names a general-purpose register. Register 0 is hardwired to zero,
+// as on MIPS.
+type Reg uint8
+
+// NumRegs is the size of the register file.
+const NumRegs = 32
+
+// Conventional register assignments (MIPS o32 names).
+const (
+	RegZero Reg = 0  // always zero
+	RegAT   Reg = 1  // assembler temporary
+	RegV0   Reg = 2  // return value / syscall number
+	RegV1   Reg = 3  // second return value
+	RegA0   Reg = 4  // argument 0
+	RegA1   Reg = 5  // argument 1
+	RegA2   Reg = 6  // argument 2
+	RegA3   Reg = 7  // argument 3
+	RegT0   Reg = 8  // temporaries t0..t7 = r8..r15
+	RegT7   Reg = 15 //
+	RegS0   Reg = 16 // callee-saved s0..s7 = r16..r23
+	RegS7   Reg = 23 //
+	RegT8   Reg = 24 // extra temporaries
+	RegT9   Reg = 25 //
+	RegK0   Reg = 26 // reserved (unused)
+	RegK1   Reg = 27 // reserved (unused)
+	RegGP   Reg = 28 // global pointer (unused by the compiler)
+	RegSP   Reg = 29 // stack pointer
+	RegFP   Reg = 30 // frame pointer
+	RegRA   Reg = 31 // return address
+)
+
+var regNames = [NumRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional dollar-prefixed register name, e.g. "$sp".
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return "$" + regNames[r]
+	}
+	return fmt.Sprintf("$r%d", uint8(r))
+}
+
+// RegByName resolves a register name without the '$' prefix. Both symbolic
+// names ("sp", "t3") and numeric names ("29", "11") are accepted.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "%d", &n); err == nil && n >= 0 && n < NumRegs {
+		// Reject trailing junk such as "1x".
+		if fmt.Sprintf("%d", n) == name {
+			return Reg(n), true
+		}
+	}
+	return 0, false
+}
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes. The groupings matter: the analysis and the fault injector use
+// Class to decide which instructions are arithmetic (injectable), which are
+// control (seed the CVar set), and which touch memory.
+const (
+	NOP Op = iota
+
+	// Integer ALU, register forms: Rd = Rs op Rt.
+	ADD
+	SUB
+	MUL
+	DIV // traps on divide-by-zero
+	REM // traps on divide-by-zero
+	AND
+	OR
+	XOR
+	NOR
+	SLLV
+	SRLV
+	SRAV
+	SLT
+	SLTU
+
+	// Integer ALU, immediate forms: Rd = Rs op Imm.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLL
+	SRL
+	SRA
+	SLTI
+	LUI // Rd = Imm << 16 (Rs ignored)
+
+	// Float ALU (operands reinterpreted as binary32): Rd = Rs op Rt.
+	ADDF
+	SUBF
+	MULF
+	DIVF
+	CVTIF // Rd = float(int(Rs))
+	CVTFI // Rd = int(truncate(float(Rs)))
+	CEQF  // Rd = 1 if float(Rs) == float(Rt) else 0
+	CLTF  // Rd = 1 if float(Rs) <  float(Rt) else 0
+	CLEF  // Rd = 1 if float(Rs) <= float(Rt) else 0
+
+	// Memory: address is Rs + Imm.
+	LW  // Rd = mem32[addr]
+	LH  // Rd = sign-extended mem16[addr]
+	LHU // Rd = zero-extended mem16[addr]
+	LB  // Rd = sign-extended mem8[addr]
+	LBU // Rd = zero-extended mem8[addr]
+	SW  // mem32[addr] = Rt
+	SH  // mem16[addr] = low 16 bits of Rt
+	SB  // mem8[addr] = low 8 bits of Rt
+
+	// Control. Branch/jump targets are absolute text indices in Imm after
+	// assembly (the assembler resolves labels).
+	BEQ  // if Rs == Rt goto Imm
+	BNE  // if Rs != Rt goto Imm
+	BLEZ // if int32(Rs) <= 0 goto Imm
+	BGTZ // if int32(Rs) > 0 goto Imm
+	BLTZ // if int32(Rs) < 0 goto Imm
+	BGEZ // if int32(Rs) >= 0 goto Imm
+	J    // goto Imm
+	JAL  // ra = pc+1; goto Imm
+	JR   // goto Rs (used only for returns: jr $ra)
+	JALR // Rd = pc+1; goto Rs
+
+	// Environment call: v0 selects the call, a0/a1 are arguments, v0
+	// receives the result. See the sim package for the call table.
+	SYSCALL
+
+	numOps // sentinel
+)
+
+// NumOps is the number of defined opcodes (excluding the sentinel).
+const NumOps = int(numOps)
+
+// Class partitions opcodes by their role in the analysis and fault model.
+type Class uint8
+
+const (
+	// ClassNop is the no-op.
+	ClassNop Class = iota
+	// ClassArith covers every result-writing ALU instruction, integer and
+	// float. These are the paper's injectable/taggable instructions.
+	ClassArith
+	// ClassLoad covers memory reads (they define a register but are not
+	// injection sites; per the paper they terminate CVar def-use chains).
+	ClassLoad
+	// ClassStore covers memory writes.
+	ClassStore
+	// ClassControl covers branches, jumps, calls and returns.
+	ClassControl
+	// ClassSys is the environment call.
+	ClassSys
+)
+
+type opInfo struct {
+	name  string
+	class Class
+	// format controls disassembly and assembly operand shapes.
+	format opFormat
+}
+
+type opFormat uint8
+
+const (
+	fmtNone opFormat = iota // nop, syscall
+	fmt3R                   // op rd, rs, rt
+	fmt2RI                  // op rd, rs, imm
+	fmtRI                   // op rd, imm          (lui)
+	fmt2R                   // op rd, rs           (cvtif, cvtfi)
+	fmtMem                  // op r, imm(rs)       (loads: r=rd; stores: r=rt)
+	fmtBr2                  // op rs, rt, target
+	fmtBr1                  // op rs, target
+	fmtJ                    // op target
+	fmtJR                   // op rs
+	fmtJALR                 // op rd, rs
+)
+
+var opTable = [numOps]opInfo{
+	NOP: {"nop", ClassNop, fmtNone},
+
+	ADD:  {"add", ClassArith, fmt3R},
+	SUB:  {"sub", ClassArith, fmt3R},
+	MUL:  {"mul", ClassArith, fmt3R},
+	DIV:  {"div", ClassArith, fmt3R},
+	REM:  {"rem", ClassArith, fmt3R},
+	AND:  {"and", ClassArith, fmt3R},
+	OR:   {"or", ClassArith, fmt3R},
+	XOR:  {"xor", ClassArith, fmt3R},
+	NOR:  {"nor", ClassArith, fmt3R},
+	SLLV: {"sllv", ClassArith, fmt3R},
+	SRLV: {"srlv", ClassArith, fmt3R},
+	SRAV: {"srav", ClassArith, fmt3R},
+	SLT:  {"slt", ClassArith, fmt3R},
+	SLTU: {"sltu", ClassArith, fmt3R},
+
+	ADDI: {"addi", ClassArith, fmt2RI},
+	ANDI: {"andi", ClassArith, fmt2RI},
+	ORI:  {"ori", ClassArith, fmt2RI},
+	XORI: {"xori", ClassArith, fmt2RI},
+	SLL:  {"sll", ClassArith, fmt2RI},
+	SRL:  {"srl", ClassArith, fmt2RI},
+	SRA:  {"sra", ClassArith, fmt2RI},
+	SLTI: {"slti", ClassArith, fmt2RI},
+	LUI:  {"lui", ClassArith, fmtRI},
+
+	ADDF:  {"addf", ClassArith, fmt3R},
+	SUBF:  {"subf", ClassArith, fmt3R},
+	MULF:  {"mulf", ClassArith, fmt3R},
+	DIVF:  {"divf", ClassArith, fmt3R},
+	CVTIF: {"cvtif", ClassArith, fmt2R},
+	CVTFI: {"cvtfi", ClassArith, fmt2R},
+	CEQF:  {"ceqf", ClassArith, fmt3R},
+	CLTF:  {"cltf", ClassArith, fmt3R},
+	CLEF:  {"clef", ClassArith, fmt3R},
+
+	LW:  {"lw", ClassLoad, fmtMem},
+	LH:  {"lh", ClassLoad, fmtMem},
+	LHU: {"lhu", ClassLoad, fmtMem},
+	LB:  {"lb", ClassLoad, fmtMem},
+	LBU: {"lbu", ClassLoad, fmtMem},
+	SW:  {"sw", ClassStore, fmtMem},
+	SH:  {"sh", ClassStore, fmtMem},
+	SB:  {"sb", ClassStore, fmtMem},
+
+	BEQ:  {"beq", ClassControl, fmtBr2},
+	BNE:  {"bne", ClassControl, fmtBr2},
+	BLEZ: {"blez", ClassControl, fmtBr1},
+	BGTZ: {"bgtz", ClassControl, fmtBr1},
+	BLTZ: {"bltz", ClassControl, fmtBr1},
+	BGEZ: {"bgez", ClassControl, fmtBr1},
+	J:    {"j", ClassControl, fmtJ},
+	JAL:  {"jal", ClassControl, fmtJ},
+	JR:   {"jr", ClassControl, fmtJR},
+	JALR: {"jalr", ClassControl, fmtJALR},
+
+	SYSCALL: {"syscall", ClassSys, fmtNone},
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opTable) && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OpByName resolves a mnemonic to its opcode.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		if opTable[op].name != "" {
+			m[opTable[op].name] = op
+		}
+	}
+	return m
+}()
+
+// ClassOf reports the instruction class of an opcode.
+func ClassOf(o Op) Class {
+	if int(o) < len(opTable) {
+		return opTable[o].class
+	}
+	return ClassNop
+}
+
+// Instr is one decoded instruction. Operand meaning depends on the opcode:
+// Rd is the destination register, Rs and Rt are sources, and Imm holds an
+// immediate, a shift amount, a memory offset, or (after label resolution)
+// an absolute text index for branch and jump targets.
+type Instr struct {
+	Op  Op
+	Rd  Reg
+	Rs  Reg
+	Rt  Reg
+	Imm int32
+
+	// Sym is the unresolved target label for branches/jumps, or the data
+	// symbol an immediate was derived from. It survives assembly purely for
+	// diagnostics and round-trip tests.
+	Sym string
+	// Line is the 1-based source line in the assembly text, for diagnostics.
+	Line int
+}
+
+// Class reports the instruction's class.
+func (i Instr) Class() Class { return ClassOf(i.Op) }
+
+// Dest returns the register this instruction writes, if any. The zero
+// register is reported like any other destination; writes to it are
+// discarded by the simulator but the analysis still sees the definition.
+func (i Instr) Dest() (Reg, bool) {
+	switch i.Class() {
+	case ClassArith, ClassLoad:
+		return i.Rd, true
+	case ClassControl:
+		switch i.Op {
+		case JAL:
+			return RegRA, true
+		case JALR:
+			return i.Rd, true
+		}
+	case ClassSys:
+		return RegV0, true
+	}
+	return 0, false
+}
+
+// Uses returns the registers this instruction reads. The result is appended
+// to buf to let hot paths avoid allocation.
+func (i Instr) Uses(buf []Reg) []Reg {
+	switch i.Op {
+	case NOP, J, JAL, LUI:
+		return buf
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, NOR, SLLV, SRLV, SRAV, SLT, SLTU,
+		ADDF, SUBF, MULF, DIVF, CEQF, CLTF, CLEF:
+		return append(buf, i.Rs, i.Rt)
+	case ADDI, ANDI, ORI, XORI, SLL, SRL, SRA, SLTI:
+		return append(buf, i.Rs)
+	case CVTIF, CVTFI:
+		return append(buf, i.Rs)
+	case LW, LH, LHU, LB, LBU:
+		return append(buf, i.Rs)
+	case SW, SH, SB:
+		return append(buf, i.Rt, i.Rs)
+	case BEQ, BNE:
+		return append(buf, i.Rs, i.Rt)
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		return append(buf, i.Rs)
+	case JR, JALR:
+		return append(buf, i.Rs)
+	case SYSCALL:
+		return append(buf, RegV0, RegA0, RegA1)
+	}
+	return buf
+}
+
+// IsBranchOrJump reports whether executing the instruction can change the
+// program counter to something other than pc+1.
+func (i Instr) IsBranchOrJump() bool { return i.Class() == ClassControl }
+
+// IsInjectable reports whether the instruction is a legal fault-injection
+// site under the paper's model: a result-writing arithmetic instruction.
+// Writes to the zero register are excluded (flipping a discarded result is
+// not observable, and the compiler never emits them).
+func (i Instr) IsInjectable() bool {
+	return i.Class() == ClassArith && i.Rd != RegZero
+}
+
+// MemBase returns the address base register for loads and stores.
+func (i Instr) MemBase() (Reg, bool) {
+	switch i.Class() {
+	case ClassLoad, ClassStore:
+		return i.Rs, true
+	}
+	return 0, false
+}
+
+// StoredValue returns the register holding the value written by a store.
+func (i Instr) StoredValue() (Reg, bool) {
+	if i.Class() == ClassStore {
+		return i.Rt, true
+	}
+	return 0, false
+}

@@ -1,0 +1,269 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := map[Reg]string{
+		RegZero: "$zero", RegAT: "$at", RegV0: "$v0", RegA0: "$a0",
+		RegT0: "$t0", RegT8: "$t8", RegS0: "$s0", RegSP: "$sp",
+		RegFP: "$fp", RegRA: "$ra",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("reg %d = %q, want %q", r, r, want)
+		}
+	}
+}
+
+func TestRegByName(t *testing.T) {
+	for i := 0; i < NumRegs; i++ {
+		r := Reg(i)
+		name := r.String()[1:]
+		got, ok := RegByName(name)
+		if !ok || got != r {
+			t.Errorf("RegByName(%q) = %v,%v", name, got, ok)
+		}
+	}
+	// Numeric aliases.
+	if r, ok := RegByName("29"); !ok || r != RegSP {
+		t.Errorf("RegByName(29) = %v,%v", r, ok)
+	}
+	for _, bad := range []string{"", "q1", "32", "-1", "1x", "sp2"} {
+		if _, ok := RegByName(bad); ok {
+			t.Errorf("RegByName(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestOpNameRoundTrip(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		name := op.String()
+		got, ok := OpByName(name)
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v,%v, want %v", name, got, ok, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Errorf("OpByName(bogus) succeeded")
+	}
+}
+
+func TestClassPartition(t *testing.T) {
+	// Every opcode has exactly one class and the partition matches the
+	// documented grouping.
+	arith := []Op{ADD, SUB, MUL, DIV, REM, AND, OR, XOR, NOR, SLLV, SRLV, SRAV,
+		SLT, SLTU, ADDI, ANDI, ORI, XORI, SLL, SRL, SRA, SLTI, LUI,
+		ADDF, SUBF, MULF, DIVF, CVTIF, CVTFI, CEQF, CLTF, CLEF}
+	for _, op := range arith {
+		if ClassOf(op) != ClassArith {
+			t.Errorf("%s class = %v, want arith", op, ClassOf(op))
+		}
+	}
+	for _, op := range []Op{LW, LH, LHU, LB, LBU} {
+		if ClassOf(op) != ClassLoad {
+			t.Errorf("%s class = %v, want load", op, ClassOf(op))
+		}
+	}
+	for _, op := range []Op{SW, SH, SB} {
+		if ClassOf(op) != ClassStore {
+			t.Errorf("%s class = %v, want store", op, ClassOf(op))
+		}
+	}
+	for _, op := range []Op{BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, J, JAL, JR, JALR} {
+		if ClassOf(op) != ClassControl {
+			t.Errorf("%s class = %v, want control", op, ClassOf(op))
+		}
+	}
+	if ClassOf(SYSCALL) != ClassSys || ClassOf(NOP) != ClassNop {
+		t.Errorf("syscall/nop misclassified")
+	}
+}
+
+func TestDest(t *testing.T) {
+	cases := []struct {
+		in     Instr
+		reg    Reg
+		hasDst bool
+	}{
+		{Instr{Op: ADD, Rd: 5}, 5, true},
+		{Instr{Op: LW, Rd: 7}, 7, true},
+		{Instr{Op: SW, Rt: 7}, 0, false},
+		{Instr{Op: BEQ}, 0, false},
+		{Instr{Op: J}, 0, false},
+		{Instr{Op: JAL}, RegRA, true},
+		{Instr{Op: JALR, Rd: 31}, 31, true},
+		{Instr{Op: JR}, 0, false},
+		{Instr{Op: SYSCALL}, RegV0, true},
+		{Instr{Op: NOP}, 0, false},
+	}
+	for _, c := range cases {
+		r, ok := c.in.Dest()
+		if ok != c.hasDst || (ok && r != c.reg) {
+			t.Errorf("%s Dest() = %v,%v, want %v,%v", c.in.Op, r, ok, c.reg, c.hasDst)
+		}
+	}
+}
+
+func TestUses(t *testing.T) {
+	has := func(rs []Reg, want ...Reg) bool {
+		if len(rs) != len(want) {
+			return false
+		}
+		for i := range rs {
+			if rs[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if u := (Instr{Op: ADD, Rs: 1, Rt: 2}).Uses(nil); !has(u, 1, 2) {
+		t.Errorf("add uses %v", u)
+	}
+	if u := (Instr{Op: ADDI, Rs: 3}).Uses(nil); !has(u, 3) {
+		t.Errorf("addi uses %v", u)
+	}
+	if u := (Instr{Op: LUI}).Uses(nil); !has(u) {
+		t.Errorf("lui uses %v", u)
+	}
+	if u := (Instr{Op: SW, Rs: 4, Rt: 5}).Uses(nil); !has(u, 5, 4) {
+		t.Errorf("sw uses %v", u)
+	}
+	if u := (Instr{Op: SYSCALL}).Uses(nil); !has(u, RegV0, RegA0, RegA1) {
+		t.Errorf("syscall uses %v", u)
+	}
+	if u := (Instr{Op: JR, Rs: RegRA}).Uses(nil); !has(u, RegRA) {
+		t.Errorf("jr uses %v", u)
+	}
+}
+
+// TestInjectablePredicate: injectable iff arithmetic with non-zero dest.
+func TestInjectablePredicate(t *testing.T) {
+	f := func(opRaw, rd uint8) bool {
+		op := Op(opRaw % uint8(NumOps))
+		in := Instr{Op: op, Rd: Reg(rd % 32)}
+		want := ClassOf(op) == ClassArith && in.Rd != RegZero
+		return in.IsInjectable() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemHelpers(t *testing.T) {
+	if base, ok := (Instr{Op: LW, Rs: 9}).MemBase(); !ok || base != 9 {
+		t.Errorf("lw MemBase = %v,%v", base, ok)
+	}
+	if base, ok := (Instr{Op: SB, Rs: 8}).MemBase(); !ok || base != 8 {
+		t.Errorf("sb MemBase = %v,%v", base, ok)
+	}
+	if _, ok := (Instr{Op: ADD}).MemBase(); ok {
+		t.Errorf("add has MemBase")
+	}
+	if v, ok := (Instr{Op: SW, Rt: 3}).StoredValue(); !ok || v != 3 {
+		t.Errorf("sw StoredValue = %v,%v", v, ok)
+	}
+	if _, ok := (Instr{Op: LW}).StoredValue(); ok {
+		t.Errorf("lw has StoredValue")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Program{
+		Text:  []Instr{{Op: ADDI, Rd: 2}, {Op: BEQ, Imm: 0}, {Op: JR, Rs: RegRA}},
+		Funcs: []FuncInfo{{Name: "f", Start: 0, End: 3}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good program invalid: %v", err)
+	}
+	bad := &Program{Text: []Instr{{Op: J, Imm: 99}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("out-of-range target accepted")
+	}
+	empty := &Program{}
+	if err := empty.Validate(); err == nil {
+		t.Fatalf("empty program accepted")
+	}
+	overlap := &Program{
+		Text:  []Instr{{Op: NOP}, {Op: NOP}},
+		Funcs: []FuncInfo{{Name: "a", Start: 0, End: 2}, {Name: "b", Start: 1, End: 2}},
+	}
+	if err := overlap.Validate(); err == nil {
+		t.Fatalf("overlapping functions accepted")
+	}
+	gap := &Program{
+		Text:  []Instr{{Op: NOP}, {Op: NOP}},
+		Funcs: []FuncInfo{{Name: "a", Start: 0, End: 1}},
+	}
+	if err := gap.Validate(); err == nil {
+		t.Fatalf("function gap accepted")
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	p := &Program{
+		Text: make([]Instr, 10),
+		Funcs: []FuncInfo{
+			{Name: "a", Start: 0, End: 4},
+			{Name: "b", Start: 4, End: 10},
+		},
+	}
+	for idx, want := range map[int]string{0: "a", 3: "a", 4: "b", 9: "b"} {
+		f, ok := p.FuncAt(idx)
+		if !ok || f.Name != want {
+			t.Errorf("FuncAt(%d) = %v,%v, want %s", idx, f.Name, ok, want)
+		}
+	}
+	if _, ok := p.FuncAt(10); ok {
+		t.Errorf("FuncAt(10) succeeded")
+	}
+}
+
+func TestDisasmFormats(t *testing.T) {
+	cases := map[string]Instr{
+		"add $t0, $t1, $t2": {Op: ADD, Rd: 8, Rs: 9, Rt: 10},
+		"addi $t0, $t1, -4": {Op: ADDI, Rd: 8, Rs: 9, Imm: -4},
+		"lui $t0, 18":       {Op: LUI, Rd: 8, Imm: 18},
+		"cvtif $t0, $t1":    {Op: CVTIF, Rd: 8, Rs: 9},
+		"lw $t0, 8($sp)":    {Op: LW, Rd: 8, Rs: RegSP, Imm: 8},
+		"sw $t0, -4($fp)":   {Op: SW, Rt: 8, Rs: RegFP, Imm: -4},
+		"beq $t0, $t1, @7":  {Op: BEQ, Rs: 8, Rt: 9, Imm: 7},
+		"blez $t0, @3":      {Op: BLEZ, Rs: 8, Imm: 3},
+		"j @0":              {Op: J},
+		"jal target":        {Op: JAL, Sym: "target"},
+		"jr $ra":            {Op: JR, Rs: RegRA},
+		"jalr $ra, $t0":     {Op: JALR, Rd: RegRA, Rs: 8},
+		"syscall":           {Op: SYSCALL},
+		"nop":               {Op: NOP},
+	}
+	for want, in := range cases {
+		if got := Disasm(in); got != want {
+			t.Errorf("Disasm(%v) = %q, want %q", in.Op, got, want)
+		}
+	}
+}
+
+func TestDumpContainsFunctionsAndLabels(t *testing.T) {
+	p := &Program{
+		Text:    []Instr{{Op: ADDI, Rd: 2, Imm: 1}, {Op: JR, Rs: RegRA}},
+		Symbols: map[string]int{"f": 0, "exit": 1},
+		Funcs:   []FuncInfo{{Name: "f", Start: 0, End: 2, Tolerant: true}},
+	}
+	d := p.Dump()
+	for _, want := range []string{".func f tolerant", "exit:", "addi $v0, $zero, 1"} {
+		if !contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

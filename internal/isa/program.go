@@ -1,0 +1,193 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DataBase is the address at which the data segment is loaded.
+const DataBase uint32 = 0x1000
+
+// TextBase is the architectural address of text index 0. Code addresses
+// held in registers (return addresses written by jal, targets consumed by
+// jr) are TextBase + index, mirroring the conventional MIPS .text base, so
+// a corrupted return address of 0 or garbage lands outside the text segment
+// and crashes, exactly as a wild jump does under SimpleScalar.
+const TextBase uint32 = 0x0040_0000
+
+// FuncInfo describes one assembled function: the half-open text index range
+// [Start, End) and whether the programmer marked it error-tolerant. Only
+// instructions inside tolerant functions may be tagged low-reliability by
+// the analysis, mirroring the paper's "user-identified eligible functions".
+type FuncInfo struct {
+	Name     string
+	Start    int
+	End      int
+	Tolerant bool
+}
+
+// Program is a fully assembled program: text, initial data image, and the
+// symbol tables needed by the analysis, the simulator, and diagnostics.
+type Program struct {
+	Text []Instr
+	// Data is the initial data segment image, loaded at DataBase.
+	Data []byte
+	// Symbols maps text labels to instruction indices.
+	Symbols map[string]int
+	// DataSyms maps data labels to absolute addresses.
+	DataSyms map[string]uint32
+	// Funcs lists functions in text order. Every instruction belongs to
+	// exactly one function.
+	Funcs []FuncInfo
+	// Entry is the text index where execution starts.
+	Entry int
+}
+
+// FuncByName returns the named function.
+func (p *Program) FuncByName(name string) (FuncInfo, bool) {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FuncInfo{}, false
+}
+
+// FuncAt returns the function containing text index idx.
+func (p *Program) FuncAt(idx int) (FuncInfo, bool) {
+	// Funcs are sorted by Start.
+	i := sort.Search(len(p.Funcs), func(i int) bool { return p.Funcs[i].End > idx })
+	if i < len(p.Funcs) && idx >= p.Funcs[i].Start {
+		return p.Funcs[i], true
+	}
+	return FuncInfo{}, false
+}
+
+// Validate checks structural invariants: branch/jump targets in range,
+// functions sorted, non-overlapping and covering, entry in range. The
+// assembler and compiler always produce valid programs; Validate exists so
+// tests and hand-built programs fail fast.
+func (p *Program) Validate() error {
+	if len(p.Text) == 0 {
+		return fmt.Errorf("isa: empty text segment")
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Text) {
+		return fmt.Errorf("isa: entry %d out of range [0,%d)", p.Entry, len(p.Text))
+	}
+	for idx, in := range p.Text {
+		switch in.Op {
+		case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, J, JAL:
+			if in.Imm < 0 || int(in.Imm) >= len(p.Text) {
+				return fmt.Errorf("isa: instr %d (%s) target %d out of range", idx, in.Op, in.Imm)
+			}
+		}
+	}
+	prevEnd := 0
+	for _, f := range p.Funcs {
+		if f.Start != prevEnd {
+			return fmt.Errorf("isa: function %q starts at %d, want %d (functions must tile the text)", f.Name, f.Start, prevEnd)
+		}
+		if f.End <= f.Start || f.End > len(p.Text) {
+			return fmt.Errorf("isa: function %q has bad range [%d,%d)", f.Name, f.Start, f.End)
+		}
+		prevEnd = f.End
+	}
+	if len(p.Funcs) > 0 && prevEnd != len(p.Text) {
+		return fmt.Errorf("isa: functions cover [0,%d) but text has %d instructions", prevEnd, len(p.Text))
+	}
+	return nil
+}
+
+// Disasm formats one instruction the way the assembler would accept it.
+func (p *Program) Disasm(i Instr) string { return Disasm(i) }
+
+// Disasm formats one instruction in assembler syntax. Branch and jump
+// targets are printed as absolute text indices prefixed with '@' when no
+// symbol is attached.
+func Disasm(i Instr) string {
+	target := func() string {
+		if i.Sym != "" {
+			return i.Sym
+		}
+		return fmt.Sprintf("@%d", i.Imm)
+	}
+	switch opTable[i.Op].format {
+	case fmtNone:
+		return i.Op.String()
+	case fmt3R:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs, i.Rt)
+	case fmt2RI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs, i.Imm)
+	case fmtRI:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	case fmt2R:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs)
+	case fmtMem:
+		r := i.Rd
+		if i.Class() == ClassStore {
+			r = i.Rt
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, r, i.Imm, i.Rs)
+	case fmtBr2:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rs, i.Rt, target())
+	case fmtBr1:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rs, target())
+	case fmtJ:
+		return fmt.Sprintf("%s %s", i.Op, target())
+	case fmtJR:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs)
+	case fmtJALR:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs)
+	}
+	return i.Op.String()
+}
+
+// Dump renders the whole text segment with labels and function headers,
+// mainly for debugging compiler output.
+func (p *Program) Dump() string {
+	labels := make(map[int][]string)
+	for name, idx := range p.Symbols {
+		labels[idx] = append(labels[idx], name)
+	}
+	for _, names := range labels {
+		sort.Strings(names)
+	}
+	var b strings.Builder
+	fi := 0
+	for idx, in := range p.Text {
+		for fi < len(p.Funcs) && p.Funcs[fi].Start == idx {
+			attr := ""
+			if p.Funcs[fi].Tolerant {
+				attr = " tolerant"
+			}
+			fmt.Fprintf(&b, "\n.func %s%s\n", p.Funcs[fi].Name, attr)
+			fi++
+		}
+		for _, l := range labels[idx] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "%6d\t%s\n", idx, Disasm(in))
+	}
+	return b.String()
+}
+
+// Format returns the operand format discriminator for an opcode; the
+// assembler uses it to parse operands uniformly.
+func Format(o Op) uint8 { return uint8(opTable[o].format) }
+
+// Operand format constants exported for the assembler. They mirror the
+// internal opFormat values.
+const (
+	FmtNone = uint8(fmtNone)
+	Fmt3R   = uint8(fmt3R)
+	Fmt2RI  = uint8(fmt2RI)
+	FmtRI   = uint8(fmtRI)
+	Fmt2R   = uint8(fmt2R)
+	FmtMem  = uint8(fmtMem)
+	FmtBr2  = uint8(fmtBr2)
+	FmtBr1  = uint8(fmtBr1)
+	FmtJ    = uint8(fmtJ)
+	FmtJR   = uint8(fmtJR)
+	FmtJALR = uint8(fmtJALR)
+)

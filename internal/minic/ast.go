@@ -1,0 +1,282 @@
+package minic
+
+// Type is a MiniC value type. Expressions only ever have type int or float;
+// char exists as a storage type for byte arrays (loads zero-extend to int,
+// stores truncate).
+type Type uint8
+
+const (
+	TypeVoid Type = iota
+	TypeInt
+	TypeChar
+	TypeFloat
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypeFloat:
+		return "float"
+	}
+	return "?"
+}
+
+// value returns the expression type a load of this storage type produces.
+func (t Type) value() Type {
+	if t == TypeChar {
+		return TypeInt
+	}
+	return t
+}
+
+// Program is a parsed and checked compilation unit.
+type Program struct {
+	Globals []*Global
+	Funcs   []*Func
+}
+
+// Global is a file-scope variable: a scalar or a one-dimensional array.
+type Global struct {
+	Name    string
+	Elem    Type // element (or scalar) storage type
+	IsArray bool
+	Size    int // elements; 1 for scalars
+	// Init holds initializer constants, one per element (missing elements
+	// are zero). Ints hold int/char values; float constants are stored in
+	// Floats at the same index with Ints entry ignored.
+	Init []constVal
+	// Const marks `const` declarations; const int scalars with literal
+	// initializers may be used as array sizes.
+	Const bool
+	Line  int
+}
+
+type constVal struct {
+	f       float64
+	i       int64
+	isFloat bool
+}
+
+// Param is a function parameter: a scalar or a pointer to an element type.
+type Param struct {
+	Name string
+	Elem Type
+	Ptr  bool
+	Line int
+
+	decl *Decl // synthesized by the checker
+}
+
+// Func is a function definition.
+type Func struct {
+	Name     string
+	Ret      Type
+	Params   []Param
+	Body     *Block
+	Tolerant bool
+	Line     int
+
+	allDecls []*Decl // params + locals, collected by the checker
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list introducing a scope.
+type Block struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// Decl declares a scalar local with an optional initializer. The checker
+// also synthesizes one Decl per function parameter (pointer parameters set
+// isPtr and elem).
+type Decl struct {
+	Name string
+	T    Type
+	Init Expr
+	Line int
+
+	isPtr bool
+	elem  Type
+	// Location, assigned by codegen: the first eight declarations of a
+	// function (parameters first) live in callee-saved registers $s0–$s7,
+	// the rest in fp-relative stack slots. Register residency matters
+	// beyond speed: the paper's analysis tracks def-use chains through
+	// registers only, so loop counters must stay in registers for their
+	// protection to mirror compiled C code.
+	inReg  bool
+	regIdx int
+	slot   int
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	E    Expr
+	Line int
+}
+
+// If is if/else.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Line int
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+// For is for(init; cond; post). Any clause may be nil; init and post are
+// expressions (typically assignments).
+type For struct {
+	Init Expr
+	Cond Expr
+	Post Expr
+	Body Stmt
+	Line int
+}
+
+// Break exits the innermost loop.
+type Break struct{ Line int }
+
+// Continue jumps to the innermost loop's next iteration.
+type Continue struct{ Line int }
+
+// Return returns from the function, with a value unless the function is void.
+type Return struct {
+	E    Expr // nil for void
+	Line int
+}
+
+func (*Block) stmtNode()    {}
+func (*Decl) stmtNode()     {}
+func (*ExprStmt) stmtNode() {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Return) stmtNode()   {}
+
+// Expr is an expression node. The checker fills in typ.
+type Expr interface {
+	exprNode()
+	Type() Type
+	Pos() int
+}
+
+type exprBase struct {
+	typ  Type
+	line int
+}
+
+func (e *exprBase) exprNode()  {}
+func (e *exprBase) Type() Type { return e.typ }
+func (e *exprBase) Pos() int   { return e.line }
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	V int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	V float64
+}
+
+// refKind classifies what an identifier resolved to.
+type refKind uint8
+
+const (
+	refLocal  refKind = iota // scalar local or scalar parameter (in a stack slot)
+	refGlobal                // global scalar
+	refArray                 // global array (usable as pointer argument or indexed)
+	refPtr                   // pointer parameter (in a stack slot)
+)
+
+// VarRef is an identifier use.
+type VarRef struct {
+	exprBase
+	Name string
+
+	kind refKind
+	elem Type // element type for refArray/refPtr; storage type otherwise
+	decl *Decl
+	gbl  *Global
+	slot int // stack slot for locals/params, assigned by codegen
+}
+
+// Index is base[idx] where base names a global array or pointer parameter.
+type Index struct {
+	exprBase
+	Base *VarRef
+	Idx  Expr
+}
+
+// Unary is -x, !x or ~x.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operation. Assignments are separate.
+type Binary struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// Assign is lhs = rhs, usable as an expression whose value is rhs.
+type Assign struct {
+	exprBase
+	LHS Expr // *VarRef or *Index
+	RHS Expr
+}
+
+// Call invokes a function or builtin.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+
+	fn      *Func // nil for builtins
+	builtin *builtinInfo
+}
+
+// Cast is (int)x or (float)x.
+type Cast struct {
+	exprBase
+	To Type
+	X  Expr
+}
+
+// builtinInfo describes one I/O builtin.
+type builtinInfo struct {
+	name    string
+	ret     Type
+	nargs   int
+	runtime string // runtime assembly symbol
+}
+
+var builtins = map[string]*builtinInfo{
+	"inb":  {"inb", TypeInt, 0, "__inb"},
+	"inh":  {"inh", TypeInt, 0, "__inh"},
+	"inw":  {"inw", TypeInt, 0, "__inw"},
+	"outb": {"outb", TypeVoid, 1, "__outb"},
+	"outh": {"outh", TypeVoid, 1, "__outh"},
+	"outw": {"outw", TypeVoid, 1, "__outw"},
+	"exit": {"exit", TypeVoid, 1, "__exit"},
+}

@@ -1,0 +1,377 @@
+package minic
+
+import "fmt"
+
+// Check resolves names and types across the program. It must succeed before
+// Gen is called; Gen assumes a fully annotated AST.
+func Check(prog *Program) error {
+	c := &checker{
+		prog:    prog,
+		funcs:   make(map[string]*Func),
+		globals: make(map[string]*Global),
+	}
+	c.collect()
+	for _, f := range prog.Funcs {
+		c.checkFunc(f)
+	}
+	if len(c.errs) > 0 {
+		return c.errs[0]
+	}
+	return nil
+}
+
+type checker struct {
+	prog    *Program
+	funcs   map[string]*Func
+	globals map[string]*Global
+	errs    []*Error
+
+	cur       *Func
+	scopes    []map[string]*Decl
+	loopDepth int
+}
+
+func (c *checker) errorf(line int, format string, args ...any) {
+	if len(c.errs) < 16 {
+		c.errs = append(c.errs, &Error{Line: line, Col: 1, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (c *checker) collect() {
+	for _, g := range c.prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			c.errorf(g.Line, "duplicate global %q", g.Name)
+			continue
+		}
+		if builtins[g.Name] != nil {
+			c.errorf(g.Line, "%q is a builtin name", g.Name)
+			continue
+		}
+		if !g.IsArray && g.Elem == TypeChar {
+			g.Elem = TypeInt // scalar char globals are stored as words
+		}
+		c.globals[g.Name] = g
+	}
+	for _, f := range c.prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			c.errorf(f.Line, "duplicate function %q", f.Name)
+			continue
+		}
+		if builtins[f.Name] != nil {
+			c.errorf(f.Line, "%q is a builtin name", f.Name)
+			continue
+		}
+		if _, clash := c.globals[f.Name]; clash {
+			c.errorf(f.Line, "%q is already a global", f.Name)
+			continue
+		}
+		c.funcs[f.Name] = f
+	}
+	main, ok := c.funcs["main"]
+	switch {
+	case !ok:
+		c.errorf(1, "missing function main")
+	case main.Ret != TypeInt || len(main.Params) != 0:
+		c.errorf(main.Line, "main must be: int main()")
+	}
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*Decl)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(d *Decl) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		c.errorf(d.Line, "duplicate declaration of %q", d.Name)
+		return
+	}
+	top[d.Name] = d
+	c.cur.allDecls = append(c.cur.allDecls, d)
+}
+
+func (c *checker) lookup(name string) *Decl {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if d, ok := c.scopes[i][name]; ok {
+			return d
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(f *Func) {
+	c.cur = f
+	c.scopes = nil
+	c.loopDepth = 0
+	c.pushScope()
+	if len(f.Params) > 10 {
+		c.errorf(f.Line, "too many parameters (%d > 10)", len(f.Params))
+	}
+	for i := range f.Params {
+		pr := &f.Params[i]
+		d := &Decl{Name: pr.Name, T: pr.Elem.value(), Line: pr.Line, isPtr: pr.Ptr, elem: pr.Elem}
+		pr.decl = d
+		c.declare(d)
+	}
+	c.checkBlock(f.Body)
+	c.popScope()
+	c.cur = nil
+}
+
+func (c *checker) checkBlock(b *Block) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		c.checkBlock(s)
+	case *Decl:
+		if s.Init != nil {
+			t := c.checkExpr(s.Init, false)
+			if t != s.T {
+				c.errorf(s.Line, "cannot initialize %s %q with %s", s.T, s.Name, t)
+			}
+		}
+		c.declare(s)
+	case *ExprStmt:
+		c.checkExpr(s.E, false)
+	case *If:
+		c.cond(s.Cond)
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *While:
+		c.cond(s.Cond)
+		c.loopDepth++
+		c.checkStmt(s.Body)
+		c.loopDepth--
+	case *For:
+		if s.Init != nil {
+			c.checkExpr(s.Init, false)
+		}
+		if s.Cond != nil {
+			c.cond(s.Cond)
+		}
+		if s.Post != nil {
+			c.checkExpr(s.Post, false)
+		}
+		c.loopDepth++
+		c.checkStmt(s.Body)
+		c.loopDepth--
+	case *Break:
+		if c.loopDepth == 0 {
+			c.errorf(s.Line, "break outside loop")
+		}
+	case *Continue:
+		if c.loopDepth == 0 {
+			c.errorf(s.Line, "continue outside loop")
+		}
+	case *Return:
+		switch {
+		case c.cur.Ret == TypeVoid && s.E != nil:
+			c.errorf(s.Line, "void function %q returns a value", c.cur.Name)
+		case c.cur.Ret != TypeVoid && s.E == nil:
+			c.errorf(s.Line, "function %q must return %s", c.cur.Name, c.cur.Ret)
+		case s.E != nil:
+			if t := c.checkExpr(s.E, false); t != c.cur.Ret {
+				c.errorf(s.Line, "function %q returns %s, not %s", c.cur.Name, c.cur.Ret, t)
+			}
+		}
+	}
+}
+
+func (c *checker) cond(e Expr) {
+	if t := c.checkExpr(e, false); t != TypeInt {
+		c.errorf(e.Pos(), "condition must be int, found %s", t)
+	}
+}
+
+// checkExpr types e and returns its type. allowPtr permits a bare array or
+// pointer name (used only for pointer arguments in calls).
+func (c *checker) checkExpr(e Expr, allowPtr bool) Type {
+	switch e := e.(type) {
+	case *IntLit:
+		e.typ = TypeInt
+	case *FloatLit:
+		e.typ = TypeFloat
+	case *VarRef:
+		c.resolve(e)
+		if (e.kind == refArray || e.kind == refPtr) && !allowPtr {
+			c.errorf(e.Pos(), "%q is an array/pointer and cannot be used as a value", e.Name)
+			e.typ = TypeInt
+		}
+	case *Index:
+		c.resolve(e.Base)
+		if e.Base.kind != refArray && e.Base.kind != refPtr {
+			c.errorf(e.Pos(), "%q is not indexable", e.Base.Name)
+			e.typ = TypeInt
+			c.checkExpr(e.Idx, false)
+			return e.typ
+		}
+		if t := c.checkExpr(e.Idx, false); t != TypeInt {
+			c.errorf(e.Idx.Pos(), "array index must be int, found %s", t)
+		}
+		e.typ = e.Base.elem.value()
+	case *Unary:
+		t := c.checkExpr(e.X, false)
+		switch e.Op {
+		case "-":
+			if t != TypeInt && t != TypeFloat {
+				c.errorf(e.Pos(), "operator - needs int or float, found %s", t)
+				t = TypeInt
+			}
+			e.typ = t
+		case "!", "~":
+			if t != TypeInt {
+				c.errorf(e.Pos(), "operator %s needs int, found %s", e.Op, t)
+			}
+			e.typ = TypeInt
+		}
+	case *Binary:
+		lt := c.checkExpr(e.L, false)
+		rt := c.checkExpr(e.R, false)
+		if lt != rt {
+			c.errorf(e.Pos(), "operator %s has mismatched operands %s and %s (use explicit casts)", e.Op, lt, rt)
+			rt = lt
+		}
+		switch e.Op {
+		case "&&", "||", "<<", ">>", "&", "|", "^", "%":
+			if lt != TypeInt {
+				c.errorf(e.Pos(), "operator %s needs int operands, found %s", e.Op, lt)
+			}
+			e.typ = TypeInt
+		case "==", "!=", "<", "<=", ">", ">=":
+			e.typ = TypeInt
+		default: // + - * /
+			if lt != TypeInt && lt != TypeFloat {
+				c.errorf(e.Pos(), "operator %s needs numeric operands, found %s", e.Op, lt)
+				lt = TypeInt
+			}
+			e.typ = lt
+		}
+	case *Assign:
+		rt := c.checkExpr(e.RHS, false)
+		var lt Type
+		switch lhs := e.LHS.(type) {
+		case *VarRef:
+			c.resolve(lhs)
+			switch lhs.kind {
+			case refLocal:
+				lt = lhs.decl.T
+			case refGlobal:
+				lt = lhs.gbl.Elem.value()
+			default:
+				c.errorf(e.Pos(), "cannot assign to array/pointer %q", lhs.Name)
+				lt = rt
+			}
+		case *Index:
+			lt = c.checkExpr(lhs, false)
+		default:
+			c.errorf(e.Pos(), "left side of assignment is not assignable")
+			lt = rt
+		}
+		if lt != rt {
+			c.errorf(e.Pos(), "cannot assign %s to %s lvalue (use explicit casts)", rt, lt)
+		}
+		e.typ = rt
+	case *Call:
+		c.checkCall(e)
+	case *Cast:
+		t := c.checkExpr(e.X, false)
+		if t != TypeInt && t != TypeFloat {
+			c.errorf(e.Pos(), "cannot cast %s", t)
+		}
+		e.typ = e.To
+	}
+	return e.Type()
+}
+
+func (c *checker) checkCall(e *Call) {
+	if b, ok := builtins[e.Name]; ok {
+		e.builtin = b
+		e.typ = b.ret
+		if len(e.Args) != b.nargs {
+			c.errorf(e.Pos(), "%s takes %d arguments, got %d", b.name, b.nargs, len(e.Args))
+			return
+		}
+		for _, a := range e.Args {
+			if t := c.checkExpr(a, false); t != TypeInt {
+				c.errorf(a.Pos(), "%s argument must be int, found %s", b.name, t)
+			}
+		}
+		return
+	}
+	f, ok := c.funcs[e.Name]
+	if !ok {
+		c.errorf(e.Pos(), "undefined function %q", e.Name)
+		e.typ = TypeInt
+		for _, a := range e.Args {
+			c.checkExpr(a, true)
+		}
+		return
+	}
+	e.fn = f
+	e.typ = f.Ret
+	if len(e.Args) != len(f.Params) {
+		c.errorf(e.Pos(), "%s takes %d arguments, got %d", f.Name, len(f.Params), len(e.Args))
+		return
+	}
+	for i, a := range e.Args {
+		p := f.Params[i]
+		if p.Ptr {
+			v, isRef := a.(*VarRef)
+			if !isRef {
+				c.errorf(a.Pos(), "argument %d of %s must be an array or pointer name", i+1, f.Name)
+				continue
+			}
+			c.checkExpr(v, true)
+			if v.kind != refArray && v.kind != refPtr {
+				c.errorf(a.Pos(), "argument %d of %s must be an array or pointer, %q is not", i+1, f.Name, v.Name)
+				continue
+			}
+			if v.elem != p.Elem {
+				c.errorf(a.Pos(), "argument %d of %s wants %s*, found %s*", i+1, f.Name, p.Elem, v.elem)
+			}
+			continue
+		}
+		if t := c.checkExpr(a, false); t != p.Elem.value() {
+			c.errorf(a.Pos(), "argument %d of %s wants %s, found %s", i+1, f.Name, p.Elem.value(), t)
+		}
+	}
+}
+
+func (c *checker) resolve(v *VarRef) {
+	if d := c.lookup(v.Name); d != nil {
+		v.decl = d
+		if d.isPtr {
+			v.kind = refPtr
+			v.elem = d.elem
+			v.typ = TypeInt
+		} else {
+			v.kind = refLocal
+			v.typ = d.T
+		}
+		return
+	}
+	if g, ok := c.globals[v.Name]; ok {
+		v.gbl = g
+		if g.IsArray {
+			v.kind = refArray
+			v.elem = g.Elem
+			v.typ = TypeInt
+		} else {
+			v.kind = refGlobal
+			v.typ = g.Elem.value()
+		}
+		return
+	}
+	c.errorf(v.Pos(), "undefined variable %q", v.Name)
+	v.kind = refLocal
+	v.decl = &Decl{Name: v.Name, T: TypeInt}
+	v.typ = TypeInt
+}

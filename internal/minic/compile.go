@@ -1,0 +1,16 @@
+package minic
+
+import (
+	"etap/internal/asm"
+	"etap/internal/isa"
+)
+
+// Build compiles MiniC source all the way to an executable program:
+// parse → check → generate assembly → assemble.
+func Build(src string) (*isa.Program, error) {
+	text, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(text)
+}

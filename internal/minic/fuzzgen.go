@@ -1,0 +1,262 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenProgram produces a random, guaranteed-terminating MiniC program for
+// differential testing: the compiled-and-simulated execution must match
+// the AST interpreter on output bytes and exit code.
+//
+// Construction rules keep every generated program well-defined:
+//   - array indices are masked to the (power-of-two) array size;
+//   - divisors and shift amounts are masked to safe ranges;
+//   - loops have literal bounds, so termination is structural;
+//   - functions call only later-defined functions (no recursion);
+//   - all arithmetic is 32-bit wrapping, matching both semantics.
+func GenProgram(seed int64) string {
+	g := &pgen{rng: rand.New(rand.NewSource(seed)), loopVars: map[string]bool{"i": true}}
+	return g.program()
+}
+
+type pgen struct {
+	rng    *rand.Rand
+	b      strings.Builder
+	indent int
+	// scalar variables in scope, by name.
+	scope []string
+	// helper functions already emitted, each taking (int, int) -> int.
+	helpers []string
+	// nest bounds control-structure nesting so total iteration counts stay
+	// small (every loop has a ≤8 bound; depth ≤3 keeps the worst case at
+	// a few thousand iterations).
+	nest int
+	// loopVars are live loop counters; they may be read but never
+	// assigned, so every generated loop terminates structurally.
+	loopVars map[string]bool
+}
+
+const (
+	genArraySize = 16 // power of two so "& 15" bounds every index
+	genArrayMask = genArraySize - 1
+)
+
+func (g *pgen) program() string {
+	g.line("// generated program (differential fuzz corpus)")
+	g.line("int A[%d];", genArraySize)
+	g.line("int B[%d];", genArraySize)
+	g.line("char C[%d];", genArraySize)
+	g.line("int acc;")
+	g.line("")
+
+	nHelpers := 1 + g.rng.Intn(3)
+	for i := 0; i < nHelpers; i++ {
+		g.helper(i)
+	}
+	g.mainFunc()
+	return g.b.String()
+}
+
+func (g *pgen) line(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("    ", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *pgen) helper(i int) {
+	name := fmt.Sprintf("h%d", i)
+	tol := ""
+	if g.rng.Intn(2) == 0 {
+		tol = "tolerant "
+	}
+	g.line("%sint %s(int p, int q) {", tol, name)
+	g.indent++
+	g.scope = []string{"p", "q"}
+	nLocals := g.rng.Intn(3)
+	for j := 0; j < nLocals; j++ {
+		v := fmt.Sprintf("l%d", j)
+		g.line("int %s = %s;", v, g.expr(2))
+		g.scope = append(g.scope, v)
+	}
+	g.stmts(2 + g.rng.Intn(3))
+	g.line("return %s;", g.expr(2))
+	g.indent--
+	g.line("}")
+	g.line("")
+	g.helpers = append(g.helpers, name)
+	g.scope = nil
+}
+
+func (g *pgen) mainFunc() {
+	g.line("int main() {")
+	g.indent++
+	g.scope = nil
+	// Seed state from input so different inputs exercise different paths.
+	g.line("int i;")
+	g.line("for (i = 0; i < %d; i = i + 1) { A[i] = inb(); B[i] = inb() * 3; C[i] = inb(); }", genArraySize)
+	g.scope = append(g.scope, "i")
+	nLocals := 2 + g.rng.Intn(3)
+	for j := 0; j < nLocals; j++ {
+		v := fmt.Sprintf("m%d", j)
+		g.line("int %s = %s;", v, g.expr(2))
+		g.scope = append(g.scope, v)
+	}
+	g.stmts(4 + g.rng.Intn(5))
+	// Observable state: arrays, acc and a final expression.
+	g.line("for (i = 0; i < %d; i = i + 1) { outw(A[i]); outw(B[i]); outb(C[i]); }", genArraySize)
+	g.line("outw(acc);")
+	g.line("return %s & 0xff;", g.expr(1))
+	g.indent--
+	g.line("}")
+}
+
+func (g *pgen) stmts(n int) {
+	for i := 0; i < n; i++ {
+		g.stmt()
+	}
+}
+
+func (g *pgen) stmt() {
+	kind := g.rng.Intn(10)
+	if (kind == 5 || kind == 6) && g.nest >= 3 {
+		kind = g.rng.Intn(3) // too deep: degrade to an assignment
+	}
+	switch kind {
+	case 0, 1, 2: // scalar assignment
+		g.line("%s = %s;", g.lvalue(), g.expr(3))
+	case 3, 4: // array store
+		switch g.rng.Intn(3) {
+		case 0:
+			g.line("A[%s & %d] = %s;", g.expr(1), genArrayMask, g.expr(2))
+		case 1:
+			g.line("B[%s & %d] = %s;", g.expr(1), genArrayMask, g.expr(2))
+		default:
+			g.line("C[%s & %d] = %s;", g.expr(1), genArrayMask, g.expr(2))
+		}
+	case 5: // if/else
+		g.nest++
+		g.line("if (%s) {", g.cond())
+		g.indent++
+		g.stmts(1 + g.rng.Intn(2))
+		g.indent--
+		if g.rng.Intn(2) == 0 {
+			g.line("} else {")
+			g.indent++
+			g.stmts(1 + g.rng.Intn(2))
+			g.indent--
+		}
+		g.line("}")
+		g.nest--
+	case 6: // bounded for loop over a fresh variable
+		g.nest++
+		v := fmt.Sprintf("k%d", g.rng.Intn(1000))
+		for g.loopVars[v] {
+			v += "x"
+		}
+		bound := 1 + g.rng.Intn(8)
+		g.line("{")
+		g.indent++
+		g.line("int %s;", v)
+		g.scope = append(g.scope, v)
+		g.loopVars[v] = true
+		g.line("for (%s = 0; %s < %d; %s = %s + 1) {", v, v, bound, v, v)
+		g.indent++
+		g.stmts(1 + g.rng.Intn(2))
+		if g.rng.Intn(4) == 0 {
+			g.line("if (%s) { break; }", g.cond())
+		}
+		g.indent--
+		g.line("}")
+		g.scope = g.scope[:len(g.scope)-1]
+		delete(g.loopVars, v)
+		g.indent--
+		g.line("}")
+		g.nest--
+	case 7: // accumulate
+		g.line("acc = acc + (%s);", g.expr(2))
+	case 8: // helper call for effect
+		if len(g.helpers) > 0 {
+			g.line("acc = acc ^ %s;", g.callExpr())
+		} else {
+			g.line("acc = acc + 1;")
+		}
+	case 9: // float round trip
+		g.line("%s = (int)((float)(%s & 1023) / 2.0);", g.lvalue(), g.expr(1))
+	}
+}
+
+func (g *pgen) lvalue() string {
+	if len(g.scope) == 0 || g.rng.Intn(4) == 0 {
+		return "acc"
+	}
+	for try := 0; try < 4; try++ {
+		v := g.scope[g.rng.Intn(len(g.scope))]
+		if !g.loopVars[v] {
+			return v
+		}
+	}
+	return "acc"
+}
+
+func (g *pgen) cond() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.expr(1), ops[g.rng.Intn(len(ops))], g.expr(1))
+}
+
+func (g *pgen) callExpr() string {
+	name := g.helpers[g.rng.Intn(len(g.helpers))]
+	return fmt.Sprintf("%s(%s, %s)", name, g.expr(1), g.expr(1))
+}
+
+// expr emits a random int expression of bounded depth.
+func (g *pgen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		return g.atom()
+	}
+	switch g.rng.Intn(11) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3: // safe division
+		return fmt.Sprintf("(%s / (1 + (%s & 7)))", g.expr(depth-1), g.expr(depth-1))
+	case 4: // safe modulo
+		return fmt.Sprintf("(%s %% (1 + (%s & 7)))", g.expr(depth-1), g.expr(depth-1))
+	case 5:
+		return fmt.Sprintf("(%s & %s)", g.expr(depth-1), g.expr(depth-1))
+	case 6:
+		return fmt.Sprintf("(%s | %s)", g.expr(depth-1), g.expr(depth-1))
+	case 7:
+		return fmt.Sprintf("(%s ^ %s)", g.expr(depth-1), g.expr(depth-1))
+	case 8: // safe shifts
+		return fmt.Sprintf("(%s << (%s & 7))", g.expr(depth-1), g.expr(depth-1))
+	case 9:
+		return fmt.Sprintf("(%s >> (%s & 7))", g.expr(depth-1), g.expr(depth-1))
+	default:
+		return fmt.Sprintf("(-%s)", g.expr(depth-1))
+	}
+}
+
+func (g *pgen) atom() string {
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(2048)-1024)
+	case 1:
+		if len(g.scope) > 0 {
+			return g.scope[g.rng.Intn(len(g.scope))]
+		}
+		return "acc"
+	case 2:
+		return fmt.Sprintf("A[%d]", g.rng.Intn(genArraySize))
+	case 3:
+		return fmt.Sprintf("B[%d]", g.rng.Intn(genArraySize))
+	case 4:
+		return fmt.Sprintf("C[%d]", g.rng.Intn(genArraySize))
+	default:
+		return "acc"
+	}
+}

@@ -1,0 +1,528 @@
+package minic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Interp is a direct AST interpreter for checked MiniC programs. It exists
+// as an independent executable semantics: the test suite generates random
+// programs and requires the compiled-and-simulated execution to agree with
+// the interpreter on every observable (output bytes and exit code), which
+// differentially pins the compiler, the assembler and the simulator
+// against each other.
+//
+// Semantics mirror the compiled target exactly: 32-bit wrapping integers,
+// arithmetic right shift for >>, truncating division (trapping on zero),
+// binary32 floats, char arrays as unsigned bytes, locals zero-initialized.
+type Interp struct {
+	prog    *Program
+	globals map[string]*gslot
+	funcs   map[string]*Func
+
+	input  []byte
+	inPos  int
+	output []byte
+
+	steps    uint64
+	maxSteps uint64
+}
+
+type gslot struct {
+	words []uint32 // scalar = 1 word; char arrays pack 1 byte per entry
+	isChr bool
+	bytes []byte
+}
+
+// InterpResult mirrors the observables of a simulated run.
+type InterpResult struct {
+	Output   []byte
+	ExitCode int32
+}
+
+// interpTrap reports a runtime fault (division by zero, out-of-bounds
+// array access, step budget exhaustion).
+type interpTrap struct{ msg string }
+
+func (t *interpTrap) Error() string { return "minic interp: " + t.msg }
+
+// exitSignal unwinds on the exit builtin.
+type exitSignal struct{ code int32 }
+
+// returnSignal unwinds a function return.
+type returnSignal struct{ val uint32 }
+
+type breakSignal struct{}
+type continueSignal struct{}
+
+// NewInterp prepares an interpreter for a parsed-and-checked program.
+func NewInterp(prog *Program) *Interp {
+	in := &Interp{
+		prog:     prog,
+		funcs:    make(map[string]*Func),
+		maxSteps: 200_000_000,
+	}
+	for _, f := range prog.Funcs {
+		in.funcs[f.Name] = f
+	}
+	in.resetGlobals()
+	return in
+}
+
+// resetGlobals (re)initializes the global data image, so every Run starts
+// from the same state a fresh simulated machine would.
+func (in *Interp) resetGlobals() {
+	in.globals = make(map[string]*gslot)
+	for _, g := range in.prog.Globals {
+		s := &gslot{}
+		if g.Elem == TypeChar {
+			s.isChr = true
+			s.bytes = make([]byte, g.Size)
+			for i, c := range g.Init {
+				s.bytes[i] = byte(c.i)
+			}
+		} else {
+			s.words = make([]uint32, g.Size)
+			for i, c := range g.Init {
+				if g.Elem == TypeFloat {
+					s.words[i] = math.Float32bits(float32(c.f))
+				} else {
+					s.words[i] = uint32(c.i)
+				}
+			}
+		}
+		in.globals[g.Name] = s
+	}
+}
+
+// frame is one function activation: scalar slots plus pointer bindings.
+type frame struct {
+	vars map[*Decl]uint32
+	ptrs map[*Decl]*gslot
+}
+
+// Run executes main with the given input stream, starting from a fresh
+// global data image (as a fresh simulated machine would).
+func (in *Interp) Run(input []byte) (res InterpResult, err error) {
+	in.resetGlobals()
+	in.input = input
+	in.inPos = 0
+	in.output = nil
+	in.steps = 0
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case *interpTrap:
+			err = r
+		case exitSignal:
+			res = InterpResult{Output: in.output, ExitCode: r.code}
+		default:
+			panic(r)
+		}
+	}()
+	v := in.call(in.funcs["main"], nil)
+	return InterpResult{Output: in.output, ExitCode: int32(v)}, nil
+}
+
+func (in *Interp) trap(format string, args ...any) {
+	panic(&interpTrap{msg: fmt.Sprintf(format, args...)})
+}
+
+func (in *Interp) step() {
+	in.steps++
+	if in.steps > in.maxSteps {
+		in.trap("step budget exceeded (infinite loop?)")
+	}
+}
+
+// call binds arguments and runs a function body.
+func (in *Interp) call(f *Func, args []argVal) uint32 {
+	fr := &frame{vars: make(map[*Decl]uint32), ptrs: make(map[*Decl]*gslot)}
+	for i := range f.Params {
+		d := f.Params[i].decl
+		if f.Params[i].Ptr {
+			fr.ptrs[d] = args[i].ptr
+		} else {
+			fr.vars[d] = args[i].val
+		}
+	}
+	ret := uint32(0)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if rs, ok := r.(returnSignal); ok {
+					ret = rs.val
+					return
+				}
+				panic(r)
+			}
+		}()
+		in.execBlock(f.Body, fr)
+	}()
+	return ret
+}
+
+type argVal struct {
+	val uint32
+	ptr *gslot
+}
+
+func (in *Interp) execBlock(b *Block, fr *frame) {
+	for _, s := range b.Stmts {
+		in.execStmt(s, fr)
+	}
+}
+
+func (in *Interp) execStmt(s Stmt, fr *frame) {
+	in.step()
+	switch s := s.(type) {
+	case *Block:
+		in.execBlock(s, fr)
+	case *Decl:
+		v := uint32(0)
+		if s.Init != nil {
+			v = in.eval(s.Init, fr)
+		}
+		fr.vars[s] = v
+	case *ExprStmt:
+		in.eval(s.E, fr)
+	case *If:
+		if in.eval(s.Cond, fr) != 0 {
+			in.execStmt(s.Then, fr)
+		} else if s.Else != nil {
+			in.execStmt(s.Else, fr)
+		}
+	case *While:
+		for in.eval(s.Cond, fr) != 0 {
+			in.step()
+			if in.loopBody(s.Body, fr) {
+				break
+			}
+		}
+	case *For:
+		if s.Init != nil {
+			in.eval(s.Init, fr)
+		}
+		for s.Cond == nil || in.eval(s.Cond, fr) != 0 {
+			in.step()
+			if in.loopBody(s.Body, fr) {
+				break
+			}
+			if s.Post != nil {
+				in.eval(s.Post, fr)
+			}
+		}
+	case *Break:
+		panic(breakSignal{})
+	case *Continue:
+		panic(continueSignal{})
+	case *Return:
+		v := uint32(0)
+		if s.E != nil {
+			v = in.eval(s.E, fr)
+		}
+		panic(returnSignal{val: v})
+	}
+}
+
+// loopBody runs one iteration, returning true when a break unwound.
+func (in *Interp) loopBody(body Stmt, fr *frame) (brk bool) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case breakSignal:
+			brk = true
+		case continueSignal:
+		default:
+			panic(r)
+		}
+	}()
+	in.execStmt(body, fr)
+	return false
+}
+
+func (in *Interp) eval(e Expr, fr *frame) uint32 {
+	in.step()
+	switch e := e.(type) {
+	case *IntLit:
+		return uint32(e.V)
+	case *FloatLit:
+		return math.Float32bits(float32(e.V))
+	case *VarRef:
+		switch e.kind {
+		case refLocal:
+			return fr.vars[e.decl]
+		case refGlobal:
+			return in.globals[e.Name].words[0]
+		default:
+			in.trap("array %q used as value", e.Name)
+			return 0
+		}
+	case *Index:
+		slot, idx := in.element(e, fr)
+		if slot.isChr {
+			return uint32(slot.bytes[idx])
+		}
+		return slot.words[idx]
+	case *Unary:
+		x := in.eval(e.X, fr)
+		switch e.Op {
+		case "-":
+			if e.typ == TypeFloat {
+				return math.Float32bits(0 - math.Float32frombits(x))
+			}
+			return uint32(-int32(x))
+		case "!":
+			if x == 0 {
+				return 1
+			}
+			return 0
+		default: // ~
+			return ^x
+		}
+	case *Binary:
+		return in.evalBinary(e, fr)
+	case *Assign:
+		v := in.eval(e.RHS, fr)
+		switch lhs := e.LHS.(type) {
+		case *VarRef:
+			switch lhs.kind {
+			case refLocal:
+				fr.vars[lhs.decl] = v
+			case refGlobal:
+				in.globals[lhs.Name].words[0] = v
+			}
+		case *Index:
+			slot, idx := in.element(lhs, fr)
+			if slot.isChr {
+				slot.bytes[idx] = byte(v)
+			} else {
+				slot.words[idx] = v
+			}
+		}
+		return v
+	case *Call:
+		return in.evalCall(e, fr)
+	case *Cast:
+		x := in.eval(e.X, fr)
+		from := e.X.Type()
+		switch {
+		case from == TypeInt && e.To == TypeFloat:
+			return math.Float32bits(float32(int32(x)))
+		case from == TypeFloat && e.To == TypeInt:
+			f := math.Float32frombits(x)
+			switch {
+			case f != f:
+				return 0
+			case f >= math.MaxInt32:
+				return math.MaxInt32
+			case f <= math.MinInt32:
+				return 0x80000000
+			}
+			return uint32(int32(f))
+		}
+		return x
+	}
+	in.trap("unhandled expression %T", e)
+	return 0
+}
+
+// element resolves an Index to its slot and a bounds-checked offset.
+// Unlike the simulator (whose lazily allocated memory absorbs wild
+// addresses), the interpreter traps on out-of-bounds accesses — clean
+// programs never perform them, and the differential tests only compare
+// clean runs.
+func (in *Interp) element(e *Index, fr *frame) (*gslot, int32) {
+	var slot *gslot
+	switch e.Base.kind {
+	case refArray:
+		slot = in.globals[e.Base.Name]
+	case refPtr:
+		slot = fr.ptrs[e.Base.decl]
+	}
+	idx := int32(in.eval(e.Idx, fr))
+	limit := int32(len(slot.words))
+	if slot.isChr {
+		limit = int32(len(slot.bytes))
+	}
+	if idx < 0 || idx >= limit {
+		in.trap("index %d out of bounds for %q (size %d)", idx, e.Base.Name, limit)
+	}
+	return slot, idx
+}
+
+func (in *Interp) evalBinary(e *Binary, fr *frame) uint32 {
+	// Short-circuit first.
+	switch e.Op {
+	case "&&":
+		if in.eval(e.L, fr) == 0 {
+			return 0
+		}
+		if in.eval(e.R, fr) == 0 {
+			return 0
+		}
+		return 1
+	case "||":
+		if in.eval(e.L, fr) != 0 {
+			return 1
+		}
+		if in.eval(e.R, fr) != 0 {
+			return 1
+		}
+		return 0
+	}
+	l := in.eval(e.L, fr)
+	r := in.eval(e.R, fr)
+	if e.L.Type() == TypeFloat {
+		fl, fr32 := math.Float32frombits(l), math.Float32frombits(r)
+		switch e.Op {
+		case "+":
+			return math.Float32bits(fl + fr32)
+		case "-":
+			return math.Float32bits(fl - fr32)
+		case "*":
+			return math.Float32bits(fl * fr32)
+		case "/":
+			return math.Float32bits(fl / fr32)
+		case "==":
+			return b2u(fl == fr32)
+		case "!=":
+			return b2u(fl != fr32)
+		case "<":
+			return b2u(fl < fr32)
+		case "<=":
+			return b2u(fl <= fr32)
+		case ">":
+			return b2u(fl > fr32)
+		case ">=":
+			return b2u(fl >= fr32)
+		}
+	}
+	li, ri := int32(l), int32(r)
+	switch e.Op {
+	case "+":
+		return uint32(li + ri)
+	case "-":
+		return uint32(li - ri)
+	case "*":
+		return uint32(li * ri)
+	case "/":
+		if ri == 0 {
+			in.trap("division by zero")
+		}
+		if li == math.MinInt32 && ri == -1 {
+			return 0x80000000
+		}
+		return uint32(li / ri)
+	case "%":
+		if ri == 0 {
+			in.trap("division by zero")
+		}
+		if li == math.MinInt32 && ri == -1 {
+			return 0
+		}
+		return uint32(li % ri)
+	case "&":
+		return l & r
+	case "|":
+		return l | r
+	case "^":
+		return l ^ r
+	case "<<":
+		return l << (r & 31)
+	case ">>":
+		return uint32(li >> (r & 31))
+	case "==":
+		return b2u(l == r)
+	case "!=":
+		return b2u(l != r)
+	case "<":
+		return b2u(li < ri)
+	case "<=":
+		return b2u(li <= ri)
+	case ">":
+		return b2u(li > ri)
+	case ">=":
+		return b2u(li >= ri)
+	}
+	in.trap("unhandled operator %q", e.Op)
+	return 0
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (in *Interp) evalCall(e *Call, fr *frame) uint32 {
+	if e.builtin != nil {
+		var arg uint32
+		if len(e.Args) == 1 {
+			arg = in.eval(e.Args[0], fr)
+		}
+		switch e.builtin.name {
+		case "exit":
+			panic(exitSignal{code: int32(arg)})
+		case "outb":
+			in.output = append(in.output, byte(arg))
+		case "outh":
+			in.output = binary.LittleEndian.AppendUint16(in.output, uint16(arg))
+		case "outw":
+			in.output = binary.LittleEndian.AppendUint32(in.output, arg)
+		case "inb":
+			if in.inPos >= len(in.input) {
+				return uint32(0xFFFFFFFF)
+			}
+			v := uint32(in.input[in.inPos])
+			in.inPos++
+			return v
+		case "inh":
+			if in.inPos+2 > len(in.input) {
+				in.inPos = len(in.input)
+				return uint32(0xFFFFFFFF)
+			}
+			v := uint32(binary.LittleEndian.Uint16(in.input[in.inPos:]))
+			in.inPos += 2
+			return v
+		case "inw":
+			if in.inPos+4 > len(in.input) {
+				in.inPos = len(in.input)
+				return uint32(0xFFFFFFFF)
+			}
+			v := binary.LittleEndian.Uint32(in.input[in.inPos:])
+			in.inPos += 4
+			return v
+		}
+		return 0
+	}
+	args := make([]argVal, len(e.Args))
+	for i, a := range e.Args {
+		if e.fn.Params[i].Ptr {
+			v := a.(*VarRef)
+			switch v.kind {
+			case refArray:
+				args[i] = argVal{ptr: in.globals[v.Name]}
+			case refPtr:
+				args[i] = argVal{ptr: fr.ptrs[v.decl]}
+			}
+		} else {
+			args[i] = argVal{val: in.eval(a, fr)}
+		}
+	}
+	return in.call(e.fn, args)
+}
+
+// Interpret parses, checks and interprets src in one step.
+func Interpret(src string, input []byte) (InterpResult, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return InterpResult{}, err
+	}
+	if err := Check(prog); err != nil {
+		return InterpResult{}, err
+	}
+	return NewInterp(prog).Run(input)
+}

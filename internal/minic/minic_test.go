@@ -1,0 +1,740 @@
+package minic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"etap/internal/sim"
+)
+
+// run compiles src, runs it on the simulator with the given input, and
+// returns the result. It fails the test on compile errors or crashes.
+func run(t *testing.T, src string, input []byte) sim.Result {
+	t.Helper()
+	res := runRaw(t, src, input)
+	if res.Outcome != sim.OK {
+		t.Fatalf("run ended with %s (trap: %s)", res.Outcome, res.Trap)
+	}
+	return res
+}
+
+func runRaw(t *testing.T, src string, input []byte) sim.Result {
+	t.Helper()
+	prog, err := Build(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return sim.Run(prog, sim.Config{Input: input, MaxInstr: 200_000_000})
+}
+
+// expectOut asserts the program's raw output bytes.
+func expectOut(t *testing.T, src string, input, want []byte) {
+	t.Helper()
+	res := run(t, src, input)
+	if !bytes.Equal(res.Output, want) {
+		got := res.Output
+		if len(got) > 64 {
+			got = got[:64]
+		}
+		w := want
+		if len(w) > 64 {
+			w = w[:64]
+		}
+		t.Fatalf("output mismatch:\n got  %v (len %d)\n want %v (len %d)", got, len(res.Output), w, len(want))
+	}
+}
+
+// expectExit asserts main's return value.
+func expectExit(t *testing.T, src string, want int32) {
+	t.Helper()
+	res := run(t, src, nil)
+	if res.ExitCode != want {
+		t.Fatalf("exit code = %d, want %d", res.ExitCode, want)
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	expectExit(t, `int main() { return 42; }`, 42)
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int32
+	}{
+		{"1 + 2", 3},
+		{"10 - 4", 6},
+		{"6 * 7", 42},
+		{"45 / 7", 6},
+		{"45 % 7", 3},
+		{"-45 / 7", -6},
+		{"-45 % 7", -3},
+		{"(1 + 2) * (3 + 4)", 21},
+		{"1 << 10", 1024},
+		{"-16 >> 2", -4},
+		{"255 & 15", 15},
+		{"240 | 15", 255},
+		{"255 ^ 15", 240},
+		{"~0", -1},
+		{"-(5)", -5},
+		{"!0", 1},
+		{"!7", 0},
+		{"1 < 2", 1},
+		{"2 < 1", 0},
+		{"2 <= 2", 1},
+		{"3 <= 2", 0},
+		{"3 > 2", 1},
+		{"2 > 3", 0},
+		{"2 >= 2", 1},
+		{"1 >= 2", 0},
+		{"5 == 5", 1},
+		{"5 == 6", 0},
+		{"5 != 6", 1},
+		{"5 != 5", 0},
+		{"1 && 1", 1},
+		{"1 && 0", 0},
+		{"0 && 1", 0},
+		{"0 || 0", 0},
+		{"0 || 3", 1},
+		{"2 || 0", 1},
+		{"1 + 2 * 3", 7},
+		{"(1 | 2) ^ (2 | 4)", 5},
+		{"100 / 3 % 7", 5},
+		{"-2147483647 - 1", -2147483648},
+		{"2147483647 + 1", -2147483648}, // wraparound
+	}
+	for _, c := range cases {
+		src := "int main() { return " + c.expr + "; }"
+		res := run(t, src, nil)
+		if res.ExitCode != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, res.ExitCode, c.want)
+		}
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int32
+	}{
+		{"(int)(1.5 + 2.25)", 3},
+		{"(int)(10.0 / 4.0)", 2},
+		{"(int)(1.5 * 4.0)", 6},
+		{"(int)(7.5 - 0.25)", 7},
+		{"(int)(-2.5)", -2},
+		{"1.5 < 2.5", 1},
+		{"2.5 < 1.5", 0},
+		{"2.5 <= 2.5", 1},
+		{"2.5 > 1.0", 1},
+		{"2.5 >= 2.5", 1},
+		{"2.5 == 2.5", 1},
+		{"2.5 != 2.5", 0},
+		{"1.0 != 2.0", 1},
+		{"(int)((float)7 / 2.0)", 3},
+		{"(int)(0.0 - 1.5)", -1},
+		{"(int)(1e3)", 1000},
+		{"(int)(2.5e-1 * 8.0)", 2},
+	}
+	for _, c := range cases {
+		src := "int main() { return " + c.expr + "; }"
+		res := run(t, src, nil)
+		if res.ExitCode != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, res.ExitCode, c.want)
+		}
+	}
+}
+
+func TestLocalsAndAssignment(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int a = 5;
+    int b;
+    b = a * 3;
+    a = b - 2;
+    return a; // 13
+}`, 13)
+}
+
+func TestAssignmentAsExpression(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int a;
+    int b;
+    a = (b = 7) + 1;
+    return a * 10 + b; // 87
+}`, 87)
+}
+
+func TestUninitializedLocalsAreZero(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int a;
+    int b;
+    return a + b;
+}`, 0)
+}
+
+func TestIfElse(t *testing.T) {
+	src := `
+int classify(int x) {
+    if (x < 0) { return -1; }
+    else if (x == 0) { return 0; }
+    else { return 1; }
+}
+int main() { return classify(-5)*100 + classify(0)*10 + classify(9); }`
+	expectExit(t, src, -99) // -100 + 0 + 1
+}
+
+func TestWhileLoop(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int i = 0;
+    int sum = 0;
+    while (i < 10) { sum = sum + i; i = i + 1; }
+    return sum; // 45
+}`, 45)
+}
+
+func TestForLoop(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int sum = 0;
+    int i;
+    for (i = 1; i <= 10; i = i + 1) { sum = sum + i; }
+    return sum; // 55
+}`, 55)
+}
+
+func TestBreakContinue(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int sum = 0;
+    int i;
+    for (i = 0; i < 100; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        if (i > 10) { break; }
+        sum = sum + i; // 1+3+5+7+9
+    }
+    return sum;
+}`, 25)
+}
+
+func TestNestedLoops(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int total = 0;
+    int i;
+    int j;
+    for (i = 0; i < 5; i = i + 1) {
+        for (j = 0; j < 5; j = j + 1) {
+            if (j == 3) { break; }
+            total = total + 1;
+        }
+    }
+    return total; // 5*3
+}`, 15)
+}
+
+func TestRecursionFibonacci(t *testing.T) {
+	expectExit(t, `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(15); }`, 610)
+}
+
+func TestGlobalScalars(t *testing.T) {
+	expectExit(t, `
+int counter = 10;
+int step;
+int bump() { counter = counter + step; return counter; }
+int main() {
+    step = 7;
+    bump();
+    bump();
+    return counter; // 24
+}`, 24)
+}
+
+func TestGlobalArrays(t *testing.T) {
+	expectExit(t, `
+int vals[8] = {1, 2, 3, 4};
+int main() {
+    int i;
+    int sum = 0;
+    vals[4] = 10;
+    vals[7] = vals[0] + vals[3]; // 5
+    for (i = 0; i < 8; i = i + 1) { sum = sum + vals[i]; }
+    return sum; // 1+2+3+4+10+0+0+5
+}`, 25)
+}
+
+func TestCharArrays(t *testing.T) {
+	expectExit(t, `
+char text[8] = "AB";
+int main() {
+    text[2] = 67;          // 'C'
+    text[3] = text[0] + 3; // 'D'
+    return text[0] + text[1] + text[2] + text[3]; // 65+66+67+68
+}`, 266)
+}
+
+func TestCharArrayTruncation(t *testing.T) {
+	expectExit(t, `
+char buf[4];
+int main() {
+    buf[0] = 300; // truncates to 44
+    return buf[0];
+}`, 44)
+}
+
+func TestConstArraySize(t *testing.T) {
+	expectExit(t, `
+const int N = 6;
+int data[N];
+int main() {
+    int i;
+    for (i = 0; i < N; i = i + 1) { data[i] = i * i; }
+    return data[5]; // 25
+}`, 25)
+}
+
+func TestPointerParams(t *testing.T) {
+	expectExit(t, `
+int src[5] = {5, 4, 3, 2, 1};
+int dst[5];
+void copyArr(int *from, int *to, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) { to[i] = from[i]; }
+}
+int sumArr(int *a, int n) {
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+    return s;
+}
+int main() {
+    copyArr(src, dst, 5);
+    return sumArr(dst, 5); // 15
+}`, 15)
+}
+
+func TestPointerPassThrough(t *testing.T) {
+	expectExit(t, `
+char img[4] = {1, 2, 3, 4};
+int inner(char *p, int i) { return p[i]; }
+int outer(char *p, int i) { return inner(p, i) * 10; }
+int main() { return outer(img, 2); } // 30`, 30)
+}
+
+func TestManyArguments(t *testing.T) {
+	expectExit(t, `
+int sum7(int a, int b, int c, int d, int e, int f, int g) {
+    return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g;
+}
+int main() { return sum7(1, 1, 1, 1, 1, 1, 1); } // 28`, 28)
+}
+
+func TestManyArgumentsWithPointers(t *testing.T) {
+	expectExit(t, `
+int buf[3] = {100, 200, 300};
+int pick(int a, int b, int c, int d, int *arr, int idx) {
+    return a + b + c + d + arr[idx];
+}
+int main() { return pick(1, 2, 3, 4, buf, 2); } // 310`, 310)
+}
+
+func TestNestedCallsInArguments(t *testing.T) {
+	expectExit(t, `
+int id(int x) { return x; }
+int add(int a, int b) { return a + b; }
+int main() { return add(id(3) + id(4), add(id(5), id(6))); } // 18`, 18)
+}
+
+func TestCallPreservesTemporaries(t *testing.T) {
+	// The multiply's left operand must survive the call on the right.
+	expectExit(t, `
+int f(int x) { return x + 1; }
+int main() {
+    int a = 10;
+    return (a + 5) * f(2); // 15 * 3
+}`, 45)
+}
+
+func TestFloatGlobalsAndArrays(t *testing.T) {
+	expectExit(t, `
+float scale = 2.5;
+float tab[4] = {0.5, 1.5, 2.5, 3.5};
+int main() {
+    float acc = 0.0;
+    int i;
+    for (i = 0; i < 4; i = i + 1) { acc = acc + tab[i] * scale; }
+    return (int)acc; // 2.5*(8.0) = 20
+}`, 20)
+}
+
+func TestFloatIntCasts(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int i = 7;
+    float f = (float)i / 2.0;
+    int j = (int)(f * 10.0);
+    return j; // 35
+}`, 35)
+}
+
+func TestOutputBuiltins(t *testing.T) {
+	expectOut(t, `
+int main() {
+    outb(65);
+    outb(66);
+    outh(0x4443);        // little-endian: C D
+    outw(0x48474645);    // E F G H
+    return 0;
+}`, nil, []byte("ABCDEFGH"))
+}
+
+func TestInputBuiltins(t *testing.T) {
+	expectOut(t, `
+int main() {
+    int a = inb();
+    int b = inb();
+    int h = inh();
+    int w = inw();
+    outb(b);
+    outb(a);
+    outw(h + w);
+    return 0;
+}`, []byte{1, 2, 0x10, 0x00, 0x01, 0x00, 0x00, 0x00},
+		[]byte{2, 1, 0x11, 0, 0, 0})
+}
+
+func TestInputEOF(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int n = 0;
+    while (inb() >= 0) { n = n + 1; }
+    return n;
+}`, 0)
+	res := run(t, `
+int main() {
+    int n = 0;
+    while (inb() >= 0) { n = n + 1; }
+    return n;
+}`, nil)
+	if res.ExitCode != 0 {
+		t.Fatalf("EOF loop returned %d", res.ExitCode)
+	}
+}
+
+func TestInputCounting(t *testing.T) {
+	src := `
+int main() {
+    int n = 0;
+    while (inb() >= 0) { n = n + 1; }
+    return n;
+}`
+	res := run(t, src, bytes.Repeat([]byte{7}, 123))
+	if res.ExitCode != 123 {
+		t.Fatalf("counted %d bytes, want 123", res.ExitCode)
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	res := run(t, `
+int main() {
+    exit(7);
+    return 1; // unreachable
+}`, nil)
+	if res.ExitCode != 7 {
+		t.Fatalf("exit code = %d, want 7", res.ExitCode)
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	expectExit(t, `
+int calls = 0;
+int bump() { calls = calls + 1; return 1; }
+int main() {
+    int r = 0;
+    if (0 && bump()) { r = 1; }
+    if (1 || bump()) { r = r + 2; }
+    return calls * 10 + r; // bump never called; r = 2
+}`, 2)
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	res := runRaw(t, `
+int main() {
+    int zero = 0;
+    return 5 / zero;
+}`, nil)
+	if res.Outcome != sim.Crash || res.Trap.Kind != sim.TrapDivZero {
+		t.Fatalf("got %s (trap %s), want crash with division by zero", res.Outcome, res.Trap)
+	}
+}
+
+func TestInfiniteLoopTimesOut(t *testing.T) {
+	prog, err := Build(`int main() { while (1) { } return 0; }`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res := sim.Run(prog, sim.Config{MaxInstr: 10000})
+	if res.Outcome != sim.Timeout {
+		t.Fatalf("got %s, want timeout", res.Outcome)
+	}
+}
+
+func TestCommentsAndFormats(t *testing.T) {
+	expectExit(t, `
+// line comment
+/* block
+   comment */
+int main() {
+    int hex = 0xFF;   // 255
+    int ch = 'A';     // 65
+    return hex - ch - '\n'; // 255-65-10
+}`, 180)
+}
+
+func TestSieveOfEratosthenes(t *testing.T) {
+	expectExit(t, `
+char composite[100];
+int main() {
+    int i;
+    int j;
+    int count = 0;
+    for (i = 2; i < 100; i = i + 1) {
+        if (composite[i] == 0) {
+            count = count + 1;
+            for (j = i + i; j < 100; j = j + i) { composite[j] = 1; }
+        }
+    }
+    return count; // 25 primes below 100
+}`, 25)
+}
+
+func TestIterativeGCD(t *testing.T) {
+	expectExit(t, `
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+int main() { return gcd(1071, 462); } // 21`, 21)
+}
+
+func TestMutualRecursion(t *testing.T) {
+	expectExit(t, `
+int isEven(int n) {
+    if (n == 0) { return 1; }
+    return isOdd(n - 1);
+}
+int isOdd(int n) {
+    if (n == 0) { return 0; }
+    return isEven(n - 1);
+}
+int main() { return isEven(10)*10 + isOdd(7); } // 11`, 11)
+}
+
+func TestDeepExpression(t *testing.T) {
+	expectExit(t, `
+int main() {
+    return ((((1 + 2) * 3 - 4) / 5) + ((6 * 7) % 8)) * 2; // (1+2)=3*3=9-4=5/5=1; 42%8=2; 3*2=6
+}`, 6)
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing main", `int notmain() { return 0; }`},
+		{"bad main signature", `void main() { }`},
+		{"undefined variable", `int main() { return x; }`},
+		{"undefined function", `int main() { return f(); }`},
+		{"duplicate local", `int main() { int a; int a; return 0; }`},
+		{"duplicate global", `int g; int g; int main() { return 0; }`},
+		{"duplicate function", `int f() { return 0; } int f() { return 1; } int main() { return 0; }`},
+		{"type mismatch add", `int main() { return 1 + 1.5; }`},
+		{"type mismatch assign", `int main() { int a; a = 1.5; return a; }`},
+		{"float condition", `int main() { if (1.5) { } return 0; }`},
+		{"float modulo", `int main() { return (int)(1.5 % 2.5); }`},
+		{"break outside loop", `int main() { break; return 0; }`},
+		{"continue outside loop", `int main() { continue; return 0; }`},
+		{"void value", `void f() { } int main() { return f(); }`},
+		{"missing return value", `int f() { return; } int main() { return f(); }`},
+		{"return value from void", `void f() { return 3; } int main() { f(); return 0; }`},
+		{"wrong arity", `int f(int a) { return a; } int main() { return f(1, 2); }`},
+		{"array as value", `int a[3]; int main() { return a; }`},
+		{"scalar as pointer", `int f(int *p) { return p[0]; } int main() { int x; return f(x); }`},
+		{"pointer elem mismatch", `char c[3]; int f(int *p) { return p[0]; } int main() { return f(c); }`},
+		{"assign to array", `int a[3]; int main() { a = 1; return 0; }`},
+		{"builtin arity", `int main() { outb(); return 0; }`},
+		{"builtin redefinition", `int outb(int x) { return x; } int main() { return 0; }`},
+		{"tolerant variable", `tolerant int x; int main() { return 0; }`},
+		{"bad array size", `int a[0]; int main() { return 0; }`},
+		{"non-const array size", `int n; int a[n]; int main() { return 0; }`},
+		{"string init on int array", `int a[4] = "abc"; int main() { return 0; }`},
+		{"too many initializers", `int a[2] = {1,2,3}; int main() { return 0; }`},
+		{"unterminated comment", `int main() { return 0; } /* oops`},
+		{"unterminated string", `char s[4] = "ab`},
+		{"lone else", `int main() { else { } return 0; }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Compile(c.src); err == nil {
+				t.Fatalf("compile succeeded, want error")
+			}
+		})
+	}
+}
+
+// TestForwardReference documents that MiniC resolves function calls at
+// check time against all parsed definitions, so lexical forward references
+// work without prototypes (which the grammar does not have).
+func TestForwardReference(t *testing.T) {
+	expectExit(t, `
+int main() { return later(4); }
+int later(int x) { return x * x; }`, 16)
+}
+
+func TestTolerantFunctionsAreMarked(t *testing.T) {
+	prog, err := Build(`
+tolerant int work(int x) { return x * 2; }
+int main() { return work(21); }`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f, ok := prog.FuncByName("work")
+	if !ok {
+		t.Fatalf("function work not found")
+	}
+	if !f.Tolerant {
+		t.Fatalf("work should be tolerant")
+	}
+	m, _ := prog.FuncByName("main")
+	if m.Tolerant {
+		t.Fatalf("main should not be tolerant")
+	}
+	res := sim.Run(prog, sim.Config{})
+	if res.ExitCode != 42 {
+		t.Fatalf("exit = %d, want 42", res.ExitCode)
+	}
+}
+
+func TestManyLocalsSpillToStack(t *testing.T) {
+	// More than eight declarations: later ones live in stack slots; all
+	// must behave identically to register-resident ones.
+	expectExit(t, `
+int main() {
+    int a = 1;
+    int b = 2;
+    int c = 3;
+    int d = 4;
+    int e = 5;
+    int f = 6;
+    int g = 7;
+    int h = 8;
+    int i = 9;
+    int j = 10;
+    int k = 11;
+    int l = 12;
+    return a + b + c + d + e + f + g + h + i + j + k + l; // 78
+}`, 78)
+}
+
+func TestSpilledLoopCounter(t *testing.T) {
+	// Force the loop counter into a stack slot (ninth declaration) and
+	// check loops still work.
+	expectExit(t, `
+int main() {
+    int a0 = 0;
+    int a1 = 0;
+    int a2 = 0;
+    int a3 = 0;
+    int a4 = 0;
+    int a5 = 0;
+    int a6 = 0;
+    int a7 = 0;
+    int i;
+    int sum = 0;
+    for (i = 0; i < 10; i = i + 1) { sum = sum + i; }
+    return sum + a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7; // 45
+}`, 45)
+}
+
+func TestCalleePreservesCallerRegisterLocals(t *testing.T) {
+	// The callee uses its own $s registers; the caller's register-resident
+	// locals must survive the call.
+	expectExit(t, `
+int clobber() {
+    int x = 100;
+    int y = 200;
+    int z = 300;
+    return x + y + z;
+}
+int main() {
+    int a = 1;
+    int b = 2;
+    int c = 3;
+    int ignored = clobber();
+    return a * 100 + b * 10 + c; // 123
+}`, 123)
+}
+
+func TestRecursionWithRegisterLocals(t *testing.T) {
+	// Each activation's register locals are independent across recursion.
+	expectExit(t, `
+int fact(int n) {
+    int local = n;
+    if (n <= 1) { return 1; }
+    int sub = fact(n - 1);
+    return local * sub;
+}
+int main() { return fact(6); } // 720`, 720)
+}
+
+func TestMixedSpilledAndRegisterParams(t *testing.T) {
+	// Seven parameters: four in registers, three on the stack; plus enough
+	// locals that some spill.
+	expectExit(t, `
+int mix(int a, int b, int c, int d, int e, int f, int g) {
+    int l0 = a + b;
+    int l1 = c + d;
+    int l2 = e + f;
+    int l3 = g;
+    int l4 = 1;
+    return l0 + l1 * 10 + l2 * 100 + l3 * 1000 + l4;
+}
+int main() { return mix(1, 2, 3, 4, 5, 6, 7); } // 3+70+1100+7000+1 = 8174`, 8174)
+}
+
+func TestPointerParamInRegister(t *testing.T) {
+	expectExit(t, `
+int arr[4] = {10, 20, 30, 40};
+int pick(int *p, int i) { return p[i]; }
+int main() { return pick(arr, 2); } // 30`, 30)
+}
+
+func TestGeneratedAssemblyUsesSRegisters(t *testing.T) {
+	asmText, err := Compile(`
+int main() {
+    int x = 5;
+    int y = 7;
+    return x + y;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"$s0", "$s1", "move $s0", "sw $s0"} {
+		if !strings.Contains(asmText, want) {
+			t.Fatalf("assembly missing %q:\n%s", want, asmText)
+		}
+	}
+}

@@ -1,0 +1,471 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	lx   *lexer
+	tok  token
+	peek token
+	errs []*Error
+}
+
+// Parse lexes and parses src. It returns the first error encountered; the
+// checker (Check) must run before code generation.
+func Parse(src string) (*Program, error) {
+	p := &parser{lx: newLexer(src)}
+	p.tok = p.lx.next()
+	p.peek = p.lx.next()
+	prog := p.parseProgram()
+	if len(p.lx.errs) > 0 {
+		return nil, p.lx.errs[0]
+	}
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	return prog, nil
+}
+
+func (p *parser) errorf(t token, format string, args ...any) {
+	if len(p.errs) < 16 {
+		p.errs = append(p.errs, &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *parser) next() token {
+	t := p.tok
+	p.tok = p.peek
+	p.peek = p.lx.next()
+	return t
+}
+
+func (p *parser) isPunct(s string) bool { return p.tok.kind == tokPunct && p.tok.text == s }
+func (p *parser) isKw(s string) bool    { return p.tok.kind == tokKeyword && p.tok.text == s }
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKw(s string) bool {
+	if p.isKw(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) {
+	if !p.acceptPunct(s) {
+		p.errorf(p.tok, "expected %q, found %s", s, p.tok)
+		p.next()
+	}
+}
+
+func (p *parser) expectIdent() string {
+	if p.tok.kind != tokIdent {
+		p.errorf(p.tok, "expected identifier, found %s", p.tok)
+		p.next()
+		return "_"
+	}
+	return p.next().text
+}
+
+func (p *parser) typeName() (Type, bool) {
+	if p.tok.kind != tokKeyword {
+		return TypeVoid, false
+	}
+	switch p.tok.text {
+	case "int":
+		return TypeInt, true
+	case "char":
+		return TypeChar, true
+	case "float":
+		return TypeFloat, true
+	case "void":
+		return TypeVoid, true
+	}
+	return TypeVoid, false
+}
+
+func (p *parser) parseProgram() *Program {
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		start := p.tok
+		isConst := p.acceptKw("const")
+		isTolerant := !isConst && p.acceptKw("tolerant")
+
+		t, ok := p.typeName()
+		if !ok {
+			p.errorf(p.tok, "expected declaration, found %s", p.tok)
+			p.next()
+			continue
+		}
+		p.next()
+		name := p.expectIdent()
+
+		if p.isPunct("(") {
+			if isConst {
+				p.errorf(start, "functions cannot be const")
+			}
+			prog.Funcs = append(prog.Funcs, p.parseFunc(t, name, isTolerant, start.line))
+			continue
+		}
+		if isTolerant {
+			p.errorf(start, "only functions can be tolerant")
+		}
+		if t == TypeVoid {
+			p.errorf(start, "variables cannot be void")
+			t = TypeInt
+		}
+		prog.Globals = append(prog.Globals, p.parseGlobal(t, name, isConst, start.line, prog))
+	}
+	return prog
+}
+
+// constScalar resolves a declared const int scalar by name, for array sizes.
+func constScalar(prog *Program, name string) (int64, bool) {
+	for _, g := range prog.Globals {
+		if g.Name == name && g.Const && !g.IsArray && g.Elem == TypeInt && len(g.Init) == 1 {
+			return g.Init[0].i, true
+		}
+	}
+	return 0, false
+}
+
+func (p *parser) parseGlobal(t Type, name string, isConst bool, line int, prog *Program) *Global {
+	g := &Global{Name: name, Elem: t, Size: 1, Const: isConst, Line: line}
+	if p.acceptPunct("[") {
+		g.IsArray = true
+		switch {
+		case p.tok.kind == tokIntLit:
+			g.Size = int(p.next().ival)
+		case p.tok.kind == tokIdent:
+			sz, ok := constScalar(prog, p.tok.text)
+			if !ok {
+				p.errorf(p.tok, "array size %q is not a const int", p.tok.text)
+				sz = 1
+			}
+			g.Size = int(sz)
+			p.next()
+		default:
+			p.errorf(p.tok, "expected array size, found %s", p.tok)
+		}
+		if g.Size <= 0 || g.Size > 1<<22 {
+			p.errorf(p.tok, "array size %d out of range", g.Size)
+			g.Size = 1
+		}
+		p.expectPunct("]")
+	}
+	if p.acceptPunct("=") {
+		p.parseGlobalInit(g)
+	}
+	p.expectPunct(";")
+	return g
+}
+
+func (p *parser) parseGlobalInit(g *Global) {
+	if g.IsArray {
+		if p.tok.kind == tokStringLit {
+			if g.Elem != TypeChar {
+				p.errorf(p.tok, "string initializer requires a char array")
+			}
+			s := p.next().text
+			if len(s) > g.Size {
+				p.errorf(p.tok, "string initializer longer than array (%d > %d)", len(s), g.Size)
+				s = s[:g.Size]
+			}
+			for i := 0; i < len(s); i++ {
+				g.Init = append(g.Init, constVal{i: int64(s[i])})
+			}
+			return
+		}
+		p.expectPunct("{")
+		for !p.isPunct("}") && p.tok.kind != tokEOF {
+			g.Init = append(g.Init, p.constant(g.Elem))
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		p.expectPunct("}")
+		if len(g.Init) > g.Size {
+			p.errorf(p.tok, "%d initializers for array of %d", len(g.Init), g.Size)
+			g.Init = g.Init[:g.Size]
+		}
+		return
+	}
+	g.Init = []constVal{p.constant(g.Elem)}
+}
+
+// constant parses a literal with optional unary minus, for initializers.
+func (p *parser) constant(want Type) constVal {
+	neg := p.acceptPunct("-")
+	t := p.next()
+	switch t.kind {
+	case tokIntLit, tokCharLit:
+		if want == TypeFloat {
+			p.errorf(t, "float initializer required")
+		}
+		v := t.ival
+		if neg {
+			v = -v
+		}
+		return constVal{i: v}
+	case tokFloatLit:
+		if want != TypeFloat {
+			p.errorf(t, "integer initializer required")
+		}
+		v := t.fval
+		if neg {
+			v = -v
+		}
+		return constVal{f: v, isFloat: true}
+	default:
+		p.errorf(t, "expected constant, found %s", t)
+		return constVal{}
+	}
+}
+
+func (p *parser) parseFunc(ret Type, name string, tolerant bool, line int) *Func {
+	f := &Func{Name: name, Ret: ret, Tolerant: tolerant, Line: line}
+	p.expectPunct("(")
+	if p.acceptKw("void") {
+		// (void) parameter list
+	} else if !p.isPunct(")") {
+		for {
+			pt, ok := p.typeName()
+			if !ok || pt == TypeVoid {
+				p.errorf(p.tok, "expected parameter type, found %s", p.tok)
+				break
+			}
+			pl := p.tok.line
+			p.next()
+			ptr := p.acceptPunct("*")
+			pname := p.expectIdent()
+			if pt == TypeChar && !ptr {
+				pt = TypeInt // scalar char parameters behave as int
+			}
+			f.Params = append(f.Params, Param{Name: pname, Elem: pt, Ptr: ptr, Line: pl})
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	p.expectPunct(")")
+	f.Body = p.parseBlock()
+	return f
+}
+
+func (p *parser) parseBlock() *Block {
+	b := &Block{Line: p.tok.line}
+	p.expectPunct("{")
+	for !p.isPunct("}") && p.tok.kind != tokEOF {
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	p.expectPunct("}")
+	return b
+}
+
+func (p *parser) parseStmt() Stmt {
+	t := p.tok
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+	case p.isPunct(";"):
+		p.next()
+		return &Block{Line: t.line}
+	case p.isKw("if"):
+		p.next()
+		p.expectPunct("(")
+		cond := p.parseExpr()
+		p.expectPunct(")")
+		then := p.parseStmt()
+		var els Stmt
+		if p.acceptKw("else") {
+			els = p.parseStmt()
+		}
+		return &If{Cond: cond, Then: then, Else: els, Line: t.line}
+	case p.isKw("while"):
+		p.next()
+		p.expectPunct("(")
+		cond := p.parseExpr()
+		p.expectPunct(")")
+		return &While{Cond: cond, Body: p.parseStmt(), Line: t.line}
+	case p.isKw("for"):
+		p.next()
+		p.expectPunct("(")
+		f := &For{Line: t.line}
+		if !p.isPunct(";") {
+			f.Init = p.parseExpr()
+		}
+		p.expectPunct(";")
+		if !p.isPunct(";") {
+			f.Cond = p.parseExpr()
+		}
+		p.expectPunct(";")
+		if !p.isPunct(")") {
+			f.Post = p.parseExpr()
+		}
+		p.expectPunct(")")
+		f.Body = p.parseStmt()
+		return f
+	case p.isKw("break"):
+		p.next()
+		p.expectPunct(";")
+		return &Break{Line: t.line}
+	case p.isKw("continue"):
+		p.next()
+		p.expectPunct(";")
+		return &Continue{Line: t.line}
+	case p.isKw("return"):
+		p.next()
+		r := &Return{Line: t.line}
+		if !p.isPunct(";") {
+			r.E = p.parseExpr()
+		}
+		p.expectPunct(";")
+		return r
+	case p.isKw("int") || p.isKw("char") || p.isKw("float"):
+		dt, _ := p.typeName()
+		p.next()
+		if dt == TypeChar {
+			dt = TypeInt // scalar char locals behave as int
+		}
+		name := p.expectIdent()
+		d := &Decl{Name: name, T: dt, Line: t.line}
+		if p.acceptPunct("=") {
+			d.Init = p.parseExpr()
+		}
+		p.expectPunct(";")
+		return d
+	case p.isKw("const") || p.isKw("void") || p.isKw("tolerant") || p.isKw("else"):
+		p.errorf(t, "unexpected %q", t.text)
+		p.next()
+		return &Block{Line: t.line}
+	default:
+		e := p.parseExpr()
+		p.expectPunct(";")
+		return &ExprStmt{E: e, Line: t.line}
+	}
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) parseExpr() Expr { return p.parseAssign() }
+
+func (p *parser) parseAssign() Expr {
+	lhs := p.parseBinary(0)
+	if p.isPunct("=") {
+		t := p.next()
+		rhs := p.parseAssign()
+		switch lhs.(type) {
+		case *VarRef, *Index:
+		default:
+			p.errorf(t, "left side of assignment is not assignable")
+		}
+		return &Assign{exprBase: exprBase{line: t.line}, LHS: lhs, RHS: rhs}
+	}
+	return lhs
+}
+
+// binary operator precedence, lowest first.
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseBinary(minPrec int) Expr {
+	lhs := p.parseUnary()
+	for {
+		if p.tok.kind != tokPunct {
+			return lhs
+		}
+		prec, ok := binPrec[p.tok.text]
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		op := p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &Binary{exprBase: exprBase{line: op.line}, Op: op.text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() Expr {
+	t := p.tok
+	switch {
+	case p.isPunct("-") || p.isPunct("!") || p.isPunct("~"):
+		p.next()
+		x := p.parseUnary()
+		// Fold negated literals so "-5" and "-1.5" are constants.
+		if t.text == "-" {
+			switch lit := x.(type) {
+			case *IntLit:
+				lit.V = -lit.V
+				return lit
+			case *FloatLit:
+				lit.V = -lit.V
+				return lit
+			}
+		}
+		return &Unary{exprBase: exprBase{line: t.line}, Op: t.text, X: x}
+	case p.isPunct("(") && p.peek.kind == tokKeyword && (p.peek.text == "int" || p.peek.text == "float"):
+		p.next()
+		to, _ := p.typeName()
+		p.next()
+		p.expectPunct(")")
+		return &Cast{exprBase: exprBase{line: t.line}, To: to, X: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() Expr {
+	t := p.tok
+	switch t.kind {
+	case tokIntLit, tokCharLit:
+		p.next()
+		return &IntLit{exprBase: exprBase{line: t.line}, V: t.ival}
+	case tokFloatLit:
+		p.next()
+		return &FloatLit{exprBase: exprBase{line: t.line}, V: t.fval}
+	case tokIdent:
+		name := p.next().text
+		if p.isPunct("(") {
+			p.next()
+			c := &Call{exprBase: exprBase{line: t.line}, Name: name}
+			for !p.isPunct(")") && p.tok.kind != tokEOF {
+				c.Args = append(c.Args, p.parseExpr())
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			p.expectPunct(")")
+			return c
+		}
+		v := &VarRef{exprBase: exprBase{line: t.line}, Name: name}
+		if p.acceptPunct("[") {
+			idx := p.parseExpr()
+			p.expectPunct("]")
+			return &Index{exprBase: exprBase{line: t.line}, Base: v, Idx: idx}
+		}
+		return v
+	default:
+		if p.acceptPunct("(") {
+			e := p.parseExpr()
+			p.expectPunct(")")
+			return e
+		}
+		p.errorf(t, "expected expression, found %s", t)
+		p.next()
+		return &IntLit{exprBase: exprBase{line: t.line}}
+	}
+}

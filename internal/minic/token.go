@@ -1,0 +1,344 @@
+// Package minic implements a small C-like language and its compiler to the
+// toolchain's MIPS-like assembly. It stands in for the paper's "automatic
+// compiler" operating at the MIPS assembly level: the programmer writes the
+// application in MiniC, marks the error-tolerant functions with the
+// `tolerant` qualifier (the paper's "user identifies which functions can
+// tolerate some error to their data"), and the toolchain tags instructions
+// via the control-data analysis in internal/core.
+//
+// The language: `int`, `char` (unsigned byte, arrays only), `float`
+// (binary32); global scalars and one-dimensional global arrays with
+// constant initializers; functions with scalar and pointer parameters;
+// `if`/`else`, `while`, `for`, `break`, `continue`, `return`; C operator
+// set with short-circuit `&&`/`||`; explicit casts `(int)`/`(float)` and no
+// implicit numeric conversions. I/O happens through the builtins
+// `inb/inh/inw/outb/outh/outw` (byte/halfword/word read and write on the
+// simulator's input and output streams) and `exit`.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokCharLit
+	tokStringLit
+	tokKeyword
+	tokPunct
+)
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "float": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"break": true, "continue": true, "return": true,
+	"const": true, "tolerant": true,
+}
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string  // identifier, punctuation, or keyword text
+	ival int64   // tokIntLit, tokCharLit
+	fval float64 // tokFloatLit
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokIntLit:
+		return fmt.Sprintf("%d", t.ival)
+	case tokFloatLit:
+		return fmt.Sprintf("%g", t.fval)
+	case tokCharLit:
+		return fmt.Sprintf("%q", rune(t.ival))
+	case tokStringLit:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// Error is a compile diagnostic with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: %d:%d: %s", e.Line, e.Col, e.Msg) }
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	errs []*Error
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) {
+	lx.errs = append(lx.errs, &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekByte2() byte {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekByte2() == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByte2() == '*':
+			line, col := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByte2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errorf(line, col, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// multi-byte punctuation, longest first.
+var puncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ",", ";",
+}
+
+func (lx *lexer) next() token {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}
+	}
+	c := lx.peekByte()
+
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentCont(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}
+
+	case isDigit(c):
+		return lx.number(line, col)
+
+	case c == '\'':
+		return lx.charLit(line, col)
+
+	case c == '"':
+		return lx.stringLit(line, col)
+	}
+
+	for _, p := range puncts {
+		if strings.HasPrefix(lx.src[lx.pos:], p) {
+			for range p {
+				lx.advance()
+			}
+			return token{kind: tokPunct, text: p, line: line, col: col}
+		}
+	}
+	lx.errorf(line, col, "unexpected character %q", rune(c))
+	lx.advance()
+	return lx.next()
+}
+
+func (lx *lexer) number(line, col int) token {
+	start := lx.pos
+	if lx.peekByte() == '0' && (lx.peekByte2() == 'x' || lx.peekByte2() == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.pos < len(lx.src) && isHex(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		var v uint64
+		if _, err := fmt.Sscanf(text, "0x%x", &v); err != nil {
+			if _, err := fmt.Sscanf(text, "0X%x", &v); err != nil {
+				lx.errorf(line, col, "bad hex literal %q", text)
+			}
+		}
+		if v > 0xFFFFFFFF {
+			lx.errorf(line, col, "hex literal %q exceeds 32 bits", text)
+		}
+		return token{kind: tokIntLit, ival: int64(v), line: line, col: col}
+	}
+	isFloat := false
+	for lx.pos < len(lx.src) && (isDigit(lx.peekByte()) || lx.peekByte() == '.') {
+		if lx.peekByte() == '.' {
+			if isFloat || !isDigit(lx.peekByte2()) {
+				break
+			}
+			isFloat = true
+		}
+		lx.advance()
+	}
+	// Exponent part, e.g. 1e6 or 2.5e-3.
+	if lx.pos < len(lx.src) && (lx.peekByte() == 'e' || lx.peekByte() == 'E') {
+		save := lx.pos
+		lx.advance()
+		if lx.peekByte() == '+' || lx.peekByte() == '-' {
+			lx.advance()
+		}
+		if isDigit(lx.peekByte()) {
+			isFloat = true
+			for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+				lx.advance()
+			}
+		} else {
+			lx.pos = save // it was an identifier boundary, not an exponent
+		}
+	}
+	text := lx.src[start:lx.pos]
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			lx.errorf(line, col, "bad float literal %q", text)
+		}
+		return token{kind: tokFloatLit, fval: f, line: line, col: col}
+	}
+	var v int64
+	if _, err := fmt.Sscanf(text, "%d", &v); err != nil || v > 0xFFFFFFFF {
+		lx.errorf(line, col, "bad integer literal %q", text)
+	}
+	return token{kind: tokIntLit, ival: v, line: line, col: col}
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (lx *lexer) charLit(line, col int) token {
+	lx.advance() // opening quote
+	var v int64
+	switch c := lx.peekByte(); c {
+	case 0, '\'':
+		lx.errorf(line, col, "empty character literal")
+	case '\\':
+		lx.advance()
+		switch e := lx.advance(); e {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		default:
+			lx.errorf(line, col, "unknown escape '\\%c'", e)
+		}
+	default:
+		v = int64(lx.advance())
+	}
+	if lx.peekByte() == '\'' {
+		lx.advance()
+	} else {
+		lx.errorf(line, col, "unterminated character literal")
+	}
+	return token{kind: tokCharLit, ival: v, line: line, col: col}
+}
+
+func (lx *lexer) stringLit(line, col int) token {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) || lx.peekByte() == '\n' {
+			lx.errorf(line, col, "unterminated string literal")
+			break
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			switch e := lx.advance(); e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '0':
+				b.WriteByte(0)
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				lx.errorf(line, col, "unknown escape '\\%c'", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return token{kind: tokStringLit, text: b.String(), line: line, col: col}
+}

@@ -1,0 +1,622 @@
+// Package sim executes isa programs functionally, the way the paper uses
+// SimpleScalar's sim-safe: no timing, just architectural state, with precise
+// detection of the two catastrophic-failure classes the paper measures —
+// crashes (traps) and infinite runs (instruction-budget exhaustion).
+//
+// Memory follows SimpleScalar's lazy-allocation semantics: the entire
+// 32-bit space is accessible. Loads from never-written pages return zero
+// and stores allocate pages on demand, so a corrupted *data* pointer
+// produces garbage data rather than a segmentation fault. Crashes therefore
+// come from the same sources they do under sim-safe: jumps outside the text
+// segment, misaligned word/halfword accesses, integer division by zero,
+// unknown syscalls, and resource exhaustion (a run that scribbles over an
+// unreasonable number of pages or emits unbounded output is the moral
+// equivalent of the host simulator being OOM-killed). This distinction is
+// load-bearing for reproducing the paper: with control data protected, wild
+// addresses corrupt fidelity but rarely crash, which is exactly the
+// behaviour Table 2 reports.
+//
+// The simulator also implements the paper's fault model: a FaultPlan marks
+// which static instructions are eligible for injection and schedules single
+// bit flips at given ordinals of the dynamic eligible-instruction stream.
+// A flip XORs one bit into the destination register immediately after
+// writeback, so the error propagates architecturally exactly as in §4
+// ("once an error was introduced ... it would propagate to all dependent
+// instructions").
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"etap/internal/isa"
+)
+
+// Outcome classifies how a run ended.
+type Outcome uint8
+
+const (
+	// OK means the program exited via the exit syscall.
+	OK Outcome = iota
+	// Crash means a trap fired: the paper's "crashing" catastrophic failure.
+	Crash
+	// Timeout means the instruction budget was exhausted: the paper's
+	// "infinite execution time" catastrophic failure.
+	Timeout
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Crash:
+		return "crash"
+	case Timeout:
+		return "timeout"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// TrapKind identifies the crash cause.
+type TrapKind uint8
+
+const (
+	TrapNone         TrapKind = iota
+	TrapMemAlign              // misaligned word/half access
+	TrapMemExhausted          // too many demand-allocated pages
+	TrapDivZero               // integer division by zero
+	TrapBadPC                 // jump or fall-through outside the text segment
+	TrapBadSyscall            // unknown syscall number
+	TrapOutputLimit           // unreasonable output volume
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapNone:
+		return "none"
+	case TrapMemAlign:
+		return "misaligned access"
+	case TrapMemExhausted:
+		return "memory exhausted"
+	case TrapDivZero:
+		return "division by zero"
+	case TrapBadPC:
+		return "bad program counter"
+	case TrapBadSyscall:
+		return "bad syscall"
+	case TrapOutputLimit:
+		return "output limit exceeded"
+	}
+	return fmt.Sprintf("trap(%d)", uint8(k))
+}
+
+// Trap records crash details.
+type Trap struct {
+	Kind TrapKind
+	PC   int    // text index of the faulting instruction
+	Addr uint32 // offending address for memory/pc traps
+}
+
+func (t Trap) String() string {
+	return fmt.Sprintf("%s at pc=%d addr=0x%x", t.Kind, t.PC, t.Addr)
+}
+
+// Syscall numbers (in $v0 at the syscall instruction).
+const (
+	SysExit  = 1 // a0 = exit status
+	SysWrite = 4 // a0 = buffer address, a1 = length; appends to output
+	SysRead  = 5 // a0 = buffer address, a1 = max length; v0 = bytes read
+)
+
+// Injection schedules one bit flip: after the At-th dynamic execution of an
+// eligible instruction (1-based), XOR 1<<Bit into its destination register.
+type Injection struct {
+	At  uint64
+	Bit uint8
+}
+
+// FaultPlan describes where errors may strike. Eligible is indexed by text
+// position; Injections must be sorted by ascending At. A plan with only
+// Eligible set (no injections) is useful for counting the dynamic eligible
+// stream length of a clean run.
+type FaultPlan struct {
+	Eligible   []bool
+	Injections []Injection
+}
+
+// Config parameterises one run.
+type Config struct {
+	// MemSize is the size of the directly backed (fast) memory region,
+	// which holds the data segment and the stack. Defaults to 8 MiB.
+	// Addresses beyond it fall into demand-allocated sparse pages.
+	MemSize uint32
+	// MaxInstr is the instruction budget; exceeding it yields Timeout.
+	// Defaults to 1<<32.
+	MaxInstr uint64
+	// MaxOutput caps the output buffer. Defaults to 8 MiB.
+	MaxOutput int
+	// MaxPages caps demand-allocated sparse pages (4 KiB each) outside the
+	// fast region. Defaults to 2048 (8 MiB).
+	MaxPages int
+	// Input is the byte stream served by the read syscall.
+	Input []byte
+	// Plan optionally enables fault accounting and injection.
+	Plan *FaultPlan
+	// Trace, when non-nil, receives a disassembly line per executed
+	// instruction. Debugging only; it is very slow.
+	Trace io.Writer
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Outcome  Outcome
+	Trap     Trap
+	ExitCode int32
+	// Instret is the number of instructions executed.
+	Instret uint64
+	// EligibleExec is the number of executed instructions whose text slot
+	// was marked eligible in the plan.
+	EligibleExec uint64
+	// Injected is how many scheduled flips actually fired (a run can crash
+	// before reaching later injection points).
+	Injected int
+	// Output is everything the program wrote.
+	Output []byte
+	// ClassCounts counts executed instructions per isa.Class.
+	ClassCounts [6]uint64
+}
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+// Run executes the program to completion under cfg.
+func Run(p *isa.Program, cfg Config) Result {
+	if cfg.MemSize == 0 {
+		cfg.MemSize = 8 << 20
+	}
+	if cfg.MaxInstr == 0 {
+		cfg.MaxInstr = 1 << 32
+	}
+	if cfg.MaxOutput == 0 {
+		cfg.MaxOutput = 8 << 20
+	}
+	if cfg.MaxPages == 0 {
+		cfg.MaxPages = 2048
+	}
+	m := &machine{
+		text:    p.Text,
+		mem:     make([]byte, cfg.MemSize),
+		memSize: cfg.MemSize,
+		input:   cfg.Input,
+		cfg:     cfg,
+	}
+	copy(m.mem[isa.DataBase:], p.Data)
+	m.regs[isa.RegSP] = cfg.MemSize - 16
+	m.pc = p.Entry
+
+	if cfg.Plan != nil {
+		m.eligible = cfg.Plan.Eligible
+		m.injections = cfg.Plan.Injections
+	}
+	m.run()
+
+	return Result{
+		Outcome:      m.outcome,
+		Trap:         m.trap,
+		ExitCode:     m.exitCode,
+		Instret:      m.instret,
+		EligibleExec: m.eligCount,
+		Injected:     m.injected,
+		Output:       m.out,
+		ClassCounts:  m.classCounts,
+	}
+}
+
+type machine struct {
+	text    []isa.Instr
+	regs    [isa.NumRegs]uint32
+	mem     []byte
+	memSize uint32
+	pages   map[uint32]*[pageSize]byte
+	pc      int
+
+	input []byte
+	inPos int
+	out   []byte
+	cfg   Config
+
+	eligible   []bool
+	injections []Injection
+	injected   int
+	eligCount  uint64
+
+	instret     uint64
+	classCounts [6]uint64
+
+	outcome  Outcome
+	trap     Trap
+	exitCode int32
+	done     bool
+}
+
+func (m *machine) fault(kind TrapKind, addr uint32) {
+	m.outcome = Crash
+	m.trap = Trap{Kind: kind, PC: m.pc, Addr: addr}
+	m.done = true
+}
+
+// load reads size bytes at addr. Aligned accesses never straddle a page.
+func (m *machine) load(addr, size uint32) (uint32, bool) {
+	if addr%size != 0 {
+		m.fault(TrapMemAlign, addr)
+		return 0, false
+	}
+	var buf []byte
+	if addr+size <= m.memSize && addr+size > addr {
+		buf = m.mem[addr:]
+	} else {
+		pg, ok := m.pages[addr>>pageShift]
+		if !ok {
+			return 0, true // lazily-allocated memory reads as zero
+		}
+		buf = pg[addr&(pageSize-1):]
+	}
+	switch size {
+	case 1:
+		return uint32(buf[0]), true
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(buf)), true
+	default:
+		return binary.LittleEndian.Uint32(buf), true
+	}
+}
+
+func (m *machine) store(addr, size, val uint32) bool {
+	if addr%size != 0 {
+		m.fault(TrapMemAlign, addr)
+		return false
+	}
+	var buf []byte
+	if addr+size <= m.memSize && addr+size > addr {
+		buf = m.mem[addr:]
+	} else {
+		pn := addr >> pageShift
+		pg, ok := m.pages[pn]
+		if !ok {
+			if len(m.pages) >= m.cfg.MaxPages {
+				m.fault(TrapMemExhausted, addr)
+				return false
+			}
+			if m.pages == nil {
+				m.pages = make(map[uint32]*[pageSize]byte)
+			}
+			pg = new([pageSize]byte)
+			m.pages[pn] = pg
+		}
+		buf = pg[addr&(pageSize-1):]
+	}
+	switch size {
+	case 1:
+		buf[0] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(buf, uint16(val))
+	default:
+		binary.LittleEndian.PutUint32(buf, val)
+	}
+	return true
+}
+
+// readBytes copies n bytes starting at addr for the write syscall,
+// honouring the sparse model (absent pages read as zero).
+func (m *machine) readBytes(dst []byte, addr uint32) {
+	for i := range dst {
+		a := addr + uint32(i)
+		if a < m.memSize {
+			dst[i] = m.mem[a]
+		} else if pg, ok := m.pages[a>>pageShift]; ok {
+			dst[i] = pg[a&(pageSize-1)]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+func (m *machine) writeBytes(src []byte, addr uint32) bool {
+	for i := range src {
+		if !m.store(addr+uint32(i), 1, uint32(src[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) setReg(r isa.Reg, v uint32) {
+	if r != isa.RegZero {
+		m.regs[r] = v
+	}
+}
+
+func f32(b uint32) float32  { return math.Float32frombits(b) }
+func bits(f float32) uint32 { return math.Float32bits(f) }
+
+func sdiv(a, b int32) int32 {
+	if a == math.MinInt32 && b == -1 {
+		return math.MinInt32 // MIPS leaves this unpredictable; pin it
+	}
+	return a / b
+}
+
+func srem(a, b int32) int32 {
+	if a == math.MinInt32 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+// codeIdx converts an architectural code address to a text index.
+func codeIdx(addr uint32) int { return int(int64(addr) - int64(isa.TextBase)) }
+
+func (m *machine) run() {
+	for !m.done {
+		if m.pc < 0 || m.pc >= len(m.text) {
+			m.fault(TrapBadPC, uint32(m.pc))
+			return
+		}
+		if m.instret >= m.cfg.MaxInstr {
+			m.outcome = Timeout
+			return
+		}
+		in := m.text[m.pc]
+		m.instret++
+		m.classCounts[in.Class()]++
+		if m.cfg.Trace != nil {
+			fmt.Fprintf(m.cfg.Trace, "%8d pc=%-6d %s\n", m.instret, m.pc, isa.Disasm(in))
+		}
+		next := m.pc + 1
+		r := &m.regs
+
+		switch in.Op {
+		case isa.NOP:
+		case isa.ADD:
+			m.setReg(in.Rd, uint32(int32(r[in.Rs])+int32(r[in.Rt])))
+		case isa.SUB:
+			m.setReg(in.Rd, uint32(int32(r[in.Rs])-int32(r[in.Rt])))
+		case isa.MUL:
+			m.setReg(in.Rd, uint32(int32(r[in.Rs])*int32(r[in.Rt])))
+		case isa.DIV:
+			if r[in.Rt] == 0 {
+				m.fault(TrapDivZero, 0)
+				return
+			}
+			m.setReg(in.Rd, uint32(sdiv(int32(r[in.Rs]), int32(r[in.Rt]))))
+		case isa.REM:
+			if r[in.Rt] == 0 {
+				m.fault(TrapDivZero, 0)
+				return
+			}
+			m.setReg(in.Rd, uint32(srem(int32(r[in.Rs]), int32(r[in.Rt]))))
+		case isa.AND:
+			m.setReg(in.Rd, r[in.Rs]&r[in.Rt])
+		case isa.OR:
+			m.setReg(in.Rd, r[in.Rs]|r[in.Rt])
+		case isa.XOR:
+			m.setReg(in.Rd, r[in.Rs]^r[in.Rt])
+		case isa.NOR:
+			m.setReg(in.Rd, ^(r[in.Rs] | r[in.Rt]))
+		case isa.SLLV:
+			m.setReg(in.Rd, r[in.Rs]<<(r[in.Rt]&31))
+		case isa.SRLV:
+			m.setReg(in.Rd, r[in.Rs]>>(r[in.Rt]&31))
+		case isa.SRAV:
+			m.setReg(in.Rd, uint32(int32(r[in.Rs])>>(r[in.Rt]&31)))
+		case isa.SLT:
+			m.setReg(in.Rd, b2u(int32(r[in.Rs]) < int32(r[in.Rt])))
+		case isa.SLTU:
+			m.setReg(in.Rd, b2u(r[in.Rs] < r[in.Rt]))
+
+		case isa.ADDI:
+			m.setReg(in.Rd, uint32(int32(r[in.Rs])+in.Imm))
+		case isa.ANDI:
+			m.setReg(in.Rd, r[in.Rs]&uint32(in.Imm))
+		case isa.ORI:
+			m.setReg(in.Rd, r[in.Rs]|uint32(in.Imm))
+		case isa.XORI:
+			m.setReg(in.Rd, r[in.Rs]^uint32(in.Imm))
+		case isa.SLL:
+			m.setReg(in.Rd, r[in.Rs]<<(uint32(in.Imm)&31))
+		case isa.SRL:
+			m.setReg(in.Rd, r[in.Rs]>>(uint32(in.Imm)&31))
+		case isa.SRA:
+			m.setReg(in.Rd, uint32(int32(r[in.Rs])>>(uint32(in.Imm)&31)))
+		case isa.SLTI:
+			m.setReg(in.Rd, b2u(int32(r[in.Rs]) < in.Imm))
+		case isa.LUI:
+			m.setReg(in.Rd, uint32(in.Imm)<<16)
+
+		case isa.ADDF:
+			m.setReg(in.Rd, bits(f32(r[in.Rs])+f32(r[in.Rt])))
+		case isa.SUBF:
+			m.setReg(in.Rd, bits(f32(r[in.Rs])-f32(r[in.Rt])))
+		case isa.MULF:
+			m.setReg(in.Rd, bits(f32(r[in.Rs])*f32(r[in.Rt])))
+		case isa.DIVF:
+			m.setReg(in.Rd, bits(f32(r[in.Rs])/f32(r[in.Rt])))
+		case isa.CVTIF:
+			m.setReg(in.Rd, bits(float32(int32(r[in.Rs]))))
+		case isa.CVTFI:
+			m.setReg(in.Rd, uint32(f2i(f32(r[in.Rs]))))
+		case isa.CEQF:
+			m.setReg(in.Rd, b2u(f32(r[in.Rs]) == f32(r[in.Rt])))
+		case isa.CLTF:
+			m.setReg(in.Rd, b2u(f32(r[in.Rs]) < f32(r[in.Rt])))
+		case isa.CLEF:
+			m.setReg(in.Rd, b2u(f32(r[in.Rs]) <= f32(r[in.Rt])))
+
+		case isa.LW:
+			v, ok := m.load(uint32(int32(r[in.Rs])+in.Imm), 4)
+			if !ok {
+				return
+			}
+			m.setReg(in.Rd, v)
+		case isa.LH:
+			v, ok := m.load(uint32(int32(r[in.Rs])+in.Imm), 2)
+			if !ok {
+				return
+			}
+			m.setReg(in.Rd, uint32(int32(int16(v))))
+		case isa.LHU:
+			v, ok := m.load(uint32(int32(r[in.Rs])+in.Imm), 2)
+			if !ok {
+				return
+			}
+			m.setReg(in.Rd, v)
+		case isa.LB:
+			v, ok := m.load(uint32(int32(r[in.Rs])+in.Imm), 1)
+			if !ok {
+				return
+			}
+			m.setReg(in.Rd, uint32(int32(int8(v))))
+		case isa.LBU:
+			v, ok := m.load(uint32(int32(r[in.Rs])+in.Imm), 1)
+			if !ok {
+				return
+			}
+			m.setReg(in.Rd, v)
+		case isa.SW:
+			if !m.store(uint32(int32(r[in.Rs])+in.Imm), 4, r[in.Rt]) {
+				return
+			}
+		case isa.SH:
+			if !m.store(uint32(int32(r[in.Rs])+in.Imm), 2, r[in.Rt]) {
+				return
+			}
+		case isa.SB:
+			if !m.store(uint32(int32(r[in.Rs])+in.Imm), 1, r[in.Rt]) {
+				return
+			}
+
+		case isa.BEQ:
+			if r[in.Rs] == r[in.Rt] {
+				next = int(in.Imm)
+			}
+		case isa.BNE:
+			if r[in.Rs] != r[in.Rt] {
+				next = int(in.Imm)
+			}
+		case isa.BLEZ:
+			if int32(r[in.Rs]) <= 0 {
+				next = int(in.Imm)
+			}
+		case isa.BGTZ:
+			if int32(r[in.Rs]) > 0 {
+				next = int(in.Imm)
+			}
+		case isa.BLTZ:
+			if int32(r[in.Rs]) < 0 {
+				next = int(in.Imm)
+			}
+		case isa.BGEZ:
+			if int32(r[in.Rs]) >= 0 {
+				next = int(in.Imm)
+			}
+		case isa.J:
+			next = int(in.Imm)
+		case isa.JAL:
+			m.setReg(isa.RegRA, isa.TextBase+uint32(m.pc+1))
+			next = int(in.Imm)
+		case isa.JR:
+			next = codeIdx(r[in.Rs])
+		case isa.JALR:
+			m.setReg(in.Rd, isa.TextBase+uint32(m.pc+1))
+			next = codeIdx(r[in.Rs])
+
+		case isa.SYSCALL:
+			if !m.syscall() {
+				return
+			}
+		}
+
+		// Fault accounting and injection happen after writeback so the
+		// flipped bit lands in the committed result.
+		if m.eligible != nil && m.pc < len(m.eligible) && m.eligible[m.pc] {
+			m.eligCount++
+			if m.injected < len(m.injections) && m.eligCount == m.injections[m.injected].At {
+				bit := m.injections[m.injected].Bit & 31
+				if d, ok := in.Dest(); ok && d != isa.RegZero {
+					m.regs[d] ^= 1 << bit
+				}
+				m.injected++
+			}
+		}
+
+		m.pc = next
+	}
+}
+
+// maxSyscallLen bounds a single read/write syscall; a corrupted length
+// register asking for more is treated as the host refusing the allocation.
+const maxSyscallLen = 4 << 20
+
+func (m *machine) syscall() bool {
+	r := &m.regs
+	switch r[isa.RegV0] {
+	case SysExit:
+		m.outcome = OK
+		m.exitCode = int32(r[isa.RegA0])
+		m.done = true
+		return false
+	case SysWrite:
+		addr, n := r[isa.RegA0], r[isa.RegA1]
+		if n > maxSyscallLen || len(m.out)+int(n) > m.cfg.MaxOutput {
+			m.fault(TrapOutputLimit, addr)
+			return false
+		}
+		buf := make([]byte, n)
+		m.readBytes(buf, addr)
+		m.out = append(m.out, buf...)
+		m.setReg(isa.RegV0, n)
+	case SysRead:
+		addr, n := r[isa.RegA0], r[isa.RegA1]
+		if n > maxSyscallLen {
+			m.fault(TrapOutputLimit, addr)
+			return false
+		}
+		avail := uint32(len(m.input) - m.inPos)
+		if n > avail {
+			n = avail
+		}
+		if !m.writeBytes(m.input[m.inPos:m.inPos+int(n)], addr) {
+			return false
+		}
+		m.inPos += int(n)
+		m.setReg(isa.RegV0, n)
+	default:
+		m.fault(TrapBadSyscall, r[isa.RegV0])
+		return false
+	}
+	return true
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// f2i truncates a float32 toward zero with saturation, pinning NaN to 0,
+// so corrupted float data cannot crash the host simulator.
+func f2i(f float32) int32 {
+	if f != f {
+		return 0
+	}
+	if f >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if f <= math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(f)
+}

@@ -1,0 +1,449 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"etap/internal/asm"
+	"etap/internal/isa"
+)
+
+// runAsm assembles and runs a program that must exit cleanly.
+func runAsm(t *testing.T, src string, cfg Config) Result {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return Run(p, cfg)
+}
+
+// exitWith wraps a snippet so that the value in $v1 becomes the exit code.
+func exitWith(body string) string {
+	return ".text\n.func __start\n" + body + "\n\tmove $a0, $v1\n\tli $v0, 1\n\tsyscall\n.endfunc\n"
+}
+
+func expectExit(t *testing.T, body string, want uint32) {
+	t.Helper()
+	res := runAsm(t, exitWith(body), Config{})
+	if res.Outcome != OK {
+		t.Fatalf("outcome = %s (trap %s), want ok", res.Outcome, res.Trap)
+	}
+	if uint32(res.ExitCode) != want {
+		t.Fatalf("exit = %d (0x%x), want %d (0x%x)", uint32(res.ExitCode), uint32(res.ExitCode), want, want)
+	}
+}
+
+func TestIntegerALUSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want uint32
+	}{
+		{"add", "li $t0, 7\n li $t1, 35\n add $v1, $t0, $t1", 42},
+		{"add wraps", "li $t0, 0x7FFFFFFF\n li $t1, 1\n add $v1, $t0, $t1", 0x80000000},
+		{"sub", "li $t0, 10\n li $t1, 14\n sub $v1, $t0, $t1", 0xFFFFFFFC},
+		{"mul", "li $t0, -6\n li $t1, 7\n mul $v1, $t0, $t1", uint32(0xFFFFFFFF - 41)},
+		{"div", "li $t0, -45\n li $t1, 7\n div $v1, $t0, $t1", uint32(0xFFFFFFFA)}, // -6
+		{"div minint", "li $t0, 0x80000000\n li $t1, -1\n div $v1, $t0, $t1", 0x80000000},
+		{"rem", "li $t0, -45\n li $t1, 7\n rem $v1, $t0, $t1", uint32(0xFFFFFFFD)}, // -3
+		{"rem minint", "li $t0, 0x80000000\n li $t1, -1\n rem $v1, $t0, $t1", 0},
+		{"and", "li $t0, 0xF0F0\n li $t1, 0x0FF0\n and $v1, $t0, $t1", 0x00F0},
+		{"or", "li $t0, 0xF000\n li $t1, 0x000F\n or $v1, $t0, $t1", 0xF00F},
+		{"xor", "li $t0, 0xFF00\n li $t1, 0x0FF0\n xor $v1, $t0, $t1", 0xF0F0},
+		{"nor", "li $t0, 0xFFFF0000\n li $t1, 0x0000FF00\n nor $v1, $t0, $t1", 0x000000FF},
+		{"sllv", "li $t0, 1\n li $t1, 33\n sllv $v1, $t0, $t1", 2}, // shift mod 32
+		{"srlv", "li $t0, 0x80000000\n li $t1, 4\n srlv $v1, $t0, $t1", 0x08000000},
+		{"srav", "li $t0, 0x80000000\n li $t1, 4\n srav $v1, $t0, $t1", 0xF8000000},
+		{"slt true", "li $t0, -1\n li $t1, 1\n slt $v1, $t0, $t1", 1},
+		{"slt false", "li $t0, 1\n li $t1, -1\n slt $v1, $t0, $t1", 0},
+		{"sltu", "li $t0, -1\n li $t1, 1\n sltu $v1, $t0, $t1", 0}, // 0xFFFFFFFF > 1 unsigned
+		{"addi", "li $t0, 40\n addi $v1, $t0, 2", 42},
+		{"addi negative", "li $t0, 40\n addi $v1, $t0, -50", uint32(0xFFFFFFF6)},
+		{"andi", "li $t0, 0x1234\n andi $v1, $t0, 0xFF", 0x34},
+		{"ori", "li $t0, 0x1200\n ori $v1, $t0, 0x34", 0x1234},
+		{"xori", "li $t0, 0xFF\n xori $v1, $t0, 0x0F", 0xF0},
+		{"sll", "li $t0, 3\n sll $v1, $t0, 4", 48},
+		{"srl", "li $t0, 0xFFFFFFFF\n srl $v1, $t0, 28", 0xF},
+		{"sra", "li $t0, 0x80000000\n sra $v1, $t0, 31", 0xFFFFFFFF},
+		{"slti", "li $t0, -5\n slti $v1, $t0, 0", 1},
+		{"lui", "lui $v1, 0x1234", 0x12340000},
+		{"zero register ignores writes", "li $t0, 9\n add $zero, $t0, $t0\n move $v1, $zero", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { expectExit(t, c.body, c.want) })
+	}
+}
+
+func TestFloatSemantics(t *testing.T) {
+	f := func(v float32) uint32 { return math.Float32bits(v) }
+	cases := []struct {
+		name string
+		body string
+		want uint32
+	}{
+		{"addf", "li $t0, " + itoa(f(1.5)) + "\n li $t1, " + itoa(f(2.25)) + "\n addf $v1, $t0, $t1", f(3.75)},
+		{"subf", "li $t0, " + itoa(f(1.0)) + "\n li $t1, " + itoa(f(2.5)) + "\n subf $v1, $t0, $t1", f(-1.5)},
+		{"mulf", "li $t0, " + itoa(f(-2)) + "\n li $t1, " + itoa(f(8)) + "\n mulf $v1, $t0, $t1", f(-16)},
+		{"divf", "li $t0, " + itoa(f(7)) + "\n li $t1, " + itoa(f(2)) + "\n divf $v1, $t0, $t1", f(3.5)},
+		{"divf by zero gives inf", "li $t0, " + itoa(f(1)) + "\n li $t1, 0\n divf $v1, $t0, $t1", f(float32(math.Inf(1)))},
+		{"cvtif", "li $t0, -3\n cvtif $v1, $t0", f(-3)},
+		{"cvtfi truncates", "li $t0, " + itoa(f(-2.9)) + "\n cvtfi $v1, $t0", uint32(0xFFFFFFFE)},
+		{"cvtfi nan is zero", "li $t0, 0x7FC00000\n cvtfi $v1, $t0", 0},
+		{"cvtfi saturates", "li $t0, " + itoa(f(3e9)) + "\n cvtfi $v1, $t0", 0x7FFFFFFF},
+		{"ceqf", "li $t0, " + itoa(f(2)) + "\n move $t1, $t0\n ceqf $v1, $t0, $t1", 1},
+		{"cltf", "li $t0, " + itoa(f(-1)) + "\n li $t1, " + itoa(f(1)) + "\n cltf $v1, $t0, $t1", 1},
+		{"clef", "li $t0, " + itoa(f(1)) + "\n move $t1, $t0\n clef $v1, $t0, $t1", 1},
+		{"nan compares false", "li $t0, 0x7FC00000\n move $t1, $t0\n ceqf $v1, $t0, $t1", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { expectExit(t, c.body, c.want) })
+	}
+}
+
+func itoa(v uint32) string { return "0x" + hex(v) }
+
+func hex(v uint32) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		out[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return string(out)
+}
+
+func TestMemorySemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want uint32
+	}{
+		{"word round trip", "li $t0, 0x12345678\n li $t1, 0x2000\n sw $t0, 0($t1)\n lw $v1, 0($t1)", 0x12345678},
+		{"byte little endian", "li $t0, 0x12345678\n li $t1, 0x2000\n sw $t0, 0($t1)\n lbu $v1, 0($t1)", 0x78},
+		{"byte top", "li $t0, 0x12345678\n li $t1, 0x2000\n sw $t0, 0($t1)\n lbu $v1, 3($t1)", 0x12},
+		{"lb sign extends", "li $t0, 0x80\n li $t1, 0x2000\n sb $t0, 0($t1)\n lb $v1, 0($t1)", 0xFFFFFF80},
+		{"lh sign extends", "li $t0, 0x8000\n li $t1, 0x2000\n sh $t0, 0($t1)\n lh $v1, 0($t1)", 0xFFFF8000},
+		{"lhu zero extends", "li $t0, 0x8000\n li $t1, 0x2000\n sh $t0, 0($t1)\n lhu $v1, 0($t1)", 0x8000},
+		{"negative offset", "li $t0, 77\n li $t1, 0x2010\n sw $t0, -8($t1)\n li $t2, 0x2008\n lw $v1, 0($t2)", 77},
+		{"sparse read is zero", "lui $t1, 0x4000\n lw $v1, 0($t1)", 0},
+		{"sparse write round trip", "li $t0, 99\n lui $t1, 0x4000\n sw $t0, 64($t1)\n lw $v1, 64($t1)", 99},
+		{"null page readable (SimpleScalar lazy memory)", "li $t1, 4\n lw $v1, 0($t1)", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { expectExit(t, c.body, c.want) })
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		kind TrapKind
+	}{
+		{"div by zero", "li $t0, 5\n li $t1, 0\n div $v1, $t0, $t1", TrapDivZero},
+		{"rem by zero", "li $t0, 5\n li $t1, 0\n rem $v1, $t0, $t1", TrapDivZero},
+		{"misaligned word load", "li $t1, 0x2001\n lw $v1, 0($t1)", TrapMemAlign},
+		{"misaligned word store", "li $t0, 1\n li $t1, 0x2002\n sw $t0, 0($t1)", TrapMemAlign},
+		{"misaligned half", "li $t1, 0x2001\n lhu $v1, 0($t1)", TrapMemAlign},
+		{"bad syscall number", "li $v0, 99\n syscall", TrapBadSyscall},
+		{"wild return", "li $ra, 0\n jr $ra", TrapBadPC},
+		{"jump past text", "lui $t0, 0x0041\n jr $t0", TrapBadPC},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := runAsm(t, exitWith(c.body), Config{})
+			if res.Outcome != Crash {
+				t.Fatalf("outcome = %s, want crash", res.Outcome)
+			}
+			if res.Trap.Kind != c.kind {
+				t.Fatalf("trap = %s, want %s", res.Trap.Kind, c.kind)
+			}
+		})
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	res := runAsm(t, ".text\n.func __start\nloop:\n\tj loop\n.endfunc\n", Config{MaxInstr: 1000})
+	if res.Outcome != Timeout {
+		t.Fatalf("outcome = %s, want timeout", res.Outcome)
+	}
+	if res.Instret != 1000 {
+		t.Fatalf("instret = %d, want 1000", res.Instret)
+	}
+}
+
+func TestMemExhaustion(t *testing.T) {
+	// Scribble a word onto a new sparse page each iteration until the page
+	// cap trips.
+	src := `
+.text
+.func __start
+	lui $t0, 0x4000
+loop:
+	sw $t0, 0($t0)
+	lui $t1, 0x0001
+	add $t0, $t0, $t1
+	j loop
+.endfunc
+`
+	res := runAsm(t, src, Config{MaxPages: 16})
+	if res.Outcome != Crash || res.Trap.Kind != TrapMemExhausted {
+		t.Fatalf("outcome = %s trap %s, want memory exhaustion", res.Outcome, res.Trap)
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	src := `
+.text
+.func __start
+	li $a0, 5
+	jal double
+	move $a0, $v0
+	li $v0, 1
+	syscall
+.endfunc
+.func double
+	add $v0, $a0, $a0
+	jr $ra
+.endfunc
+`
+	res := runAsm(t, src, Config{})
+	if res.Outcome != OK || res.ExitCode != 10 {
+		t.Fatalf("got %s exit %d, want ok 10", res.Outcome, res.ExitCode)
+	}
+}
+
+func TestReturnAddressIsArchitectural(t *testing.T) {
+	// jal must store TextBase-relative addresses so a corrupted ra of 0
+	// lands outside the text segment.
+	src := `
+.text
+.func __start
+	jal probe
+	move $a0, $v0
+	li $v0, 1
+	syscall
+.endfunc
+.func probe
+	move $v0, $ra
+	jr $ra
+.endfunc
+`
+	res := runAsm(t, src, Config{})
+	if res.Outcome != OK {
+		t.Fatalf("outcome %s", res.Outcome)
+	}
+	if uint32(res.ExitCode) != isa.TextBase+1 {
+		t.Fatalf("ra = 0x%x, want 0x%x", uint32(res.ExitCode), isa.TextBase+1)
+	}
+}
+
+func TestSyscallReadWrite(t *testing.T) {
+	src := `
+.text
+.func __start
+	li $a0, 0x2000
+	li $a1, 8
+	li $v0, 5
+	syscall              # read up to 8 bytes
+	move $t5, $v0        # bytes read
+	li $a0, 0x2000
+	move $a1, $t5
+	li $v0, 4
+	syscall              # echo them
+	move $a0, $t5
+	li $v0, 1
+	syscall
+.endfunc
+`
+	res := runAsm(t, src, Config{Input: []byte("hello")})
+	if res.Outcome != OK {
+		t.Fatalf("outcome %s (%s)", res.Outcome, res.Trap)
+	}
+	if string(res.Output) != "hello" {
+		t.Fatalf("output %q, want hello", res.Output)
+	}
+	if res.ExitCode != 5 {
+		t.Fatalf("read count %d, want 5", res.ExitCode)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	src := `
+.text
+.func __start
+	li $a0, 0x2000
+	li $a1, 8
+	li $v0, 5
+	syscall
+	li $a0, 0x2000
+	li $a1, 8
+	li $v0, 5
+	syscall              # second read: nothing left
+	move $a0, $v0
+	li $v0, 1
+	syscall
+.endfunc
+`
+	res := runAsm(t, src, Config{Input: []byte("abcdefgh")})
+	if res.ExitCode != 0 {
+		t.Fatalf("second read returned %d, want 0", res.ExitCode)
+	}
+}
+
+func TestOutputLimit(t *testing.T) {
+	src := `
+.text
+.func __start
+loop:
+	li $a0, 0x2000
+	li $a1, 4096
+	li $v0, 4
+	syscall
+	j loop
+.endfunc
+`
+	res := runAsm(t, src, Config{MaxOutput: 1 << 16})
+	if res.Outcome != Crash || res.Trap.Kind != TrapOutputLimit {
+		t.Fatalf("outcome = %s trap %s, want output limit", res.Outcome, res.Trap)
+	}
+}
+
+func TestBranchSemantics(t *testing.T) {
+	cases := []struct {
+		name   string
+		op     string
+		v      int32
+		expect uint32 // 1 if branch taken
+	}{
+		{"blez neg", "blez", -5, 1},
+		{"blez zero", "blez", 0, 1},
+		{"blez pos", "blez", 5, 0},
+		{"bgtz pos", "bgtz", 5, 1},
+		{"bgtz zero", "bgtz", 0, 0},
+		{"bltz neg", "bltz", -1, 1},
+		{"bltz zero", "bltz", 0, 0},
+		{"bgez zero", "bgez", 0, 1},
+		{"bgez neg", "bgez", -1, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			body := "li $t0, " + sprint(c.v) + "\n li $v1, 0\n " + c.op + " $t0, taken\n j done\ntaken:\n li $v1, 1\ndone:"
+			expectExit(t, body, c.expect)
+		})
+	}
+}
+
+func sprint(v int32) string {
+	if v < 0 {
+		return "-" + sprint(-v)
+	}
+	d := ""
+	for {
+		d = string(rune('0'+v%10)) + d
+		v /= 10
+		if v == 0 {
+			return d
+		}
+	}
+}
+
+func TestFaultPlanCountsEligible(t *testing.T) {
+	src := exitWith("li $t0, 1\n li $t1, 2\n add $v1, $t0, $t1")
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eligible := make([]bool, len(p.Text))
+	for i, in := range p.Text {
+		eligible[i] = in.IsInjectable()
+	}
+	res := Run(p, Config{Plan: &FaultPlan{Eligible: eligible}})
+	if res.Outcome != OK {
+		t.Fatalf("outcome %s", res.Outcome)
+	}
+	// li expands to one addi each; plus add, move($v1->OR? move a0), li v0.
+	if res.EligibleExec == 0 {
+		t.Fatalf("no eligible instructions counted")
+	}
+	want := uint64(0)
+	for i := range p.Text {
+		if eligible[i] {
+			want++ // every instruction executes exactly once in this program
+		}
+	}
+	if res.EligibleExec != want {
+		t.Fatalf("eligible exec = %d, want %d", res.EligibleExec, want)
+	}
+}
+
+func TestInjectionFlipsScheduledBit(t *testing.T) {
+	// Program: v1 = 8; exit v1. Flip bit 1 of the li result -> 10.
+	src := exitWith("addi $v1, $zero, 8")
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eligible := make([]bool, len(p.Text))
+	eligible[0] = true // the addi
+	res := Run(p, Config{Plan: &FaultPlan{
+		Eligible:   eligible,
+		Injections: []Injection{{At: 1, Bit: 1}},
+	}})
+	if res.Outcome != OK {
+		t.Fatalf("outcome %s", res.Outcome)
+	}
+	if res.ExitCode != 10 {
+		t.Fatalf("exit = %d, want 10 (8 with bit 1 flipped)", res.ExitCode)
+	}
+	if res.Injected != 1 {
+		t.Fatalf("injected = %d, want 1", res.Injected)
+	}
+}
+
+func TestInjectionDeterminism(t *testing.T) {
+	src := exitWith(`
+	li $t5, 0
+	li $t6, 0
+loop:
+	add $t6, $t6, $t5
+	addi $t5, $t5, 1
+	slti $at, $t5, 50
+	bnez $at, loop
+	move $v1, $t6`)
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eligible := make([]bool, len(p.Text))
+	for i, in := range p.Text {
+		eligible[i] = in.IsInjectable()
+	}
+	plan := &FaultPlan{Eligible: eligible, Injections: []Injection{{At: 17, Bit: 5}, {At: 60, Bit: 30}}}
+	a := Run(p, Config{Plan: plan})
+	b := Run(p, Config{Plan: plan})
+	if a.Outcome != b.Outcome || a.ExitCode != b.ExitCode || a.Instret != b.Instret {
+		t.Fatalf("identical plans diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	res := runAsm(t, exitWith("li $t0, 1\n li $t1, 0x2000\n sw $t0, 0($t1)\n lw $t2, 0($t1)"), Config{})
+	if res.ClassCounts[isa.ClassLoad] != 1 {
+		t.Fatalf("load count = %d, want 1", res.ClassCounts[isa.ClassLoad])
+	}
+	if res.ClassCounts[isa.ClassStore] != 1 {
+		t.Fatalf("store count = %d, want 1", res.ClassCounts[isa.ClassStore])
+	}
+	if res.ClassCounts[isa.ClassSys] != 1 {
+		t.Fatalf("syscall count = %d, want 1", res.ClassCounts[isa.ClassSys])
+	}
+	var total uint64
+	for _, c := range res.ClassCounts {
+		total += c
+	}
+	if total != res.Instret {
+		t.Fatalf("class counts sum %d != instret %d", total, res.Instret)
+	}
+}

@@ -1,0 +1,152 @@
+// Package textplot renders the experiment harness's tables and figures as
+// plain text: aligned tables and simple ASCII line charts, enough to
+// eyeball the shapes the paper's figures show.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders series on a w×h character grid with axes and a legend.
+// Nonfinite points are skipped.
+func Chart(title, xlabel, ylabel string, w, h int, series []Series) string {
+	if w < 20 {
+		w = 20
+	}
+	if h < 6 {
+		h = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX > maxX { // nothing to plot
+		return title + "\n(no data)\n"
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, m byte) {
+		cx := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+		cy := int(math.Round((y - minY) / (maxY - minY) * float64(h-1)))
+		row := h - 1 - cy
+		if row >= 0 && row < h && cx >= 0 && cx < w {
+			grid[row][cx] = m
+		}
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		// Linear interpolation between consecutive points gives a line
+		// impression.
+		for i := 0; i+1 < len(s.X); i++ {
+			if !finite(s.X[i]) || !finite(s.Y[i]) || !finite(s.X[i+1]) || !finite(s.Y[i+1]) {
+				continue
+			}
+			steps := 2 * w
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(steps)
+				plot(s.X[i]+f*(s.X[i+1]-s.X[i]), s.Y[i]+f*(s.Y[i+1]-s.Y[i]), m)
+			}
+		}
+		for i := range s.X {
+			if finite(s.X[i]) && finite(s.Y[i]) {
+				plot(s.X[i], s.Y[i], m)
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%s\n", ylabel)
+	topLabel := trimNum(maxY)
+	botLabel := trimNum(minY)
+	lw := len(topLabel)
+	if len(botLabel) > lw {
+		lw = len(botLabel)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", lw)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", lw, topLabel)
+		case h - 1:
+			label = fmt.Sprintf("%*s", lw, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", lw), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", lw), w-len(trimNum(maxX)), trimNum(minX), trimNum(maxX))
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", lw), xlabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+func trimNum(f float64) string {
+	s := fmt.Sprintf("%.1f", f)
+	s = strings.TrimSuffix(s, ".0")
+	return s
+}

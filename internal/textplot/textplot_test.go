@@ -1,0 +1,79 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"longer", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+	// Columns align: "value" starts at the same offset in each row.
+	off := strings.Index(lines[0], "value")
+	if lines[2][off:off+1] != "1" || lines[3][off:off+2] != "22" {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestChartContainsMarkersAndLegend(t *testing.T) {
+	out := Chart("title", "x", "y", 40, 10, []Series{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{10, 5, 0}},
+	})
+	for _, want := range []string{"title", "x", "y", "* up", "o down", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "10") || !strings.Contains(out, "0") {
+		t.Fatalf("chart missing y labels:\n%s", out)
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	out := Chart("t", "x", "y", 30, 8, nil)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestChartSkipsNaN(t *testing.T) {
+	out := Chart("t", "x", "y", 30, 8, []Series{
+		{Name: "s", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 3}},
+	})
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("chart printed NaN:\n%s", out)
+	}
+}
+
+func TestChartFlatLine(t *testing.T) {
+	// A constant series must not divide by zero.
+	out := Chart("t", "x", "y", 30, 8, []Series{
+		{Name: "s", X: []float64{0, 1}, Y: []float64{5, 5}},
+	})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat line not drawn:\n%s", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	out := Chart("t", "x", "y", 30, 8, []Series{
+		{Name: "s", X: []float64{3}, Y: []float64{7}},
+	})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}
