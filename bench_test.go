@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"testing"
 
+	"etap/internal/apps"
 	"etap/internal/apps/all"
+	"etap/internal/campaign"
 	"etap/internal/core"
 	"etap/internal/exp"
 	"etap/internal/fault"
@@ -190,6 +192,78 @@ func BenchmarkInjectionTrial(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCampaignLateInjection is the engine's headline comparison: a
+// trial whose single injection lands in the last sixteenth of the
+// eligible stream, run from instruction zero (the pre-engine baseline)
+// versus resumed from the nearest checkpoint. The checkpointed variant
+// must win by a wide margin (the acceptance target is ≥3×).
+func BenchmarkCampaignLateInjection(b *testing.B) {
+	a, _ := all.ByName("blowfish")
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := core.Analyze(prog, core.PolicyControlAddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := campaign.New(prog, rep.Tagged, sim.Config{Input: a.Input()}, campaign.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := eng.Clean.EligibleExec
+	window := stream / 16
+	latePlan := func(i int) *sim.FaultPlan {
+		at := stream - window + uint64(i)%window + 1
+		if at > stream {
+			at = stream
+		}
+		return &sim.FaultPlan{
+			Eligible:   eng.Eligible,
+			Injections: []sim.Injection{{At: at, Bit: uint8(i % 32)}},
+		}
+	}
+	b.Run("scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := sim.Config{Input: a.Input(), MaxInstr: eng.Budget, Plan: latePlan(i)}
+			sim.Run(prog, cfg)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	})
+	b.Run("checkpointed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.RunPlan(latePlan(i))
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	})
+}
+
+// BenchmarkCampaignPoint measures end-to-end sharded point throughput on
+// the engine (plan generation, checkpoint resume, scoring, aggregation).
+func BenchmarkCampaignPoint(b *testing.B) {
+	a, _ := all.ByName("adpcm")
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := core.Analyze(prog, core.PolicyControlAddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := campaign.New(prog, rep.Tagged, sim.Config{Input: a.Input()}, campaign.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Score = apps.Scorer(a)
+	b.ResetTimer()
+	trials := 0
+	for i := 0; i < b.N; i++ {
+		r := eng.RunPoint(campaign.Point{Errors: 5, HiBit: 31, MaxTrials: 64, Seed: int64(i + 1)}, nil)
+		trials += r.Trials
+	}
+	b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
 }
 
 // BenchmarkPlanGeneration measures error-schedule construction.

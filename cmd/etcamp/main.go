@@ -1,0 +1,269 @@
+// Command etcamp runs fault-injection campaigns on the checkpointed,
+// sharded campaign engine and exports the aggregated results as text,
+// JSON or CSV artifacts.
+//
+// Usage:
+//
+//	etcamp -app susan[,gsm,...|all] [-mode protected|unprotected|both]
+//	       [-errors 1,2,5,10] [-trials N] [-ci W] [-min-trials N]
+//	       [-workers N] [-seed S] [-policy control|control+addr|conservative]
+//	       [-format text|json|csv] [-out file]
+//
+// Each (application, mode, error-count) point runs up to -trials trials;
+// with -ci set, a point stops early once the Wilson 95% confidence
+// interval on its catastrophic-failure rate is narrower than W (for any
+// worker count, the numbers come out identical). Results go to stdout (or
+// -out); progress and diagnostics go to stderr. The exit code is non-zero
+// on any failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"etap/internal/apps"
+	"etap/internal/apps/all"
+	"etap/internal/campaign"
+	"etap/internal/core"
+	"etap/internal/minic"
+	"etap/internal/sim"
+	"etap/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "etcamp:", err)
+		if _, ok := err.(usageError); ok {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+type options struct {
+	apps      []apps.App
+	modes     []string
+	errors    []int
+	trials    int
+	minTrials int
+	ciWidth   float64
+	workers   int
+	seed      int64
+	policy    core.Policy
+	format    string
+	outFile   string
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("etcamp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appFlag := fs.String("app", "", "benchmark names, comma-separated, or 'all'")
+	modeFlag := fs.String("mode", "both", "eligibility mode: protected, unprotected or both")
+	errorsFlag := fs.String("errors", "1,2,5,10", "error counts per trial, comma-separated")
+	trials := fs.Int("trials", 100, "trial budget per measurement point")
+	minTrials := fs.Int("min-trials", 0, "trial floor before early stopping (0 = engine default)")
+	ciWidth := fs.Float64("ci", 0, "early-stop Wilson CI width on the failure rate, as a fraction (0 = run the full budget)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; never changes results)")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	policy := fs.String("policy", "control+addr", "analysis policy: control, control+addr, conservative")
+	format := fs.String("format", "text", "output format: text, json or csv")
+	outFile := fs.String("out", "", "write results to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return usageError(err.Error())
+	}
+
+	opt := options{
+		trials:    *trials,
+		minTrials: *minTrials,
+		ciWidth:   *ciWidth,
+		workers:   *workers,
+		seed:      *seed,
+		format:    *format,
+		outFile:   *outFile,
+	}
+	var err error
+	if opt.apps, err = parseApps(*appFlag); err != nil {
+		return err
+	}
+	if opt.modes, err = parseModes(*modeFlag); err != nil {
+		return err
+	}
+	if opt.errors, err = parseInts(*errorsFlag); err != nil {
+		return usageError(fmt.Sprintf("bad -errors: %v", err))
+	}
+	var ok bool
+	if opt.policy, ok = core.ParsePolicy(*policy); !ok {
+		return usageError(fmt.Sprintf("unknown -policy %q (have control, control+addr, conservative)", *policy))
+	}
+	switch opt.format {
+	case "text", "json", "csv":
+	default:
+		return usageError(fmt.Sprintf("unknown -format %q (have text, json, csv)", opt.format))
+	}
+	if opt.trials <= 0 {
+		return usageError("-trials must be positive")
+	}
+
+	// Open the artifact file before running anything so a bad path fails
+	// in milliseconds, not after the campaign.
+	out := stdout
+	if opt.outFile != "" {
+		f, cerr := os.Create(opt.outFile)
+		if cerr != nil {
+			return cerr
+		}
+		defer f.Close()
+		out = f
+	}
+
+	reports, err := runCampaigns(opt, stderr)
+	if err != nil {
+		return err
+	}
+	switch opt.format {
+	case "json":
+		return campaign.WriteJSON(out, reports)
+	case "csv":
+		return campaign.WriteCSV(out, reports)
+	default:
+		return writeText(out, reports)
+	}
+}
+
+func runCampaigns(opt options, stderr io.Writer) ([]*campaign.Report, error) {
+	var reports []*campaign.Report
+	for _, a := range opt.apps {
+		prog, err := minic.Build(a.Source())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name(), err)
+		}
+		rep, err := core.Analyze(prog, opt.policy)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name(), err)
+		}
+		for _, mode := range opt.modes {
+			eligible := rep.Tagged
+			if mode == "unprotected" {
+				eligible = core.EligibleAll(prog)
+			}
+			eng, err := campaign.New(prog, eligible, sim.Config{Input: a.Input()},
+				campaign.Config{Workers: opt.workers, Seed: opt.seed})
+			if err != nil {
+				return nil, fmt.Errorf("%s (%s): %w", a.Name(), mode, err)
+			}
+			eng.Score = apps.Scorer(a)
+			fmt.Fprintf(stderr, "[%s/%s] golden pass: %d instructions, %d checkpoints, %.1f%% eligible\n",
+				a.Name(), mode, eng.Clean.Instret, eng.Checkpoints(), 100*eng.EligibleFraction())
+			var points []campaign.PointResult
+			for _, n := range opt.errors {
+				start := time.Now()
+				p := eng.RunPoint(campaign.Point{
+					Errors:    n,
+					HiBit:     31,
+					MaxTrials: opt.trials,
+					MinTrials: opt.minTrials,
+					StopWidth: opt.ciWidth,
+				}, nil)
+				note := ""
+				if p.EarlyStopped {
+					note = " (early stop)"
+				}
+				fmt.Fprintf(stderr, "[%s/%s] errors=%d trials=%d fail=%.1f%% [%.1f, %.1f] accept=%.1f%% in %.2fs%s\n",
+					a.Name(), mode, n, p.Trials, p.FailPct, p.FailLoPct, p.FailHiPct, p.AcceptPct,
+					time.Since(start).Seconds(), note)
+				points = append(points, p)
+			}
+			reports = append(reports, eng.NewReport(a.Name(), mode, points))
+		}
+	}
+	return reports, nil
+}
+
+func writeText(w io.Writer, reports []*campaign.Report) error {
+	for _, r := range reports {
+		fmt.Fprintf(w, "%s (%s): %d clean instructions, %.1f%% of the dynamic stream eligible\n\n",
+			r.Benchmark, r.Mode, r.CleanInstructions, 100*r.EligibleFraction)
+		rows := make([][]string, len(r.Points))
+		for i, p := range r.Points {
+			mean := "-"
+			if p.MeanValue == p.MeanValue { // not NaN
+				mean = fmt.Sprintf("%.1f", p.MeanValue)
+			}
+			stopped := ""
+			if p.EarlyStopped {
+				stopped = "early"
+			}
+			rows[i] = []string{
+				strconv.Itoa(p.Errors),
+				strconv.Itoa(p.Trials),
+				fmt.Sprintf("%.1f%%", p.FailPct),
+				fmt.Sprintf("[%.1f, %.1f]", p.FailLoPct, p.FailHiPct),
+				fmt.Sprintf("%.1f%%", p.AcceptPct),
+				mean,
+				stopped,
+			}
+		}
+		if _, err := io.WriteString(w, textplot.Table(
+			[]string{"Errors", "Trials", "Fail", "Fail 95% CI", "Accept", "Mean fidelity", ""}, rows)); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func parseApps(s string) ([]apps.App, error) {
+	if s == "" {
+		return nil, usageError("missing -app (try -app all)")
+	}
+	if s == "all" {
+		return all.Apps(), nil
+	}
+	var out []apps.App
+	for _, name := range strings.Split(s, ",") {
+		a, ok := all.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, usageError(fmt.Sprintf("unknown benchmark %q (have %s)",
+				name, strings.Join(all.Names(), ", ")))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func parseModes(s string) ([]string, error) {
+	switch s {
+	case "protected", "unprotected":
+		return []string{s}, nil
+	case "both":
+		return []string{"protected", "unprotected"}, nil
+	}
+	return nil, usageError(fmt.Sprintf("unknown -mode %q (have protected, unprotected, both)", s))
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("negative error count %d", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

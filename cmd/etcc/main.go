@@ -5,7 +5,8 @@
 //
 //	etcc [-o out.s] prog.mc
 //
-// With -o omitted, the assembly is written to stdout.
+// With -o omitted, the assembly is written to stdout. Diagnostics go to
+// stderr; the exit code is 2 for usage errors and 1 for any failure.
 package main
 
 import (
@@ -23,22 +24,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: etcc [-o out.s] prog.mc")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if err := run(flag.Arg(0), *out); err != nil {
+		fmt.Fprintln(os.Stderr, "etcc:", err)
 		os.Exit(1)
+	}
+}
+
+func run(srcFile, outFile string) error {
+	src, err := os.ReadFile(srcFile)
+	if err != nil {
+		return err
 	}
 	asm, err := minic.Compile(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	if *out == "" {
-		fmt.Print(asm)
-		return
+	if outFile == "" {
+		_, err = fmt.Print(asm)
+		return err
 	}
-	if err := os.WriteFile(*out, []byte(asm), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	return os.WriteFile(outFile, []byte(asm), 0o644)
 }

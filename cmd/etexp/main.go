@@ -7,7 +7,9 @@
 //
 // Results render as text tables and ASCII charts. With -out, output is
 // also written to the named file (this is how the data blocks in
-// EXPERIMENTS.md are produced).
+// EXPERIMENTS.md are produced). Progress and diagnostics go to stderr;
+// the exit code is non-zero on any failure — a partial -out file is never
+// left behind silently.
 package main
 
 import (
@@ -25,29 +27,34 @@ func main() {
 	trials := flag.Int("trials", 0, "trials per measurement point (0 = default 40)")
 	outFile := flag.String("out", "", "also write results to this file")
 	flag.Parse()
+	if err := run(*which, *trials, *outFile); err != nil {
+		fmt.Fprintln(os.Stderr, "etexp:", err)
+		os.Exit(1)
+	}
+}
 
+func run(which string, trials int, outFile string) error {
 	ids := etap.ExperimentIDs()
-	if *which != "all" {
-		ids = strings.Split(*which, ",")
+	if which != "all" {
+		ids = strings.Split(which, ",")
 	}
 
 	var b strings.Builder
 	for _, id := range ids {
 		start := time.Now()
-		text, err := etap.RunExperiment(strings.TrimSpace(id), *trials)
+		text, err := etap.RunExperiment(strings.TrimSpace(id), trials)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Fprintf(&b, "%s\n", text)
 		fmt.Fprintf(&b, "[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
 		fmt.Print(text + "\n")
 		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs]\n", id, time.Since(start).Seconds())
 	}
-	if *outFile != "" {
-		if err := os.WriteFile(*outFile, []byte(b.String()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if outFile != "" {
+		if err := os.WriteFile(outFile, []byte(b.String()), 0o644); err != nil {
+			return err
 		}
 	}
+	return nil
 }

@@ -5,9 +5,15 @@
 //	etsim [-in input.bin] [-max N] [-errors N -seed S [-unprotected]] prog.{mc,s}
 //
 // MiniC sources (.mc) are compiled first; anything else is treated as
-// assembly. The program's output bytes go to stdout; run statistics go to
-// stderr. With -errors, single-bit faults are injected into the
-// analysis-tagged instructions (or all arithmetic with -unprotected).
+// assembly. The program's output bytes go to stdout; run statistics and
+// diagnostics go to stderr. With -errors, single-bit faults are injected
+// into the analysis-tagged instructions (or all arithmetic with
+// -unprotected).
+//
+// Exit codes: 0 for a run that completed normally, 1 for a simulated
+// crash/hang or any tool error (compile failure, unreadable input, failed
+// campaign setup), 2 for usage errors. Errors never exit 0, so campaign
+// scripts can trust the status.
 package main
 
 import (
@@ -36,50 +42,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: etsim [flags] prog.{mc,s}")
 		os.Exit(2)
 	}
+	pol, ok := core.ParsePolicy(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "etsim: unknown -policy %q (have control, control+addr, conservative)\n", *policy)
+		os.Exit(2)
+	}
 
-	srcBytes, err := os.ReadFile(flag.Arg(0))
+	res, err := run(flag.Arg(0), *inFile, *maxInstr, *errors, *seed, *unprotected, pol)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(os.Stderr, "etsim:", err)
+		os.Exit(1)
 	}
-	var prog *isa.Program
-	if strings.HasSuffix(flag.Arg(0), ".mc") {
-		prog, err = minic.Build(string(srcBytes))
-	} else {
-		prog, err = asm.Assemble(string(srcBytes))
-	}
-	if err != nil {
-		fail(err)
-	}
-
-	var input []byte
-	if *inFile != "" {
-		input, err = os.ReadFile(*inFile)
-		if err != nil {
-			fail(err)
-		}
-	}
-
-	var res sim.Result
-	if *errors > 0 {
-		var eligible []bool
-		if *unprotected {
-			eligible = core.EligibleAll(prog)
-		} else {
-			rep, aerr := core.Analyze(prog, parsePolicy(*policy))
-			if aerr != nil {
-				fail(aerr)
-			}
-			eligible = rep.Tagged
-		}
-		camp, cerr := fault.NewCampaign(prog, eligible, sim.Config{Input: input, MaxInstr: *maxInstr})
-		if cerr != nil {
-			fail(cerr)
-		}
-		res = camp.Run(*errors, *seed)
-	} else {
-		res = sim.Run(prog, sim.Config{Input: input, MaxInstr: *maxInstr})
-	}
-
 	os.Stdout.Write(res.Output)
 	fmt.Fprintf(os.Stderr, "outcome: %s", res.Outcome)
 	if res.Outcome == sim.Crash {
@@ -92,18 +65,45 @@ func main() {
 	}
 }
 
-func parsePolicy(s string) core.Policy {
-	switch s {
-	case "control":
-		return core.PolicyControl
-	case "conservative":
-		return core.PolicyConservative
-	default:
-		return core.PolicyControlAddr
+func run(progFile, inFile string, maxInstr uint64, errors int, seed int64, unprotected bool, pol core.Policy) (sim.Result, error) {
+	srcBytes, err := os.ReadFile(progFile)
+	if err != nil {
+		return sim.Result{}, err
 	}
-}
+	var prog *isa.Program
+	if strings.HasSuffix(progFile, ".mc") {
+		prog, err = minic.Build(string(srcBytes))
+	} else {
+		prog, err = asm.Assemble(string(srcBytes))
+	}
+	if err != nil {
+		return sim.Result{}, err
+	}
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	var input []byte
+	if inFile != "" {
+		input, err = os.ReadFile(inFile)
+		if err != nil {
+			return sim.Result{}, err
+		}
+	}
+
+	if errors <= 0 {
+		return sim.Run(prog, sim.Config{Input: input, MaxInstr: maxInstr}), nil
+	}
+	var eligible []bool
+	if unprotected {
+		eligible = core.EligibleAll(prog)
+	} else {
+		rep, aerr := core.Analyze(prog, pol)
+		if aerr != nil {
+			return sim.Result{}, aerr
+		}
+		eligible = rep.Tagged
+	}
+	camp, cerr := fault.NewCampaign(prog, eligible, sim.Config{Input: input, MaxInstr: maxInstr})
+	if cerr != nil {
+		return sim.Result{}, cerr
+	}
+	return camp.Run(errors, seed), nil
 }

@@ -6,6 +6,10 @@
 //
 //	etstat -app susan [-policy control] [-v]
 //	etstat prog.mc [-v]
+//
+// Statistics go to stdout; diagnostics go to stderr. The exit code is 2
+// for usage errors (including unknown benchmarks and policies) and 1 for
+// any analysis failure.
 package main
 
 import (
@@ -22,19 +26,25 @@ func main() {
 	verbose := flag.Bool("v", false, "print the annotated disassembly")
 	flag.Parse()
 
+	pol, ok := etap.ParsePolicy(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "etstat: unknown -policy %q (have control, control+addr, conservative)\n", *policy)
+		os.Exit(2)
+	}
+
 	var source string
 	switch {
 	case *appName != "":
 		b, ok := etap.BenchmarkByName(*appName)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *appName)
+			fmt.Fprintf(os.Stderr, "etstat: unknown benchmark %q\n", *appName)
 			os.Exit(2)
 		}
 		source = b.Source()
 	case flag.NArg() == 1:
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "etstat:", err)
 			os.Exit(1)
 		}
 		source = string(data)
@@ -43,31 +53,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, err := etap.Build(source, parsePolicy(*policy))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if err := run(source, pol, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "etstat:", err)
 		os.Exit(1)
 	}
+}
+
+func run(source string, pol etap.Policy, verbose bool) error {
+	sys, err := etap.Build(source, pol)
+	if err != nil {
+		return err
+	}
 	st := sys.Stats()
-	fmt.Printf("policy:               %s\n", parsePolicy(*policy))
+	fmt.Printf("policy:               %s\n", pol)
 	fmt.Printf("text instructions:    %d\n", st.TextInstructions)
 	fmt.Printf("tagged (low-rel):     %d (%.1f%%)\n", st.TaggedStatic,
 		100*float64(st.TaggedStatic)/float64(st.TextInstructions))
 	fmt.Printf("control slice:        %d (%.1f%%)\n", st.ControlSliceStatic,
 		100*float64(st.ControlSliceStatic)/float64(st.TextInstructions))
 	fmt.Printf("tolerant functions:   %d\n", st.TolerantFunctions)
-	if *verbose {
+	if verbose {
 		fmt.Println(sys.Listing())
 	}
-}
-
-func parsePolicy(s string) etap.Policy {
-	switch s {
-	case "control":
-		return etap.PolicyControl
-	case "conservative":
-		return etap.PolicyConservative
-	default:
-		return etap.PolicyControlAddr
-	}
+	return nil
 }

@@ -16,8 +16,17 @@
 // through Benchmarks, and the paper's tables and figures can be regenerated
 // with RunExperiment. Everything underneath lives in internal/ packages:
 // the ISA and assembler, the functional simulator with SimpleScalar-style
-// lazy memory, the MiniC compiler, the control-data analysis, the fault
-// injector, the fidelity measures, and the experiment harness.
+// lazy memory and checkpoint/restore, the MiniC compiler, the control-data
+// analysis, the fault injector, the campaign engine, the fidelity
+// measures, and the experiment harness.
+//
+// Campaigns run on a checkpointed, sharded engine: one golden pass records
+// copy-on-write machine checkpoints, each faulty trial resumes from the
+// checkpoint nearest its injection point, and multi-trial measurement
+// points (RunPoint, Sweep) fan out over a worker pool with per-shard
+// deterministic RNG streams and online Wilson-interval aggregation. See
+// docs/CAMPAIGN.md for the architecture, and cmd/etcamp for the CLI that
+// exports campaign artifacts as JSON or CSV.
 package etap
 
 import (
@@ -27,9 +36,9 @@ import (
 
 	"etap/internal/apps"
 	"etap/internal/apps/all"
+	"etap/internal/campaign"
 	"etap/internal/core"
 	"etap/internal/exp"
-	"etap/internal/fault"
 	"etap/internal/isa"
 	"etap/internal/minic"
 	"etap/internal/sim"
@@ -54,6 +63,21 @@ const (
 )
 
 func (p Policy) String() string { return toCore(p).String() }
+
+// ParsePolicy resolves a policy name as printed by Policy.String
+// ("control", "control+addr", "conservative").
+func ParsePolicy(s string) (Policy, bool) {
+	switch cp, ok := core.ParsePolicy(s); {
+	case !ok:
+		return 0, false
+	case cp == core.PolicyControlAddr:
+		return PolicyControlAddr, true
+	case cp == core.PolicyConservative:
+		return PolicyConservative, true
+	default:
+		return PolicyControl, true
+	}
+}
 
 func toCore(p Policy) core.Policy {
 	switch p {
@@ -212,9 +236,12 @@ func (s *System) Run(input []byte) RunResult {
 	return fromSim(sim.Run(s.prog, sim.Config{Input: input}))
 }
 
-// Campaign is a reusable fault-injection setup for one input.
+// Campaign is a reusable fault-injection setup for one input, backed by
+// the checkpointed campaign engine: construction runs one golden pass and
+// records copy-on-write checkpoints, and every trial resumes from the
+// checkpoint nearest its first injection point.
 type Campaign struct {
-	c *fault.Campaign
+	c *campaign.Engine
 }
 
 // NewCampaign prepares injections against this system. With protected
@@ -227,7 +254,7 @@ func (s *System) NewCampaign(input []byte, protected bool) (*Campaign, error) {
 	if !protected {
 		eligible = core.EligibleAll(s.prog)
 	}
-	c, err := fault.NewCampaign(s.prog, eligible, sim.Config{Input: input})
+	c, err := campaign.New(s.prog, eligible, sim.Config{Input: input}, campaign.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -241,14 +268,116 @@ func (c *Campaign) CleanOutput() []byte { return c.c.Clean.Output }
 // CleanInstructions is the fault-free dynamic instruction count.
 func (c *Campaign) CleanInstructions() uint64 { return c.c.Clean.Instret }
 
+// Checkpoints is the number of machine checkpoints the golden pass
+// captured; trials whose injection point lands after a checkpoint skip the
+// simulation up to it.
+func (c *Campaign) Checkpoints() int { return c.c.Checkpoints() }
+
 // LowReliabilityFraction is the fraction of the dynamic instruction stream
 // eligible for injection (Table 3's measure when protection is on).
 func (c *Campaign) LowReliabilityFraction() float64 { return c.c.EligibleFraction() }
+
+// SetScore installs the fidelity measure RunPoint and Sweep grade
+// completed trials with. Without one, a trial counts as acceptable only
+// when its output is bit-identical to the fault-free output.
+func (c *Campaign) SetScore(score func(golden, corrupted []byte) (value float64, acceptable bool)) {
+	c.c.Score = score
+}
 
 // Run injects n single-bit errors, uniformly distributed over the dynamic
 // eligible instructions, deterministically in seed.
 func (c *Campaign) Run(n int, seed int64) RunResult {
 	return fromSim(c.c.Run(n, seed))
+}
+
+// PointOptions controls a multi-trial measurement point.
+type PointOptions struct {
+	// MaxTrials is the trial budget per point. Defaults to 40.
+	MaxTrials int
+	// StopCIWidth, when positive, stops a point early once the Wilson 95%
+	// confidence interval on the catastrophic-failure rate is narrower
+	// than this fraction (e.g. 0.05 for ±2.5 points) — but not before
+	// MinTrials trials have aggregated.
+	StopCIWidth float64
+	// MinTrials is the floor before early stopping may trigger; 0 picks
+	// a default scaled to the budget.
+	MinTrials int
+	// Seed makes the point's injection schedules reproducible. Defaults
+	// to 1.
+	Seed int64
+	// Workers sizes the trial pool; 0 means GOMAXPROCS. Worker count
+	// never changes results.
+	Workers int
+}
+
+// PointStats aggregates one measurement point.
+type PointStats struct {
+	Errors    int
+	Trials    int
+	Crashes   int
+	Timeouts  int
+	Completed int
+	// Masked counts completed trials whose output was bit-identical to
+	// the fault-free output.
+	Masked int
+	// Accepted counts completed trials that passed the fidelity
+	// threshold.
+	Accepted int
+	// MeanValue is the mean fidelity value over completed trials (NaN
+	// without a scorer or completions).
+	MeanValue float64
+	FailPct   float64
+	AcceptPct float64
+	// FailLowPct/FailHighPct bound the catastrophic-failure rate with a
+	// Wilson 95% confidence interval.
+	FailLowPct   float64
+	FailHighPct  float64
+	EarlyStopped bool
+}
+
+func fromPoint(r campaign.PointResult) PointStats {
+	return PointStats{
+		Errors:       r.Errors,
+		Trials:       r.Trials,
+		Crashes:      r.Crashes,
+		Timeouts:     r.Timeouts,
+		Completed:    r.Completed,
+		Masked:       r.Masked,
+		Accepted:     r.Accepted,
+		MeanValue:    r.MeanValue,
+		FailPct:      r.FailPct,
+		AcceptPct:    r.AcceptPct,
+		FailLowPct:   r.FailLoPct,
+		FailHighPct:  r.FailHiPct,
+		EarlyStopped: r.EarlyStopped,
+	}
+}
+
+// RunPoint executes up to opt.MaxTrials independent trials with the given
+// error count, sharded across the worker pool, and aggregates them online.
+// Results depend only on the options, never on scheduling.
+func (c *Campaign) RunPoint(errors int, opt PointOptions) PointStats {
+	if opt.MaxTrials == 0 {
+		opt.MaxTrials = 40
+	}
+	return fromPoint(c.c.RunPoint(campaign.Point{
+		Errors:    errors,
+		HiBit:     31,
+		MaxTrials: opt.MaxTrials,
+		MinTrials: opt.MinTrials,
+		StopWidth: opt.StopCIWidth,
+		Seed:      opt.Seed,
+		Workers:   opt.Workers,
+	}, nil))
+}
+
+// Sweep runs RunPoint for each error count.
+func (c *Campaign) Sweep(errorCounts []int, opt PointOptions) []PointStats {
+	out := make([]PointStats, len(errorCounts))
+	for i, n := range errorCounts {
+		out[i] = c.RunPoint(n, opt)
+	}
+	return out
 }
 
 // Benchmark is one of the paper's Table 1 applications.

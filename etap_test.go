@@ -136,6 +136,51 @@ func TestUnprotectedCampaign(t *testing.T) {
 	}
 }
 
+func TestCampaignRunPoint(t *testing.T) {
+	sys, err := Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := sys.NewCampaign(testInput(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.SetScore(func(golden, corrupted []byte) (float64, bool) {
+		match := 0
+		for i := range golden {
+			if i < len(corrupted) && golden[i] == corrupted[i] {
+				match++
+			}
+		}
+		v := 100 * float64(match) / float64(len(golden))
+		return v, v >= 90
+	})
+
+	clean := camp.RunPoint(0, PointOptions{MaxTrials: 8, Seed: 3})
+	if clean.Trials != 8 || clean.Masked != 8 || clean.AcceptPct != 100 || clean.FailPct != 0 {
+		t.Fatalf("zero-error point: %+v", clean)
+	}
+
+	p := camp.RunPoint(2, PointOptions{MaxTrials: 24, Seed: 3, Workers: 1})
+	if p.Trials != 24 || p.Completed+p.Crashes+p.Timeouts != p.Trials {
+		t.Fatalf("accounting: %+v", p)
+	}
+	if p.FailLowPct > p.FailPct || p.FailPct > p.FailHighPct {
+		t.Fatalf("Wilson interval [%.2f, %.2f] does not bracket %.2f",
+			p.FailLowPct, p.FailHighPct, p.FailPct)
+	}
+	// Worker count must not change the numbers.
+	p2 := camp.RunPoint(2, PointOptions{MaxTrials: 24, Seed: 3, Workers: 5})
+	if p != p2 {
+		t.Fatalf("points differ across worker counts:\n%+v\n%+v", p, p2)
+	}
+
+	sweep := camp.Sweep([]int{0, 2}, PointOptions{MaxTrials: 8, Seed: 3})
+	if len(sweep) != 2 || sweep[0].Errors != 0 || sweep[1].Errors != 2 {
+		t.Fatalf("sweep shape: %+v", sweep)
+	}
+}
+
 func TestBenchmarksRegistry(t *testing.T) {
 	bs := Benchmarks()
 	if len(bs) != 7 {

@@ -39,3 +39,12 @@ type App interface {
 	// Score evaluates a corrupted output against the golden output.
 	Score(golden, corrupted []byte) Score
 }
+
+// Scorer adapts an App's fidelity measure to the (value, acceptable)
+// function shape the campaign engine and experiment harness consume.
+func Scorer(a App) func(golden, corrupted []byte) (float64, bool) {
+	return func(golden, corrupted []byte) (float64, bool) {
+		s := a.Score(golden, corrupted)
+		return s.Value, s.Acceptable
+	}
+}

@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"math"
+
+	"etap/internal/sim"
+)
+
+// aggregate is the online accumulator the collector folds trials into:
+// outcome counters, fidelity sums and the Wilson interval inputs. It never
+// holds per-trial data, so points with millions of trials aggregate in
+// constant space.
+type aggregate struct {
+	trials    int
+	crashes   int
+	timeouts  int
+	completed int
+	masked    int
+	accepted  int
+	valueN    int
+	valueSum  float64
+	valueSq   float64
+}
+
+func (a *aggregate) add(t Trial) {
+	a.trials++
+	switch t.Outcome {
+	case sim.OK:
+		a.completed++
+		if t.Masked {
+			a.masked++
+		}
+		if t.Acceptable {
+			a.accepted++
+		}
+		if !math.IsNaN(t.Value) {
+			a.valueN++
+			a.valueSum += t.Value
+			a.valueSq += t.Value * t.Value
+		}
+	case sim.Crash:
+		a.crashes++
+	default:
+		a.timeouts++
+	}
+}
+
+// failInterval is the Wilson 95% confidence interval (as fractions) on
+// the catastrophic-failure rate so far.
+func (a *aggregate) failInterval() (lo, hi float64) {
+	return wilson(a.crashes+a.timeouts, a.trials, 1.96)
+}
+
+// PointResult aggregates one measurement point.
+type PointResult struct {
+	Errors       int     `json:"errors"`
+	LoBit        uint8   `json:"lo_bit"`
+	HiBit        uint8   `json:"hi_bit"`
+	Trials       int     `json:"trials"`
+	Crashes      int     `json:"crashes"`
+	Timeouts     int     `json:"timeouts"`
+	Completed    int     `json:"completed"`
+	Masked       int     `json:"masked"`
+	Accepted     int     `json:"accepted"`
+	MeanValue    float64 `json:"mean_value"`
+	ValueStddev  float64 `json:"value_stddev"`
+	FailPct      float64 `json:"fail_pct"`
+	AcceptPct    float64 `json:"accept_pct"`
+	FailLoPct    float64 `json:"fail_lo_pct"`
+	FailHiPct    float64 `json:"fail_hi_pct"`
+	EarlyStopped bool    `json:"early_stopped"`
+}
+
+func (a *aggregate) result(errors int, lo, hi uint8, stopped bool) PointResult {
+	r := PointResult{
+		Errors:       errors,
+		LoBit:        lo,
+		HiBit:        hi,
+		Trials:       a.trials,
+		Crashes:      a.crashes,
+		Timeouts:     a.timeouts,
+		Completed:    a.completed,
+		Masked:       a.masked,
+		Accepted:     a.accepted,
+		MeanValue:    math.NaN(),
+		ValueStddev:  math.NaN(),
+		EarlyStopped: stopped,
+	}
+	if a.valueN > 0 {
+		mean := a.valueSum / float64(a.valueN)
+		r.MeanValue = mean
+		if a.valueN > 1 {
+			varr := (a.valueSq - float64(a.valueN)*mean*mean) / float64(a.valueN-1)
+			if varr < 0 {
+				varr = 0
+			}
+			r.ValueStddev = math.Sqrt(varr)
+		}
+	}
+	if a.trials > 0 {
+		r.FailPct = 100 * float64(a.crashes+a.timeouts) / float64(a.trials)
+		r.AcceptPct = 100 * float64(a.accepted) / float64(a.trials)
+	}
+	flo, fhi := a.failInterval()
+	r.FailLoPct, r.FailHiPct = 100*flo, 100*fhi
+	return r
+}
+
+// wilson returns the Wilson score interval for k successes in n trials at
+// critical value z, as fractions in [0,1]. For n == 0 the interval is the
+// vacuous [0,1].
+func wilson(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	nf := float64(n)
+	p := float64(k) / nf
+	z2 := z * z
+	den := 1 + z2/nf
+	center := p + z2/(2*nf)
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - half) / den
+	hi = (center + half) / den
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

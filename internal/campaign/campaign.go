@@ -1,0 +1,359 @@
+// Package campaign is the high-throughput fault-injection campaign
+// engine. It combines three mechanisms so that characterization sweeps
+// run as fast as the hardware allows:
+//
+//   - Checkpointed trials: the engine records one golden pass with
+//     sim.Record and starts every faulty trial from the latest checkpoint
+//     before its first injection point instead of from instruction zero.
+//     Checkpoint memory is shared copy-on-write, so trials are cheap to
+//     fork and bit-identical to from-scratch runs.
+//
+//   - Sharded execution: trials are grouped into fixed-size shards, each
+//     with its own deterministic RNG stream derived from (seed, point,
+//     shard index). Workers pull whole shards, and the aggregator folds
+//     shard results back in shard order, so a campaign's numbers are
+//     reproducible for any worker count.
+//
+//   - Streaming aggregation: outcome counters and fidelity sums update
+//     online as shards complete, with Wilson confidence intervals on the
+//     catastrophic-failure rate; a point can stop early once its interval
+//     is narrower than a target width.
+//
+// docs/CAMPAIGN.md describes the architecture and the reasoning behind
+// the checkpoint-interval and early-stop choices.
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"etap/internal/fault"
+	"etap/internal/isa"
+	"etap/internal/sim"
+)
+
+// ScoreFunc evaluates a completed trial's output against the golden
+// output, returning the application's fidelity value and whether it passes
+// the acceptability threshold.
+type ScoreFunc func(golden, output []byte) (value float64, acceptable bool)
+
+// Config parameterises an Engine.
+type Config struct {
+	// Interval is the initial checkpoint spacing in instructions; 0
+	// selects the sim default (16384, with geometric thinning).
+	Interval uint64
+	// MaxSnapshots bounds the live checkpoint count (see
+	// sim.RecordOptions); 0 selects the default of 128.
+	MaxSnapshots int
+	// Workers is the default worker-pool size for RunPoint; 0 means
+	// GOMAXPROCS. Worker count never affects results.
+	Workers int
+	// ShardSize is the number of trials per shard, the unit of work
+	// distribution, RNG streaming and early-stop decisions. Defaults
+	// to 32.
+	ShardSize int
+	// Seed is the base seed for trial schedules. Defaults to 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ShardSize <= 0 {
+		c.ShardSize = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Engine runs fault-injection campaigns for one program, input and
+// eligibility mask. Constructing it performs the golden pass (recording
+// checkpoints along the way); the engine is then safe for concurrent use.
+type Engine struct {
+	Prog     *isa.Program
+	Eligible []bool
+	// Clean is the fault-free reference run.
+	Clean sim.Result
+	// Budget is the instruction limit applied to faulty trials; exceeding
+	// it classifies a trial as an infinite execution.
+	Budget uint64
+	// Score, when non-nil, grades completed trials. Without it a
+	// completed trial counts as acceptable only when its output is
+	// bit-identical to the clean output.
+	Score ScoreFunc
+
+	rec *sim.Recording
+	cfg Config
+}
+
+// New prepares an engine. simCfg.Plan and simCfg.MaxInstr are managed by
+// the engine and must be unset.
+func New(p *isa.Program, eligible []bool, simCfg sim.Config, cfg Config) (*Engine, error) {
+	if simCfg.Plan != nil {
+		return nil, fmt.Errorf("campaign: simCfg.Plan is managed by the engine")
+	}
+	if simCfg.MaxInstr != 0 {
+		return nil, fmt.Errorf("campaign: simCfg.MaxInstr is managed by the engine")
+	}
+	if len(eligible) != len(p.Text) {
+		return nil, fmt.Errorf("campaign: eligibility mask has %d entries for %d instructions", len(eligible), len(p.Text))
+	}
+	cfg = cfg.withDefaults()
+	probe := simCfg
+	probe.Plan = &sim.FaultPlan{Eligible: eligible}
+	rec, err := sim.Record(p, probe, sim.RecordOptions{Interval: cfg.Interval, MaxSnapshots: cfg.MaxSnapshots})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	clean := rec.Result
+	if clean.Outcome != sim.OK {
+		return nil, fmt.Errorf("campaign: clean run did not complete: %s (trap: %s)", clean.Outcome, clean.Trap)
+	}
+	if clean.EligibleExec == 0 {
+		return nil, fmt.Errorf("campaign: no eligible instructions executed; nothing to inject into")
+	}
+	return &Engine{
+		Prog:     p,
+		Eligible: eligible,
+		Clean:    clean,
+		Budget:   clean.Instret*16 + 10_000_000,
+		rec:      rec,
+		cfg:      cfg,
+	}, nil
+}
+
+// Checkpoints reports how many checkpoints the golden pass captured.
+func (e *Engine) Checkpoints() int { return len(e.rec.Snapshots()) }
+
+// EligibleFraction is the dynamic fraction of executed instructions that
+// were eligible in the clean run.
+func (e *Engine) EligibleFraction() float64 {
+	if e.Clean.Instret == 0 {
+		return 0
+	}
+	return float64(e.Clean.EligibleExec) / float64(e.Clean.Instret)
+}
+
+// RunPlan executes one trial under a prepared plan, resuming from the
+// latest checkpoint before the plan's first injection (or, with no
+// injections, from the final checkpoint). The plan's eligibility mask must
+// be the engine's.
+func (e *Engine) RunPlan(plan *sim.FaultPlan) sim.Result {
+	idx := len(e.rec.Snapshots()) - 1
+	if len(plan.Injections) > 0 {
+		idx = e.rec.SnapshotBefore(plan.Injections[0].At)
+	}
+	return e.rec.RunFrom(idx, plan, e.Budget)
+}
+
+// Run executes one faulty trial with n errors, deterministic in seed.
+func (e *Engine) Run(n int, seed int64) sim.Result {
+	return e.RunBits(n, seed, 0, 31)
+}
+
+// RunBits is Run with the flipped bit restricted to [loBit, hiBit].
+func (e *Engine) RunBits(n int, seed int64, loBit, hiBit uint8) sim.Result {
+	return e.RunPlan(fault.NewPlanBits(e.Eligible, e.Clean.EligibleExec, n, seed, loBit, hiBit))
+}
+
+// Point specifies one measurement point: how many errors per trial, where
+// in the word they may land, and how much statistical work to do.
+type Point struct {
+	// Errors is the number of bit flips injected per trial.
+	Errors int
+	// LoBit/HiBit restrict flips to the inclusive bit lane
+	// [LoBit, HiBit], with the same semantics as Engine.RunBits: pass
+	// 0, 31 for the full word, 0, 0 for bit zero only. HiBit above 31
+	// clamps to 31; LoBit above HiBit collapses to HiBit.
+	LoBit, HiBit uint8
+	// MaxTrials is the trial budget for the point.
+	MaxTrials int
+	// MinTrials is the floor before early stopping may trigger. Defaults
+	// to 2 shards' worth, clamped to half the trial budget so StopWidth
+	// stays meaningful for small budgets.
+	MinTrials int
+	// StopWidth, when positive, stops the point early once the Wilson 95%
+	// confidence interval on the catastrophic-failure rate is narrower
+	// than this fraction (e.g. 0.05 for ±2.5 points).
+	StopWidth float64
+	// Seed overrides the engine seed for this point; 0 keeps it.
+	Seed int64
+	// Workers overrides the engine worker count; 0 keeps it. Never
+	// affects results.
+	Workers int
+}
+
+// Trial is the record of one executed trial, as seen by RunPoint's
+// observer.
+type Trial struct {
+	Outcome sim.Outcome
+	// Value/Acceptable come from the engine's ScoreFunc and are
+	// meaningful only for completed trials (Value is NaN without a
+	// ScoreFunc).
+	Value      float64
+	Acceptable bool
+	// Masked reports a completed trial whose output is bit-identical to
+	// the clean output (the AVF bin).
+	Masked   bool
+	Instret  uint64
+	Injected int
+}
+
+// RunPoint executes up to pt.MaxTrials trials, aggregating online and
+// early-stopping once the failure-rate confidence interval is tight
+// enough. observe, when non-nil, receives every aggregated trial in
+// deterministic order (it runs on the collector goroutine; no locking
+// needed). Results are identical for any worker count.
+func (e *Engine) RunPoint(pt Point, observe func(trial int, tr Trial)) PointResult {
+	// Clamp the lane the same way plan generation will, so reported
+	// lanes, shard seeds and the actual flips all agree.
+	lo, hi := pt.LoBit, pt.HiBit
+	if hi > 31 {
+		hi = 31
+	}
+	if lo > hi {
+		lo = hi
+	}
+	if pt.MaxTrials <= 0 {
+		pt.MaxTrials = 1
+	}
+	seed := pt.Seed
+	if seed == 0 {
+		seed = e.cfg.Seed
+	}
+	shardSize := e.cfg.ShardSize
+	if pt.MinTrials <= 0 {
+		pt.MinTrials = 2 * shardSize
+		if half := pt.MaxTrials / 2; half < pt.MinTrials {
+			pt.MinTrials = half
+		}
+	}
+	numShards := (pt.MaxTrials + shardSize - 1) / shardSize
+	workers := pt.Workers
+	if workers <= 0 {
+		workers = e.cfg.Workers
+	}
+	if workers > numShards {
+		workers = numShards
+	}
+
+	type shardOut struct {
+		idx    int
+		trials []Trial
+	}
+	var stop atomic.Bool
+	shardCh := make(chan int)
+	outCh := make(chan shardOut, workers)
+
+	go func() {
+		defer close(shardCh)
+		for s := 0; s < numShards; s++ {
+			if stop.Load() {
+				return
+			}
+			shardCh <- s
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range shardCh {
+				if stop.Load() {
+					outCh <- shardOut{s, nil}
+					continue
+				}
+				count := shardSize
+				if rem := pt.MaxTrials - s*shardSize; rem < count {
+					count = rem
+				}
+				outCh <- shardOut{s, e.runShard(seed, pt.Errors, lo, hi, s, count)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(outCh)
+	}()
+
+	// The collector folds shards in index order so early-stop decisions —
+	// and therefore the reported trial count — do not depend on worker
+	// scheduling. Shards finished after the stop decision are discarded.
+	var a aggregate
+	pending := make(map[int][]Trial)
+	next, trialBase := 0, 0
+	stopped := false
+	for out := range outCh {
+		if stopped {
+			continue
+		}
+		pending[out.idx] = out.trials
+		for !stopped {
+			trials, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			for i, tr := range trials {
+				a.add(tr)
+				if observe != nil {
+					observe(trialBase+i, tr)
+				}
+			}
+			trialBase += len(trials)
+			next++
+			if next < numShards && pt.StopWidth > 0 && a.trials >= pt.MinTrials {
+				if lo, hi := a.failInterval(); hi-lo < pt.StopWidth {
+					stopped = true
+					stop.Store(true)
+				}
+			}
+		}
+	}
+	return a.result(pt.Errors, lo, hi, stopped)
+}
+
+// runShard executes one shard's trials sequentially off the shard's own
+// RNG stream.
+func (e *Engine) runShard(seed int64, errors int, lo, hi uint8, shard, count int) []Trial {
+	rng := rand.New(rand.NewSource(shardSeed(seed, errors, lo, hi, shard)))
+	trials := make([]Trial, count)
+	for i := range trials {
+		plan := fault.NewPlanBitsRand(rng, e.Eligible, e.Clean.EligibleExec, errors, lo, hi)
+		res := e.RunPlan(plan)
+		tr := Trial{Outcome: res.Outcome, Value: math.NaN(), Instret: res.Instret, Injected: res.Injected}
+		if res.Outcome == sim.OK {
+			tr.Masked = bytes.Equal(res.Output, e.Clean.Output)
+			if e.Score != nil {
+				tr.Value, tr.Acceptable = e.Score(e.Clean.Output, res.Output)
+			} else {
+				tr.Acceptable = tr.Masked
+			}
+		}
+		trials[i] = tr
+	}
+	return trials
+}
+
+// shardSeed derives a shard's RNG seed from the campaign seed and the
+// point's identity via splitmix64 finalization, so streams for different
+// (seed, errors, lane, shard) tuples are decorrelated.
+func shardSeed(seed int64, errors int, lo, hi uint8, shard int) int64 {
+	x := uint64(seed)
+	for _, v := range [...]uint64{uint64(errors), uint64(lo)<<8 | uint64(hi), uint64(shard)} {
+		x += 0x9e3779b97f4a7c15 + v
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return int64(x)
+}

@@ -1,0 +1,254 @@
+package campaign_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"etap/internal/apps"
+	"etap/internal/apps/all"
+	"etap/internal/campaign"
+	"etap/internal/core"
+	"etap/internal/minic"
+	"etap/internal/sim"
+)
+
+// buildEngine compiles a benchmark and prepares a protected-mode engine.
+func buildEngine(t *testing.T, name string, cfg campaign.Config) (*campaign.Engine, apps.App, sim.Config) {
+	t.Helper()
+	a, ok := all.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Analyze(prog, core.PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := sim.Config{Input: a.Input()}
+	e, err := campaign.New(prog, rep.Tagged, simCfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Score = apps.Scorer(a)
+	return e, a, simCfg
+}
+
+func resultsEqual(a, b sim.Result) bool {
+	return a.Outcome == b.Outcome &&
+		a.Trap == b.Trap &&
+		a.ExitCode == b.ExitCode &&
+		a.Instret == b.Instret &&
+		a.EligibleExec == b.EligibleExec &&
+		a.Injected == b.Injected &&
+		bytes.Equal(a.Output, b.Output) &&
+		a.ClassCounts == b.ClassCounts
+}
+
+// TestResumeBitIdenticalAllBenchmarks is the determinism contract of the
+// checkpoint engine: for every benchmark, a trial resumed from a
+// checkpoint produces a bit-identical sim.Result (outcome, output, trap,
+// instruction count, class counts) to the same trial run from scratch,
+// for injections early, midway and late in the eligible stream.
+func TestResumeBitIdenticalAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range all.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			e, _, simCfg := buildEngine(t, name, campaign.Config{})
+			if e.Checkpoints() == 0 {
+				t.Fatalf("golden pass of %s (%d instructions) captured no checkpoints", name, e.Clean.Instret)
+			}
+			stream := e.Clean.EligibleExec
+			ordinals := []uint64{1, stream / 4, stream / 2, stream - stream/8, stream}
+			for i, at := range ordinals {
+				if at < 1 {
+					at = 1
+				}
+				plan := &sim.FaultPlan{
+					Eligible:   e.Eligible,
+					Injections: []sim.Injection{{At: at, Bit: uint8((i*7 + 3) % 32)}},
+				}
+				scratchCfg := simCfg
+				scratchCfg.Plan = plan
+				scratchCfg.MaxInstr = e.Budget
+				scratch := sim.Run(e.Prog, scratchCfg)
+				resumed := e.RunPlan(plan)
+				if !resultsEqual(scratch, resumed) {
+					t.Fatalf("%s: ordinal %d/%d: resumed trial differs from scratch\nscratch: outcome=%s trap=%s instret=%d out=%d bytes\nresumed: outcome=%s trap=%s instret=%d out=%d bytes",
+						name, at, stream,
+						scratch.Outcome, scratch.Trap, scratch.Instret, len(scratch.Output),
+						resumed.Outcome, resumed.Trap, resumed.Instret, len(resumed.Output))
+				}
+			}
+		})
+	}
+}
+
+// TestRunPointReproducibleAcrossWorkers is the shard-RNG contract: the
+// aggregate of a point is identical no matter how many workers execute it.
+func TestRunPointReproducibleAcrossWorkers(t *testing.T) {
+	e, _, _ := buildEngine(t, "adpcm", campaign.Config{Seed: 7, ShardSize: 8})
+	pt := campaign.Point{Errors: 4, HiBit: 31, MaxTrials: 48}
+	var results []campaign.PointResult
+	for _, workers := range []int{1, 3, 8} {
+		pt.Workers = workers
+		results = append(results, e.RunPoint(pt, nil))
+	}
+	for i := 1; i < len(results); i++ {
+		if !pointsEqual(results[0], results[i]) {
+			t.Fatalf("results differ between worker counts:\n%+v\n%+v", results[0], results[i])
+		}
+	}
+	if r := results[0]; r.Trials != 48 || r.Completed+r.Crashes+r.Timeouts != r.Trials {
+		t.Fatalf("bad accounting: %+v", results[0])
+	}
+}
+
+func pointsEqual(a, b campaign.PointResult) bool {
+	na, nb := math.IsNaN(a.MeanValue), math.IsNaN(b.MeanValue)
+	if na != nb {
+		return false
+	}
+	if na {
+		a.MeanValue, b.MeanValue = 0, 0
+	}
+	if math.IsNaN(a.ValueStddev) != math.IsNaN(b.ValueStddev) {
+		return false
+	}
+	if math.IsNaN(a.ValueStddev) {
+		a.ValueStddev, b.ValueStddev = 0, 0
+	}
+	return a == b
+}
+
+// TestObserverSeesTrialsInOrder checks the deterministic observer stream.
+func TestObserverSeesTrialsInOrder(t *testing.T) {
+	e, _, _ := buildEngine(t, "adpcm", campaign.Config{Seed: 5, ShardSize: 4, Workers: 4})
+	var indices []int
+	var trials []campaign.Trial
+	r := e.RunPoint(campaign.Point{Errors: 2, HiBit: 31, MaxTrials: 24}, func(i int, tr campaign.Trial) {
+		indices = append(indices, i)
+		trials = append(trials, tr)
+	})
+	if len(indices) != r.Trials {
+		t.Fatalf("observer saw %d trials, point reports %d", len(indices), r.Trials)
+	}
+	for i, idx := range indices {
+		if idx != i {
+			t.Fatalf("observer indices out of order at %d: %v", i, indices[:i+1])
+		}
+	}
+	// Re-running must replay the identical trial stream.
+	var again []campaign.Trial
+	e.RunPoint(campaign.Point{Errors: 2, HiBit: 31, MaxTrials: 24}, func(i int, tr campaign.Trial) {
+		again = append(again, tr)
+	})
+	for i := range trials {
+		a, b := trials[i], again[i]
+		if math.IsNaN(a.Value) && math.IsNaN(b.Value) {
+			a.Value, b.Value = 0, 0
+		}
+		if a != b {
+			t.Fatalf("trial %d differs between runs: %+v vs %+v", i, trials[i], again[i])
+		}
+	}
+}
+
+// TestEarlyStopConverges checks that a point with a tight, quickly
+// reachable confidence target stops well short of its trial budget, and
+// deterministically so.
+func TestEarlyStopConverges(t *testing.T) {
+	e, _, _ := buildEngine(t, "adpcm", campaign.Config{Seed: 11, ShardSize: 16})
+	// Zero errors → zero failures; the Wilson upper bound shrinks like
+	// z²/n, so width < 0.05 needs ~75 trials out of the 2000 budget.
+	pt := campaign.Point{Errors: 0, HiBit: 31, MaxTrials: 2000, StopWidth: 0.05}
+	r1 := e.RunPoint(pt, nil)
+	if !r1.EarlyStopped {
+		t.Fatalf("point did not stop early: %+v", r1)
+	}
+	if r1.Trials >= 2000 || r1.Trials < 32 {
+		t.Fatalf("unexpected early-stop trial count %d", r1.Trials)
+	}
+	if r1.FailHiPct-r1.FailLoPct >= 5 {
+		t.Fatalf("stopped with wide interval [%.2f, %.2f]", r1.FailLoPct, r1.FailHiPct)
+	}
+	pt.Workers = 7
+	r2 := e.RunPoint(pt, nil)
+	if !pointsEqual(r1, r2) {
+		t.Fatalf("early-stopped results differ across worker counts:\n%+v\n%+v", r1, r2)
+	}
+}
+
+// TestZeroErrorTrialsMatchClean: with no injections every trial resumes
+// from the last checkpoint and must reproduce the golden run.
+func TestZeroErrorTrialsMatchClean(t *testing.T) {
+	e, _, _ := buildEngine(t, "adpcm", campaign.Config{})
+	r := e.RunPoint(campaign.Point{Errors: 0, HiBit: 31, MaxTrials: 8}, func(i int, tr campaign.Trial) {
+		if tr.Outcome != sim.OK || !tr.Masked || tr.Instret != e.Clean.Instret {
+			t.Fatalf("zero-error trial %d diverged from clean run: %+v", i, tr)
+		}
+	})
+	if r.FailPct != 0 || r.AcceptPct != 100 || r.Masked != 8 {
+		t.Fatalf("zero-error point: %+v", r)
+	}
+}
+
+func TestExportJSONAndCSV(t *testing.T) {
+	e, _, _ := buildEngine(t, "adpcm", campaign.Config{Seed: 3, ShardSize: 8})
+	points := []campaign.PointResult{
+		e.RunPoint(campaign.Point{Errors: 0, HiBit: 31, MaxTrials: 8}, nil),
+		e.RunPoint(campaign.Point{Errors: 10, HiBit: 31, MaxTrials: 8}, nil),
+	}
+	rep := e.NewReport("adpcm", "protected", points)
+
+	var jb bytes.Buffer
+	if err := campaign.WriteJSON(&jb, []*campaign.Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(jb.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON artifact: %v\n%s", err, jb.String())
+	}
+	if len(decoded) != 1 || decoded[0]["benchmark"] != "adpcm" {
+		t.Fatalf("unexpected JSON shape: %s", jb.String())
+	}
+
+	var cb bytes.Buffer
+	if err := campaign.WriteCSV(&cb, []*campaign.Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV should have header + 2 rows, got %d lines:\n%s", len(lines), cb.String())
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,mode,seed,errors") {
+		t.Fatalf("unexpected CSV header: %s", lines[0])
+	}
+}
+
+func TestNewRejectsManagedConfig(t *testing.T) {
+	a, _ := all.ByName("adpcm")
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Analyze(prog, core.PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.New(prog, rep.Tagged, sim.Config{Input: a.Input(), MaxInstr: 99}, campaign.Config{}); err == nil {
+		t.Fatal("MaxInstr accepted")
+	}
+	if _, err := campaign.New(prog, rep.Tagged[:1], sim.Config{Input: a.Input()}, campaign.Config{}); err == nil {
+		t.Fatal("short eligibility mask accepted")
+	}
+}

@@ -44,6 +44,17 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", uint8(p))
 }
 
+// ParsePolicy is the inverse of Policy.String, shared by every CLI flag
+// that selects a policy.
+func ParsePolicy(s string) (Policy, bool) {
+	for _, p := range []Policy{PolicyControl, PolicyControlAddr, PolicyConservative} {
+		if s == p.String() {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
 // RegMask is a register set encoded as a bitmask (bit i = register i).
 // The zero register never appears in a mask.
 type RegMask uint32

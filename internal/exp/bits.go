@@ -2,10 +2,8 @@ package exp
 
 import (
 	"fmt"
-	"math"
-	"sync"
 
-	"etap/internal/sim"
+	"etap/internal/campaign"
 	"etap/internal/textplot"
 )
 
@@ -55,41 +53,21 @@ func BitSensitivity(opt Options) (*BitsResult, error) {
 				camp = b.Off
 			}
 			for _, lane := range lanes {
-				var mu sync.Mutex
-				fails, completed := 0, 0
-				sum := 0.0
-				var wg sync.WaitGroup
-				sem := make(chan struct{}, opt.Workers)
-				for trial := 0; trial < opt.Trials; trial++ {
-					wg.Add(1)
-					sem <- struct{}{}
-					go func(trial int) {
-						defer wg.Done()
-						defer func() { <-sem }()
-						seed := opt.Seed + int64(trial)*104_729 + int64(lane[0])*31
-						r := camp.RunBits(errs, seed, lane[0], lane[1])
-						mu.Lock()
-						defer mu.Unlock()
-						if r.Outcome != sim.OK {
-							fails++
-							return
-						}
-						completed++
-						sum += b.App.Score(b.Golden, r.Output).Value
-					}(trial)
-				}
-				wg.Wait()
-				mean := math.NaN()
-				if completed > 0 {
-					mean = sum / float64(completed)
-				}
+				p := camp.RunPoint(campaign.Point{
+					Errors:    errs,
+					LoBit:     lane[0],
+					HiBit:     lane[1],
+					MaxTrials: opt.Trials,
+					Seed:      opt.Seed,
+					Workers:   opt.Workers,
+				}, nil)
 				res.Rows = append(res.Rows, BitsRow{
 					App:       name,
 					Protected: protected,
 					LoBit:     lane[0],
 					HiBit:     lane[1],
-					FailPct:   100 * float64(fails) / float64(opt.Trials),
-					MeanValue: mean,
+					FailPct:   p.FailPct,
+					MeanValue: p.MeanValue,
 				})
 			}
 		}

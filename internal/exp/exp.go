@@ -1,7 +1,9 @@
 // Package exp is the experiment harness: it reproduces every table and
 // figure of the paper's evaluation (Tables 1–3, Figures 1–6) plus the
 // policy ablation described in DESIGN.md. Everything is deterministic
-// given Options.Seed; trials fan out over a worker pool.
+// given Options.Seed; trials run on the checkpointed, sharded campaign
+// engine (internal/campaign), so results are reproducible for any worker
+// count.
 package exp
 
 import (
@@ -9,11 +11,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"etap/internal/apps"
+	"etap/internal/campaign"
 	"etap/internal/core"
-	"etap/internal/fault"
 	"etap/internal/isa"
 	"etap/internal/minic"
 	"etap/internal/sim"
@@ -63,13 +64,14 @@ type Built struct {
 	// On injects only into analysis-tagged instructions (protection on);
 	// Off injects into every arithmetic instruction (unchanged program on
 	// unreliable hardware).
-	On, Off *fault.Campaign
+	On, Off *campaign.Engine
 	Golden  []byte
 }
 
-// Build compiles and analyzes one benchmark and prepares both campaigns.
-// It cross-checks the clean simulated output against the app's pure-Go
-// reference so a toolchain regression cannot silently skew results.
+// Build compiles and analyzes one benchmark and prepares both campaign
+// engines (golden pass plus checkpoints each). It cross-checks the clean
+// simulated output against the app's pure-Go reference so a toolchain
+// regression cannot silently skew results.
 func Build(app apps.App, pol core.Policy) (*Built, error) {
 	prog, err := minic.Build(app.Source())
 	if err != nil {
@@ -80,14 +82,17 @@ func Build(app apps.App, pol core.Policy) (*Built, error) {
 		return nil, fmt.Errorf("exp: %s: %w", app.Name(), err)
 	}
 	cfg := sim.Config{Input: app.Input()}
-	on, err := fault.NewCampaign(prog, rep.Tagged, cfg)
+	score := apps.Scorer(app)
+	on, err := campaign.New(prog, rep.Tagged, cfg, campaign.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s (protected): %w", app.Name(), err)
 	}
-	off, err := fault.NewCampaign(prog, core.EligibleAll(prog), cfg)
+	on.Score = score
+	off, err := campaign.New(prog, core.EligibleAll(prog), cfg, campaign.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s (unprotected): %w", app.Name(), err)
 	}
+	off.Score = score
 	if !bytes.Equal(on.Clean.Output, app.Reference()) {
 		return nil, fmt.Errorf("exp: %s: simulated clean output differs from Go reference", app.Name())
 	}
@@ -112,70 +117,30 @@ type Point struct {
 	FailPct float64
 }
 
-// RunPoint executes trials with n errors on campaign c.
-func (b *Built) RunPoint(c *fault.Campaign, n int, opt Options) Point {
+// RunPoint executes trials with n errors on campaign engine c.
+func (b *Built) RunPoint(c *campaign.Engine, n int, opt Options) Point {
 	opt = opt.withDefaults()
-	type outcome struct {
-		failed     bool
-		crash      bool
-		timeout    bool
-		value      float64
-		acceptable bool
+	r := c.RunPoint(campaign.Point{
+		Errors:    n,
+		HiBit:     31,
+		MaxTrials: opt.Trials,
+		Seed:      opt.Seed,
+		Workers:   opt.Workers,
+	}, nil)
+	return Point{
+		Errors:    n,
+		Trials:    r.Trials,
+		Crashes:   r.Crashes,
+		Timeouts:  r.Timeouts,
+		Completed: r.Completed,
+		MeanValue: r.MeanValue,
+		AcceptPct: r.AcceptPct,
+		FailPct:   r.FailPct,
 	}
-	results := make([]outcome, opt.Trials)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Workers)
-	for trial := 0; trial < opt.Trials; trial++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(trial int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			seed := opt.Seed + int64(n)*100_003 + int64(trial)*7_919
-			res := c.Run(n, seed)
-			switch res.Outcome {
-			case sim.OK:
-				s := b.App.Score(b.Golden, res.Output)
-				results[trial] = outcome{value: s.Value, acceptable: s.Acceptable}
-			case sim.Crash:
-				results[trial] = outcome{failed: true, crash: true}
-			case sim.Timeout:
-				results[trial] = outcome{failed: true, timeout: true}
-			}
-		}(trial)
-	}
-	wg.Wait()
-
-	p := Point{Errors: n, Trials: opt.Trials}
-	var sum float64
-	accepted := 0
-	for _, r := range results {
-		if r.failed {
-			if r.crash {
-				p.Crashes++
-			} else {
-				p.Timeouts++
-			}
-			continue
-		}
-		p.Completed++
-		sum += r.value
-		if r.acceptable {
-			accepted++
-		}
-	}
-	if p.Completed > 0 {
-		p.MeanValue = sum / float64(p.Completed)
-	} else {
-		p.MeanValue = math.NaN()
-	}
-	p.AcceptPct = 100 * float64(accepted) / float64(opt.Trials)
-	p.FailPct = 100 * float64(p.Crashes+p.Timeouts) / float64(opt.Trials)
-	return p
 }
 
 // Sweep runs RunPoint for each error count.
-func (b *Built) Sweep(c *fault.Campaign, errorCounts []int, opt Options) []Point {
+func (b *Built) Sweep(c *campaign.Engine, errorCounts []int, opt Options) []Point {
 	out := make([]Point, len(errorCounts))
 	for i, n := range errorCounts {
 		out[i] = b.RunPoint(c, n, opt)

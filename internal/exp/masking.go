@@ -1,12 +1,10 @@
 package exp
 
 import (
-	"bytes"
 	"fmt"
-	"sync"
 
 	"etap/internal/apps/all"
-	"etap/internal/sim"
+	"etap/internal/campaign"
 	"etap/internal/textplot"
 )
 
@@ -48,41 +46,23 @@ func Masking(opt Options) (*MaskingResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		var mu sync.Mutex
-		masked, tolerated, degraded, catastrophic := 0, 0, 0, 0
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, opt.Workers)
-		for trial := 0; trial < opt.Trials; trial++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(trial int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				r := b.On.Run(1, opt.Seed+int64(trial)*6151)
-				mu.Lock()
-				defer mu.Unlock()
-				switch {
-				case r.Outcome != sim.OK:
-					catastrophic++
-				case bytes.Equal(r.Output, b.Golden):
-					masked++
-				default:
-					if b.App.Score(b.Golden, r.Output).Acceptable {
-						tolerated++
-					} else {
-						degraded++
-					}
-				}
-			}(trial)
-		}
-		wg.Wait()
-		pcts := func(n int) float64 { return 100 * float64(n) / float64(opt.Trials) }
+		// The engine's point aggregation already separates the four bins:
+		// masked (bit-identical output), accepted ⊇ masked (passes the
+		// threshold) and catastrophic (crash/hang).
+		p := b.On.RunPoint(campaign.Point{
+			Errors:    1,
+			HiBit:     31,
+			MaxTrials: opt.Trials,
+			Seed:      opt.Seed,
+			Workers:   opt.Workers,
+		}, nil)
+		pcts := func(n int) float64 { return 100 * float64(n) / float64(p.Trials) }
 		res.Rows = append(res.Rows, MaskingRow{
 			App:             a.Name(),
-			MaskedPct:       pcts(masked),
-			ToleratedPct:    pcts(tolerated),
-			DegradedPct:     pcts(degraded),
-			CatastrophicPct: pcts(catastrophic),
+			MaskedPct:       pcts(p.Masked),
+			ToleratedPct:    pcts(p.Accepted - p.Masked),
+			DegradedPct:     pcts(p.Completed - p.Accepted),
+			CatastrophicPct: pcts(p.Crashes + p.Timeouts),
 		})
 	}
 	return res, nil

@@ -27,13 +27,21 @@ func NewPlan(eligible []bool, streamLen uint64, n int, seed int64) *sim.FaultPla
 // (inclusive), for sensitivity studies of where in the word an upset
 // lands.
 func NewPlanBits(eligible []bool, streamLen uint64, n int, seed int64, loBit, hiBit uint8) *sim.FaultPlan {
+	return NewPlanBitsRand(rand.New(rand.NewSource(seed)), eligible, streamLen, n, loBit, hiBit)
+}
+
+// NewPlanBitsRand is NewPlanBits drawing from a caller-owned RNG stream
+// instead of a one-shot seed. The campaign engine generates every plan of
+// a shard from that shard's stream, so trial schedules depend only on
+// (seed, shard, position-in-shard) and results are reproducible for any
+// worker count.
+func NewPlanBitsRand(rng *rand.Rand, eligible []bool, streamLen uint64, n int, loBit, hiBit uint8) *sim.FaultPlan {
 	if hiBit > 31 {
 		hiBit = 31
 	}
 	if loBit > hiBit {
 		loBit = hiBit
 	}
-	rng := rand.New(rand.NewSource(seed))
 	if uint64(n) > streamLen {
 		n = int(streamLen)
 	}

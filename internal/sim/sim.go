@@ -222,6 +222,21 @@ type machine struct {
 	pages   map[uint32]*[pageSize]byte
 	pc      int
 
+	// Paged mode replaces the flat mem array with a page table over the
+	// fast region, so a machine can be restored from a Snapshot without
+	// copying memory: restored pages are shared read-only and copied on
+	// first write. pageTab and priv are indexed by page number; roSparse
+	// holds snapshot pages beyond the fast region that have not been
+	// written yet (they migrate into pages on first store).
+	paged    bool
+	pageTab  []*[pageSize]byte
+	priv     []bool
+	roSparse map[uint32]*[pageSize]byte
+
+	// rec, when non-nil, records snapshots of machine state every
+	// rec.interval instructions (see snapshot.go).
+	rec *recorder
+
 	input []byte
 	inPos int
 	out   []byte
@@ -254,7 +269,24 @@ func (m *machine) load(addr, size uint32) (uint32, bool) {
 		return 0, false
 	}
 	var buf []byte
-	if addr+size <= m.memSize && addr+size > addr {
+	if m.paged {
+		pn := addr >> pageShift
+		if addr < m.memSize {
+			pg := m.pageTab[pn]
+			if pg == nil {
+				return 0, true
+			}
+			buf = pg[addr&(pageSize-1):]
+		} else {
+			pg, ok := m.pages[pn]
+			if !ok {
+				if pg, ok = m.roSparse[pn]; !ok {
+					return 0, true
+				}
+			}
+			buf = pg[addr&(pageSize-1):]
+		}
+	} else if addr+size <= m.memSize && addr+size > addr {
 		buf = m.mem[addr:]
 	} else {
 		pg, ok := m.pages[addr>>pageShift]
@@ -279,8 +311,16 @@ func (m *machine) store(addr, size, val uint32) bool {
 		return false
 	}
 	var buf []byte
-	if addr+size <= m.memSize && addr+size > addr {
+	if m.paged {
+		buf = m.storeSlot(addr)
+		if buf == nil {
+			return false
+		}
+	} else if addr+size <= m.memSize && addr+size > addr {
 		buf = m.mem[addr:]
+		if m.rec != nil {
+			m.rec.dirtyFast(addr >> pageShift)
+		}
 	} else {
 		pn := addr >> pageShift
 		pg, ok := m.pages[pn]
@@ -295,6 +335,9 @@ func (m *machine) store(addr, size, val uint32) bool {
 			pg = new([pageSize]byte)
 			m.pages[pn] = pg
 		}
+		if m.rec != nil {
+			m.rec.dirtySparse(pn)
+		}
 		buf = pg[addr&(pageSize-1):]
 	}
 	switch size {
@@ -308,18 +351,80 @@ func (m *machine) store(addr, size, val uint32) bool {
 	return true
 }
 
+// storeSlot resolves the writable byte slice backing addr in paged mode,
+// copying shared snapshot pages on first write. It returns nil after
+// raising a fault.
+func (m *machine) storeSlot(addr uint32) []byte {
+	pn := addr >> pageShift
+	if addr < m.memSize {
+		pg := m.pageTab[pn]
+		if pg == nil || !m.priv[pn] {
+			np := new([pageSize]byte)
+			if pg != nil {
+				*np = *pg
+			}
+			m.pageTab[pn] = np
+			m.priv[pn] = true
+			pg = np
+		}
+		return pg[addr&(pageSize-1):]
+	}
+	pg, ok := m.pages[pn]
+	if !ok {
+		if ro, rok := m.roSparse[pn]; rok {
+			// Copy-on-write migration keeps the demand-page count equal
+			// to what a from-scratch run would have accumulated.
+			pg = new([pageSize]byte)
+			*pg = *ro
+			delete(m.roSparse, pn)
+		} else {
+			if len(m.pages)+len(m.roSparse) >= m.cfg.MaxPages {
+				m.fault(TrapMemExhausted, addr)
+				return nil
+			}
+			pg = new([pageSize]byte)
+		}
+		if m.pages == nil {
+			m.pages = make(map[uint32]*[pageSize]byte)
+		}
+		m.pages[pn] = pg
+	}
+	return pg[addr&(pageSize-1):]
+}
+
+// peek reads one byte honouring the sparse model (absent pages read as
+// zero) in both flat and paged modes.
+func (m *machine) peek(a uint32) byte {
+	pn := a >> pageShift
+	if m.paged {
+		if a < m.memSize {
+			if pg := m.pageTab[pn]; pg != nil {
+				return pg[a&(pageSize-1)]
+			}
+			return 0
+		}
+		if pg, ok := m.pages[pn]; ok {
+			return pg[a&(pageSize-1)]
+		}
+		if pg, ok := m.roSparse[pn]; ok {
+			return pg[a&(pageSize-1)]
+		}
+		return 0
+	}
+	if a < m.memSize {
+		return m.mem[a]
+	}
+	if pg, ok := m.pages[pn]; ok {
+		return pg[a&(pageSize-1)]
+	}
+	return 0
+}
+
 // readBytes copies n bytes starting at addr for the write syscall,
 // honouring the sparse model (absent pages read as zero).
 func (m *machine) readBytes(dst []byte, addr uint32) {
 	for i := range dst {
-		a := addr + uint32(i)
-		if a < m.memSize {
-			dst[i] = m.mem[a]
-		} else if pg, ok := m.pages[a>>pageShift]; ok {
-			dst[i] = pg[a&(pageSize-1)]
-		} else {
-			dst[i] = 0
-		}
+		dst[i] = m.peek(addr + uint32(i))
 	}
 }
 
@@ -367,6 +472,9 @@ func (m *machine) run() {
 		if m.instret >= m.cfg.MaxInstr {
 			m.outcome = Timeout
 			return
+		}
+		if m.rec != nil && m.instret == m.rec.next {
+			m.rec.capture(m)
 		}
 		in := m.text[m.pc]
 		m.instret++

@@ -1,0 +1,334 @@
+// Snapshot/restore support: a Recording runs one golden pass over a
+// program, capturing machine checkpoints (registers, PC, instruction and
+// eligible-stream counters, input cursor, output length, and the set of
+// memory pages dirtied so far) at configurable instruction intervals.
+// Faulty trials whose first injection lands late in the dynamic stream can
+// then resume from the nearest checkpoint instead of re-simulating from
+// instruction zero.
+//
+// Checkpoint memory is copy-on-write: a restored machine shares the
+// checkpoint's page images read-only and copies a page the first time the
+// trial writes it, so thousands of concurrent trials can hang off one
+// golden pass without duplicating the address space. Restored runs are
+// bit-identical to from-scratch runs — same Result down to output bytes,
+// trap details and per-class instruction counts — which the campaign
+// engine's determinism tests assert across every benchmark.
+package sim
+
+import (
+	"fmt"
+	mathbits "math/bits"
+
+	"etap/internal/isa"
+)
+
+// Snapshot is one machine checkpoint taken between two instructions of the
+// golden pass. The exported fields identify where in the run it was taken;
+// the memory image is private and shared copy-on-write between restored
+// machines.
+type Snapshot struct {
+	// Instret is the number of instructions executed before the
+	// checkpoint.
+	Instret uint64
+	// EligCount is the eligible-stream position at the checkpoint: a trial
+	// whose first injection ordinal is at most EligCount must start from an
+	// earlier checkpoint (or from scratch).
+	EligCount uint64
+	// PC is the text index of the next instruction.
+	PC int
+
+	regs        [isa.NumRegs]uint32
+	classCounts [6]uint64
+	inPos       int
+	outLen      int
+	out         []byte // golden output prefix; len == cap so appends copy
+	pages       map[uint32]*[pageSize]byte
+}
+
+// RecordOptions parameterises checkpoint capture.
+type RecordOptions struct {
+	// Interval is the initial checkpoint spacing in executed instructions.
+	// Defaults to 16384.
+	Interval uint64
+	// MaxSnapshots bounds the live checkpoint count: when a recording
+	// would exceed twice this many, every other checkpoint is dropped and
+	// the interval doubles, so arbitrarily long runs keep a bounded,
+	// geometrically spaced checkpoint set. Defaults to 128; negative
+	// disables the bound.
+	MaxSnapshots int
+}
+
+func (o RecordOptions) withDefaults() RecordOptions {
+	if o.Interval == 0 {
+		o.Interval = 16384
+	}
+	if o.MaxSnapshots == 0 {
+		o.MaxSnapshots = 128
+	}
+	return o
+}
+
+// Recording is the product of one golden pass: the clean Result plus the
+// checkpoints captured along the way. It is immutable after Record returns
+// and safe for concurrent RunFrom calls.
+type Recording struct {
+	// Result is the golden (fault-free) run outcome.
+	Result Result
+
+	prog  *isa.Program
+	cfg   Config // defaults applied; Plan/Trace stripped
+	snaps []*Snapshot
+	base  []*[pageSize]byte // initial fast-region image (data segment)
+	elig  []bool            // eligibility mask the golden pass counted with
+}
+
+// recorder holds the capture state threaded through the machine during a
+// golden pass.
+type recorder struct {
+	interval uint64
+	next     uint64
+	maxSnaps int
+
+	fastDirty   []uint64 // bitmap over fast-region page numbers
+	sparseDirty map[uint32]struct{}
+	cum         map[uint32]*[pageSize]byte // all pages dirtied since run start
+	snaps       []*Snapshot
+}
+
+func (r *recorder) dirtyFast(pn uint32) {
+	r.fastDirty[pn>>6] |= 1 << (pn & 63)
+}
+
+func (r *recorder) dirtySparse(pn uint32) {
+	r.sparseDirty[pn] = struct{}{}
+}
+
+// capture folds pages dirtied since the previous checkpoint into the
+// cumulative page map and snapshots the machine state between
+// instructions.
+func (r *recorder) capture(m *machine) {
+	for w, word := range r.fastDirty {
+		for word != 0 {
+			b := word & -word
+			word ^= b
+			pn := uint32(w)<<6 + uint32(mathbits.TrailingZeros64(b))
+			pg := new([pageSize]byte)
+			copy(pg[:], m.mem[pn<<pageShift:])
+			r.cum[pn] = pg
+		}
+		r.fastDirty[w] = 0
+	}
+	for pn := range r.sparseDirty {
+		pg := new([pageSize]byte)
+		*pg = *m.pages[pn]
+		r.cum[pn] = pg
+		delete(r.sparseDirty, pn)
+	}
+	pages := make(map[uint32]*[pageSize]byte, len(r.cum))
+	for pn, pg := range r.cum {
+		pages[pn] = pg
+	}
+	r.snaps = append(r.snaps, &Snapshot{
+		Instret:     m.instret,
+		EligCount:   m.eligCount,
+		PC:          m.pc,
+		regs:        m.regs,
+		classCounts: m.classCounts,
+		inPos:       m.inPos,
+		outLen:      len(m.out),
+		pages:       pages,
+	})
+	r.next += r.interval
+	if r.maxSnaps > 0 && len(r.snaps) >= 2*r.maxSnaps {
+		kept := r.snaps[:0]
+		for _, s := range r.snaps {
+			if (s.Instret/r.interval)%2 == 0 {
+				kept = append(kept, s)
+			}
+		}
+		r.snaps = kept
+		r.interval *= 2
+		r.next = r.snaps[len(r.snaps)-1].Instret + r.interval
+	}
+}
+
+// Record executes the program once under cfg, capturing checkpoints per
+// opt. cfg.Plan may carry an eligibility mask (so checkpoints learn their
+// eligible-stream position) but no injections — the golden pass must be
+// fault-free. cfg.MemSize must be page-aligned so the fast/sparse boundary
+// coincides with a page boundary.
+func Record(p *isa.Program, cfg Config, opt RecordOptions) (*Recording, error) {
+	opt = opt.withDefaults()
+	if cfg.MemSize == 0 {
+		cfg.MemSize = 8 << 20
+	}
+	if cfg.MemSize%pageSize != 0 {
+		return nil, fmt.Errorf("sim: MemSize %d is not a multiple of the %d-byte page", cfg.MemSize, pageSize)
+	}
+	if cfg.MaxInstr == 0 {
+		cfg.MaxInstr = 1 << 32
+	}
+	if cfg.MaxOutput == 0 {
+		cfg.MaxOutput = 8 << 20
+	}
+	if cfg.MaxPages == 0 {
+		cfg.MaxPages = 2048
+	}
+	if cfg.Plan != nil && len(cfg.Plan.Injections) > 0 {
+		return nil, fmt.Errorf("sim: cannot record a golden pass with injections scheduled")
+	}
+	cfg.Trace = nil
+
+	fastPages := cfg.MemSize >> pageShift
+	rec := &recorder{
+		interval:    opt.Interval,
+		next:        opt.Interval,
+		maxSnaps:    opt.MaxSnapshots,
+		fastDirty:   make([]uint64, (fastPages+63)/64),
+		sparseDirty: make(map[uint32]struct{}),
+		cum:         make(map[uint32]*[pageSize]byte),
+	}
+	m := &machine{
+		text:    p.Text,
+		mem:     make([]byte, cfg.MemSize),
+		memSize: cfg.MemSize,
+		input:   cfg.Input,
+		cfg:     cfg,
+		rec:     rec,
+	}
+	copy(m.mem[isa.DataBase:], p.Data)
+	m.regs[isa.RegSP] = cfg.MemSize - 16
+	m.pc = p.Entry
+	var elig []bool
+	if cfg.Plan != nil {
+		elig = cfg.Plan.Eligible
+		m.eligible = elig
+	}
+	m.run()
+
+	res := Result{
+		Outcome:      m.outcome,
+		Trap:         m.trap,
+		ExitCode:     m.exitCode,
+		Instret:      m.instret,
+		EligibleExec: m.eligCount,
+		Injected:     m.injected,
+		Output:       m.out,
+		ClassCounts:  m.classCounts,
+	}
+	for _, s := range rec.snaps {
+		s.out = res.Output[:s.outLen:s.outLen]
+	}
+
+	// Build the pristine fast-region image once: the data segment split
+	// into shared read-only pages. Restored machines overlay checkpoint
+	// pages on top of it. Iterating page numbers covers the final partial
+	// page even if DataBase is not page-aligned.
+	base := make([]*[pageSize]byte, fastPages)
+	if len(p.Data) > 0 {
+		first := isa.DataBase >> pageShift
+		last := (isa.DataBase + uint32(len(p.Data)) - 1) >> pageShift
+		for pn := first; pn <= last; pn++ {
+			pg := new([pageSize]byte)
+			off := int(pn)<<pageShift - int(isa.DataBase) // data offset of the page start
+			dst, src := pg[:], p.Data
+			if off >= 0 {
+				src = p.Data[off:]
+			} else {
+				dst = pg[-off:]
+			}
+			copy(dst, src)
+			base[pn] = pg
+		}
+	}
+
+	strip := cfg
+	strip.Plan = nil
+	return &Recording{
+		Result: res,
+		prog:   p,
+		cfg:    strip,
+		snaps:  rec.snaps,
+		base:   base,
+		elig:   elig,
+	}, nil
+}
+
+// Snapshots returns the captured checkpoints in execution order.
+func (r *Recording) Snapshots() []*Snapshot { return r.snaps }
+
+// SnapshotBefore returns the index of the latest checkpoint strictly
+// before the at-th eligible execution (so an injection scheduled at that
+// ordinal still fires in the resumed run), or -1 when every checkpoint is
+// too late and the trial must run from scratch.
+func (r *Recording) SnapshotBefore(at uint64) int {
+	lo, hi := 0, len(r.snaps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.snaps[mid].EligCount < at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// RunFrom resumes execution from checkpoint idx under a trial plan and
+// instruction budget; idx -1 runs from scratch. The plan's eligibility
+// mask must be the one the golden pass was recorded with — checkpoint
+// eligible-stream positions are meaningless under any other mask.
+func (r *Recording) RunFrom(idx int, plan *FaultPlan, maxInstr uint64) Result {
+	cfg := r.cfg
+	cfg.Plan = plan
+	if maxInstr != 0 {
+		cfg.MaxInstr = maxInstr
+	}
+	if idx < 0 {
+		return Run(r.prog, cfg)
+	}
+	s := r.snaps[idx]
+	fastPages := cfg.MemSize >> pageShift
+	m := &machine{
+		text:        r.prog.Text,
+		memSize:     cfg.MemSize,
+		paged:       true,
+		pageTab:     make([]*[pageSize]byte, fastPages),
+		priv:        make([]bool, fastPages),
+		input:       cfg.Input,
+		cfg:         cfg,
+		pc:          s.PC,
+		regs:        s.regs,
+		classCounts: s.classCounts,
+		instret:     s.Instret,
+		eligCount:   s.EligCount,
+		inPos:       s.inPos,
+		out:         s.out,
+	}
+	copy(m.pageTab, r.base)
+	for pn, pg := range s.pages {
+		if pn < fastPages {
+			m.pageTab[pn] = pg
+		} else {
+			if m.roSparse == nil {
+				m.roSparse = make(map[uint32]*[pageSize]byte, len(s.pages))
+			}
+			m.roSparse[pn] = pg
+		}
+	}
+	if plan != nil {
+		m.eligible = plan.Eligible
+		m.injections = plan.Injections
+	}
+	m.run()
+	return Result{
+		Outcome:      m.outcome,
+		Trap:         m.trap,
+		ExitCode:     m.exitCode,
+		Instret:      m.instret,
+		EligibleExec: m.eligCount,
+		Injected:     m.injected,
+		Output:       m.out,
+		ClassCounts:  m.classCounts,
+	}
+}

@@ -1,0 +1,208 @@
+package sim_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"etap/internal/asm"
+	"etap/internal/isa"
+	"etap/internal/sim"
+)
+
+// snapProgram exercises registers, the stack, sparse pages and output: it
+// sums i and i*i over a loop, spills the accumulator to the stack and to a
+// far sparse address each iteration, and writes the running value out.
+const snapProgram = `
+.text
+.func __start
+	li $t5, 0
+	li $t6, 0
+	lui $t8, 0x2000
+loop:
+	add $t6, $t6, $t5
+	mul $t7, $t5, $t5
+	add $t6, $t6, $t7
+	addi $sp, $sp, -4
+	sw $t6, 0($sp)
+	sw $t6, 0($t8)
+	addi $t8, $t8, 4
+	addi $t5, $t5, 1
+	slti $at, $t5, 500
+	bnez $at, loop
+	addi $sp, $sp, 2000
+	move $a0, $sp
+	sw $t6, 0($a0)
+	li $a1, 4
+	li $v0, 4
+	syscall
+	move $a0, $t6
+	li $v0, 1
+	syscall
+.endfunc
+`
+
+func record(t *testing.T, opt sim.RecordOptions) (*isa.Program, *sim.Recording) {
+	t.Helper()
+	p, err := asm.Assemble(snapProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elig := make([]bool, len(p.Text))
+	for i := range elig {
+		elig[i] = true
+	}
+	rec, err := sim.Record(p, sim.Config{Plan: &sim.FaultPlan{Eligible: elig}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Result.Outcome != sim.OK {
+		t.Fatalf("golden outcome %s", rec.Result.Outcome)
+	}
+	return p, rec
+}
+
+func TestRecordCapturesSnapshots(t *testing.T) {
+	_, rec := record(t, sim.RecordOptions{Interval: 512})
+	snaps := rec.Snapshots()
+	if len(snaps) == 0 {
+		t.Fatalf("no snapshots captured for a %d-instruction run", rec.Result.Instret)
+	}
+	var prev uint64
+	for i, s := range snaps {
+		if s.Instret <= prev && i > 0 {
+			t.Fatalf("snapshot %d not after its predecessor: %d <= %d", i, s.Instret, prev)
+		}
+		if s.EligCount > s.Instret {
+			t.Fatalf("snapshot %d eligible count %d exceeds instret %d", i, s.EligCount, s.Instret)
+		}
+		prev = s.Instret
+	}
+}
+
+func TestResumeMatchesScratchEverywhere(t *testing.T) {
+	p, rec := record(t, sim.RecordOptions{Interval: 512})
+	elig := make([]bool, len(p.Text))
+	for i := range elig {
+		elig[i] = true
+	}
+	// One trial per snapshot, injecting just after that snapshot's
+	// eligible-stream position, plus a no-injection trial from the last.
+	for idx, s := range rec.Snapshots() {
+		at := s.EligCount + 1
+		plan := &sim.FaultPlan{Eligible: elig, Injections: []sim.Injection{{At: at, Bit: uint8(idx % 32)}}}
+		scratch := rec.RunFrom(-1, plan, 0)
+		resumed := rec.RunFrom(idx, plan, 0)
+		if !resultsEqual(scratch, resumed) {
+			t.Fatalf("snapshot %d (instret %d): resumed result differs\nscratch: %+v\nresumed: %+v",
+				idx, s.Instret, headline(scratch), headline(resumed))
+		}
+		if scratch.Injected != 1 {
+			t.Fatalf("snapshot %d: injection at %d never fired", idx, at)
+		}
+	}
+}
+
+func TestResumeCleanReproducesGolden(t *testing.T) {
+	p, rec := record(t, sim.RecordOptions{Interval: 512})
+	elig := make([]bool, len(p.Text))
+	for i := range elig {
+		elig[i] = true
+	}
+	last := len(rec.Snapshots()) - 1
+	res := rec.RunFrom(last, &sim.FaultPlan{Eligible: elig}, 0)
+	if !resultsEqual(res, rec.Result) {
+		t.Fatalf("clean resume differs from golden run:\ngolden:  %+v\nresumed: %+v",
+			headline(rec.Result), headline(res))
+	}
+}
+
+func TestResumedTrialsAreIsolated(t *testing.T) {
+	p, rec := record(t, sim.RecordOptions{Interval: 512})
+	elig := make([]bool, len(p.Text))
+	for i := range elig {
+		elig[i] = true
+	}
+	snaps := rec.Snapshots()
+	idx := len(snaps) / 2
+	at := snaps[idx].EligCount + 1
+	planA := &sim.FaultPlan{Eligible: elig, Injections: []sim.Injection{{At: at, Bit: 3}}}
+	planB := &sim.FaultPlan{Eligible: elig, Injections: []sim.Injection{{At: at, Bit: 17}}}
+	a1 := rec.RunFrom(idx, planA, 0)
+	// Interleave a different trial off the same snapshot; if COW leaked,
+	// the repeat of planA would observe planB's writes.
+	rec.RunFrom(idx, planB, 0)
+	a2 := rec.RunFrom(idx, planA, 0)
+	if !resultsEqual(a1, a2) {
+		t.Fatalf("trials sharing a snapshot interfered:\nfirst:  %+v\nsecond: %+v", headline(a1), headline(a2))
+	}
+}
+
+func TestSnapshotBefore(t *testing.T) {
+	_, rec := record(t, sim.RecordOptions{Interval: 512})
+	snaps := rec.Snapshots()
+	if got := rec.SnapshotBefore(1); got != -1 {
+		t.Fatalf("injection at ordinal 1 must run from scratch, got snapshot %d", got)
+	}
+	for idx, s := range snaps {
+		got := rec.SnapshotBefore(s.EligCount + 1)
+		if got != idx {
+			t.Fatalf("SnapshotBefore(%d) = %d, want %d", s.EligCount+1, got, idx)
+		}
+		if s.EligCount > 0 {
+			if got := rec.SnapshotBefore(s.EligCount); got >= idx {
+				t.Fatalf("SnapshotBefore(%d) = %d includes a too-late snapshot %d", s.EligCount, got, idx)
+			}
+		}
+	}
+}
+
+func TestRecordPrunesToBound(t *testing.T) {
+	p, rec := record(t, sim.RecordOptions{Interval: 64, MaxSnapshots: 4})
+	elig := make([]bool, len(p.Text))
+	for i := range elig {
+		elig[i] = true
+	}
+	if n := len(rec.Snapshots()); n >= 8 {
+		t.Fatalf("pruning kept %d snapshots with MaxSnapshots=4", n)
+	}
+	// Pruned recordings must still resume exactly.
+	snaps := rec.Snapshots()
+	last := len(snaps) - 1
+	if last < 0 {
+		t.Fatal("no snapshots survived pruning")
+	}
+	res := rec.RunFrom(last, &sim.FaultPlan{Eligible: elig}, 0)
+	if !resultsEqual(res, rec.Result) {
+		t.Fatalf("pruned resume differs from golden run")
+	}
+}
+
+func TestRecordRejectsBadConfig(t *testing.T) {
+	p, err := asm.Assemble(snapProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Record(p, sim.Config{MemSize: 12345}, sim.RecordOptions{}); err == nil {
+		t.Fatal("unaligned MemSize accepted")
+	}
+	bad := sim.Config{Plan: &sim.FaultPlan{Injections: []sim.Injection{{At: 1}}}}
+	if _, err := sim.Record(p, bad, sim.RecordOptions{}); err == nil {
+		t.Fatal("golden pass with injections accepted")
+	}
+}
+
+func resultsEqual(a, b sim.Result) bool {
+	return a.Outcome == b.Outcome &&
+		a.Trap == b.Trap &&
+		a.ExitCode == b.ExitCode &&
+		a.Instret == b.Instret &&
+		a.EligibleExec == b.EligibleExec &&
+		a.Injected == b.Injected &&
+		bytes.Equal(a.Output, b.Output) &&
+		reflect.DeepEqual(a.ClassCounts, b.ClassCounts)
+}
+
+func headline(r sim.Result) string {
+	return r.Outcome.String() + "/" + r.Trap.String()
+}
