@@ -15,6 +15,7 @@ import (
 	"etap/internal/core"
 	"etap/internal/exp"
 	"etap/internal/fault"
+	"etap/internal/harden"
 	"etap/internal/minic"
 	"etap/internal/sim"
 )
@@ -271,10 +272,49 @@ func BenchmarkPlanGeneration(b *testing.B) {
 	for _, n := range []int{10, 100, 1000} {
 		b.Run(fmt.Sprintf("errors=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				fault.NewPlan(nil, 5_000_000, n, int64(i))
+				if _, err := fault.NewPlan(nil, 5_000_000, n, int64(i)); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
+}
+
+// BenchmarkHardenOverhead measures the harden rewriter and the simulated
+// instruction overhead of the hardened program versus baseline: the
+// realized cost of the protection the paper's idealized model assumes is
+// free. The reported metrics are the static and dynamic hardened/original
+// instruction ratios.
+func BenchmarkHardenOverhead(b *testing.B) {
+	a, _ := all.ByName("adpcm")
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := core.Analyze(prog, core.PolicyControlAddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := harden.Harden(rep, harden.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := a.Input()
+	base := sim.Run(prog, sim.Config{Input: input})
+	if base.Outcome != sim.OK {
+		b.Fatalf("baseline outcome %s", base.Outcome)
+	}
+	b.ResetTimer()
+	var hardInstret uint64
+	for i := 0; i < b.N; i++ {
+		r := sim.Run(res.Prog, sim.Config{Input: input})
+		if r.Outcome != sim.OK {
+			b.Fatalf("hardened outcome %s", r.Outcome)
+		}
+		hardInstret = r.Instret
+	}
+	b.ReportMetric(res.StaticOverhead(), "static-x")
+	b.ReportMetric(float64(hardInstret)/float64(base.Instret), "dynamic-x")
 }
 
 func BenchmarkMaskingDistribution(b *testing.B) {

@@ -71,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	errorsFlag := fs.String("errors", "1,2,5,10", "error counts per trial, comma-separated")
 	trials := fs.Int("trials", 100, "trial budget per measurement point")
 	minTrials := fs.Int("min-trials", 0, "trial floor before early stopping (0 = engine default)")
-	ciWidth := fs.Float64("ci", 0, "early-stop Wilson CI width on the failure rate, as a fraction (0 = run the full budget)")
+	ciWidth := fs.Float64("ci", 0, "early-stop Wilson CI width on the failure and detection rates, as a fraction (0 = run the full budget)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; never changes results)")
 	seed := fs.Int64("seed", 1, "campaign seed")
 	policy := fs.String("policy", "control+addr", "analysis policy: control, control+addr, conservative")
@@ -225,19 +225,11 @@ func parseApps(s string) ([]apps.App, error) {
 	if s == "" {
 		return nil, usageError("missing -app (try -app all)")
 	}
-	if s == "all" {
-		return all.Apps(), nil
+	sel, err := all.Parse(s)
+	if err != nil {
+		return nil, usageError(err.Error())
 	}
-	var out []apps.App
-	for _, name := range strings.Split(s, ",") {
-		a, ok := all.ByName(strings.TrimSpace(name))
-		if !ok {
-			return nil, usageError(fmt.Sprintf("unknown benchmark %q (have %s)",
-				name, strings.Join(all.Names(), ", ")))
-		}
-		out = append(out, a)
-	}
-	return out, nil
+	return sel, nil
 }
 
 func parseModes(s string) ([]string, error) {

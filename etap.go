@@ -39,6 +39,7 @@ import (
 	"etap/internal/campaign"
 	"etap/internal/core"
 	"etap/internal/exp"
+	"etap/internal/harden"
 	"etap/internal/isa"
 	"etap/internal/minic"
 	"etap/internal/sim"
@@ -103,6 +104,10 @@ const (
 	// TimedOut means the instruction budget was exhausted — the paper's
 	// "infinite execution time" catastrophic failure.
 	TimedOut
+	// Detected means a hardened program's redundancy check caught a
+	// mismatch and stopped the run (see System.Harden). Unhardened
+	// programs never report it.
+	Detected
 )
 
 func (o Outcome) String() string {
@@ -113,6 +118,8 @@ func (o Outcome) String() string {
 		return "crashed"
 	case TimedOut:
 		return "timed out"
+	case Detected:
+		return "detected"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -145,6 +152,8 @@ func fromSim(r sim.Result) RunResult {
 		out.TrapDescription = r.Trap.String()
 	case sim.Timeout:
 		out.Outcome = TimedOut
+	case sim.Detected:
+		out.Outcome = Detected
 	}
 	return out
 }
@@ -236,6 +245,98 @@ func (s *System) Run(input []byte) RunResult {
 	return fromSim(sim.Run(s.prog, sim.Config{Input: input}))
 }
 
+// HardenOptions selects the software protection transforms System.Harden
+// applies (see internal/harden and docs/HARDEN.md). The zero value is
+// invalid; DefaultHardenOptions enables both transforms.
+type HardenOptions struct {
+	// DupCompare duplicates every control-slice computation and compares
+	// registers against their shadow copies at control uses (branch
+	// inputs, indirect-jump targets, divisors, syscall arguments, and —
+	// policy-dependent — address bases and stored values).
+	DupCompare bool
+	// Signatures inserts control-flow signature checks at basic-block
+	// entries, catching control transfers that leave the legal CFG edges.
+	Signatures bool
+}
+
+// DefaultHardenOptions enables both transforms.
+func DefaultHardenOptions() HardenOptions {
+	return HardenOptions{DupCompare: true, Signatures: true}
+}
+
+// HardenedSystem is a System whose program carries real protection
+// transforms instead of the idealized §4 protection model. It behaves
+// like any System — Run, NewCampaign, Stats and Listing all operate on
+// the hardened program (re-analyzed under the original policy) — and
+// additionally exposes the detection-coverage campaign and the overhead
+// relative to the original program.
+type HardenedSystem struct {
+	*System
+	base *System
+	res  *harden.Result
+}
+
+// Harden rewrites the system's program with the selected transforms. A
+// mismatch detected at runtime ends the run with the Detected outcome;
+// campaigns on the hardened system count such trials separately from
+// completions and catastrophic failures.
+func (s *System) Harden(opts HardenOptions) (*HardenedSystem, error) {
+	res, err := harden.Harden(s.report, harden.Options(opts))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.Analyze(res.Prog, s.report.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("etap: hardened program failed re-analysis: %w", err)
+	}
+	return &HardenedSystem{
+		System: &System{prog: res.Prog, report: rep},
+		base:   s,
+		res:    res,
+	}, nil
+}
+
+// StaticOverhead is the hardened/original static instruction-count
+// ratio.
+func (h *HardenedSystem) StaticOverhead() float64 { return h.res.StaticOverhead() }
+
+// DynamicOverhead runs both programs fault-free on the input and
+// returns the hardened/original dynamic instruction-count ratio.
+func (h *HardenedSystem) DynamicOverhead(input []byte) float64 {
+	base := h.base.Run(input)
+	hard := h.Run(input)
+	if base.Instructions == 0 {
+		return 0
+	}
+	return float64(hard.Instructions) / float64(base.Instructions)
+}
+
+// ProtectedSites is the number of duplicated control-slice instructions.
+func (h *HardenedSystem) ProtectedSites() int { return h.res.DupSites }
+
+// MapToOriginal translates a hardened text index to the original
+// instruction it was copied from, or -1 for inserted protection code.
+func (h *HardenedSystem) MapToOriginal(idx int) int {
+	if idx < 0 || idx >= len(h.res.OrigOf) {
+		return -1
+	}
+	return h.res.OrigOf[idx]
+}
+
+// NewDetectionCampaign prepares injections against the primary copies of
+// the duplicated (protected) instructions: exactly the faults the
+// idealized model assumes are harmless. PointStats.DetectPct over such a
+// campaign is the transforms' realized detection coverage; crashes,
+// timeouts and unacceptable completions are escapes the idealized model
+// pretends cannot happen.
+func (h *HardenedSystem) NewDetectionCampaign(input []byte) (*Campaign, error) {
+	c, err := campaign.New(h.prog, h.res.PrimaryProtected, sim.Config{Input: input}, campaign.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{c: c}, nil
+}
+
 // Campaign is a reusable fault-injection setup for one input, backed by
 // the checkpointed campaign engine: construction runs one golden pass and
 // records copy-on-write checkpoints, and every trial resumes from the
@@ -294,8 +395,9 @@ func (c *Campaign) Run(n int, seed int64) RunResult {
 type PointOptions struct {
 	// MaxTrials is the trial budget per point. Defaults to 40.
 	MaxTrials int
-	// StopCIWidth, when positive, stops a point early once the Wilson 95%
-	// confidence interval on the catastrophic-failure rate is narrower
+	// StopCIWidth, when positive, stops a point early once every
+	// reported Wilson 95% confidence interval — the catastrophic-failure
+	// rate and, for hardened systems, the detection rate — is narrower
 	// than this fraction (e.g. 0.05 for ±2.5 points) — but not before
 	// MinTrials trials have aggregated.
 	StopCIWidth float64
@@ -312,10 +414,13 @@ type PointOptions struct {
 
 // PointStats aggregates one measurement point.
 type PointStats struct {
-	Errors    int
-	Trials    int
-	Crashes   int
-	Timeouts  int
+	Errors   int
+	Trials   int
+	Crashes  int
+	Timeouts int
+	// Detected counts trials a hardened program stopped via a redundancy
+	// check; always zero for unhardened systems.
+	Detected  int
 	Completed int
 	// Masked counts completed trials whose output was bit-identical to
 	// the fault-free output.
@@ -330,26 +435,36 @@ type PointStats struct {
 	AcceptPct float64
 	// FailLowPct/FailHighPct bound the catastrophic-failure rate with a
 	// Wilson 95% confidence interval.
-	FailLowPct   float64
-	FailHighPct  float64
-	EarlyStopped bool
+	FailLowPct  float64
+	FailHighPct float64
+	// DetectPct is the percentage of trials stopped by redundancy checks,
+	// bounded by the Wilson 95% interval [DetectLowPct, DetectHighPct].
+	// Over a detection campaign this is the realized detection coverage.
+	DetectPct     float64
+	DetectLowPct  float64
+	DetectHighPct float64
+	EarlyStopped  bool
 }
 
 func fromPoint(r campaign.PointResult) PointStats {
 	return PointStats{
-		Errors:       r.Errors,
-		Trials:       r.Trials,
-		Crashes:      r.Crashes,
-		Timeouts:     r.Timeouts,
-		Completed:    r.Completed,
-		Masked:       r.Masked,
-		Accepted:     r.Accepted,
-		MeanValue:    r.MeanValue,
-		FailPct:      r.FailPct,
-		AcceptPct:    r.AcceptPct,
-		FailLowPct:   r.FailLoPct,
-		FailHighPct:  r.FailHiPct,
-		EarlyStopped: r.EarlyStopped,
+		Errors:        r.Errors,
+		Trials:        r.Trials,
+		Crashes:       r.Crashes,
+		Timeouts:      r.Timeouts,
+		Detected:      r.Detected,
+		Completed:     r.Completed,
+		Masked:        r.Masked,
+		Accepted:      r.Accepted,
+		MeanValue:     r.MeanValue,
+		FailPct:       r.FailPct,
+		AcceptPct:     r.AcceptPct,
+		FailLowPct:    r.FailLoPct,
+		FailHighPct:   r.FailHiPct,
+		DetectPct:     r.DetectPct,
+		DetectLowPct:  r.DetectLoPct,
+		DetectHighPct: r.DetectHiPct,
+		EarlyStopped:  r.EarlyStopped,
 	}
 }
 

@@ -103,6 +103,11 @@ func TestCampaignInjection(t *testing.T) {
 	if res.InjectedErrors != 2 {
 		t.Fatalf("injected %d", res.InjectedErrors)
 	}
+	// A negative error count degrades to a clean run, not a panic.
+	if r := camp.Run(-1, 1); r.Outcome != Completed || r.InjectedErrors != 0 {
+		t.Fatalf("negative error count: %s with %d injections", r.Outcome, r.InjectedErrors)
+	}
+
 	// Determinism.
 	res2 := camp.Run(2, 1)
 	if string(res.Output) != string(res2.Output) {
@@ -280,7 +285,71 @@ func TestPolicyStrings(t *testing.T) {
 }
 
 func TestOutcomeStrings(t *testing.T) {
-	if Completed.String() != "completed" || Crashed.String() != "crashed" || TimedOut.String() != "timed out" {
+	if Completed.String() != "completed" || Crashed.String() != "crashed" || TimedOut.String() != "timed out" ||
+		Detected.String() != "detected" {
 		t.Fatalf("outcome strings wrong")
+	}
+}
+
+func TestHardenedSystem(t *testing.T) {
+	sys, err := Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Harden(HardenOptions{}); err == nil {
+		t.Fatalf("Harden accepted empty options")
+	}
+	h, err := sys.Harden(DefaultHardenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero-fault equivalence through the public API.
+	base, hard := sys.Run(testInput()), h.Run(testInput())
+	if hard.Outcome != Completed || string(hard.Output) != string(base.Output) || hard.ExitCode != base.ExitCode {
+		t.Fatalf("hardened run diverged: %s, %d output bytes", hard.Outcome, len(hard.Output))
+	}
+
+	if so := h.StaticOverhead(); so <= 1 {
+		t.Fatalf("static overhead %.2f", so)
+	}
+	if do := h.DynamicOverhead(testInput()); do <= 1 {
+		t.Fatalf("dynamic overhead %.2f", do)
+	}
+	if h.ProtectedSites() == 0 {
+		t.Fatalf("no protected sites duplicated")
+	}
+	if h.MapToOriginal(-1) != -1 || h.MapToOriginal(1<<30) != -1 {
+		t.Fatalf("MapToOriginal out-of-range handling")
+	}
+
+	// The detection campaign injects into protected primaries only; with
+	// real redundancy a healthy share of those faults must be caught.
+	camp, err := h.NewDetectionCampaign(testInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := camp.RunPoint(1, PointOptions{MaxTrials: 48, Seed: 7})
+	if pt.Trials == 0 {
+		t.Fatalf("no trials ran")
+	}
+	if pt.Detected == 0 {
+		t.Fatalf("no faults detected over %d trials: %+v", pt.Trials, pt)
+	}
+	if pt.DetectPct <= 0 || pt.DetectLowPct > pt.DetectPct || pt.DetectHighPct < pt.DetectPct {
+		t.Fatalf("detection CI inconsistent: %+v", pt)
+	}
+	if pt.Detected+pt.Crashes+pt.Timeouts+pt.Completed != pt.Trials {
+		t.Fatalf("outcome counts do not partition trials: %+v", pt)
+	}
+
+	// The hardened system is a full System: ordinary protected campaigns
+	// still work on it.
+	pc, err := h.NewCampaign(testInput(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := pc.Run(1, 3); r.Outcome == Crashed && r.TrapDescription == "" {
+		t.Fatalf("crash without trap description")
 	}
 }

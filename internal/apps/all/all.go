@@ -4,6 +4,9 @@
 package all
 
 import (
+	"fmt"
+	"strings"
+
 	"etap/internal/apps"
 	"etap/internal/apps/adpcm"
 	"etap/internal/apps/art"
@@ -46,4 +49,27 @@ func Names() []string {
 		names[i] = a.Name()
 	}
 	return names
+}
+
+// Parse resolves a CLI benchmark selection: a comma-separated name list
+// or "all" for the whole registry. The empty string is rejected — a CLI
+// whose -app defaults to everything says "all" explicitly — so an unset
+// shell variable cannot silently select a full sweep. The CLIs share
+// Parse so their -app flags cannot drift.
+func Parse(s string) ([]apps.App, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty benchmark selection (try \"all\")")
+	}
+	if s == "all" {
+		return Apps(), nil
+	}
+	var out []apps.App
+	for _, name := range strings.Split(s, ",") {
+		a, ok := ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (have %s)", name, strings.Join(Names(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }

@@ -14,6 +14,7 @@ type aggregate struct {
 	trials    int
 	crashes   int
 	timeouts  int
+	detected  int
 	completed int
 	masked    int
 	accepted  int
@@ -40,6 +41,8 @@ func (a *aggregate) add(t Trial) {
 		}
 	case sim.Crash:
 		a.crashes++
+	case sim.Detected:
+		a.detected++
 	default:
 		a.timeouts++
 	}
@@ -51,7 +54,26 @@ func (a *aggregate) failInterval() (lo, hi float64) {
 	return wilson(a.crashes+a.timeouts, a.trials, 1.96)
 }
 
-// PointResult aggregates one measurement point.
+// ciWidth is the widest of the reported Wilson intervals — the
+// catastrophic-failure rate and the detection rate — so an early stop
+// guarantees every interval the point reports meets the target width.
+// For unhardened programs detected is always zero and the detection
+// interval shrinks deterministically with the trial count, so it only
+// mildly delays stopping there.
+func (a *aggregate) ciWidth() float64 {
+	flo, fhi := a.failInterval()
+	dlo, dhi := wilson(a.detected, a.trials, 1.96)
+	if d := dhi - dlo; d > fhi-flo {
+		return d
+	}
+	return fhi - flo
+}
+
+// PointResult aggregates one measurement point. Detected counts trials a
+// hardened program stopped via trapdet (see internal/harden); for programs
+// without redundancy checks it is always zero. Detected trials are neither
+// completions nor catastrophic failures, so FailPct and AcceptPct exclude
+// them by construction (both are fractions of all trials).
 type PointResult struct {
 	Errors       int     `json:"errors"`
 	LoBit        uint8   `json:"lo_bit"`
@@ -59,6 +81,7 @@ type PointResult struct {
 	Trials       int     `json:"trials"`
 	Crashes      int     `json:"crashes"`
 	Timeouts     int     `json:"timeouts"`
+	Detected     int     `json:"detected"`
 	Completed    int     `json:"completed"`
 	Masked       int     `json:"masked"`
 	Accepted     int     `json:"accepted"`
@@ -66,8 +89,11 @@ type PointResult struct {
 	ValueStddev  float64 `json:"value_stddev"`
 	FailPct      float64 `json:"fail_pct"`
 	AcceptPct    float64 `json:"accept_pct"`
+	DetectPct    float64 `json:"detect_pct"`
 	FailLoPct    float64 `json:"fail_lo_pct"`
 	FailHiPct    float64 `json:"fail_hi_pct"`
+	DetectLoPct  float64 `json:"detect_lo_pct"`
+	DetectHiPct  float64 `json:"detect_hi_pct"`
 	EarlyStopped bool    `json:"early_stopped"`
 }
 
@@ -79,6 +105,7 @@ func (a *aggregate) result(errors int, lo, hi uint8, stopped bool) PointResult {
 		Trials:       a.trials,
 		Crashes:      a.crashes,
 		Timeouts:     a.timeouts,
+		Detected:     a.detected,
 		Completed:    a.completed,
 		Masked:       a.masked,
 		Accepted:     a.accepted,
@@ -100,9 +127,12 @@ func (a *aggregate) result(errors int, lo, hi uint8, stopped bool) PointResult {
 	if a.trials > 0 {
 		r.FailPct = 100 * float64(a.crashes+a.timeouts) / float64(a.trials)
 		r.AcceptPct = 100 * float64(a.accepted) / float64(a.trials)
+		r.DetectPct = 100 * float64(a.detected) / float64(a.trials)
 	}
 	flo, fhi := a.failInterval()
 	r.FailLoPct, r.FailHiPct = 100*flo, 100*fhi
+	dlo, dhi := wilson(a.detected, a.trials, 1.96)
+	r.DetectLoPct, r.DetectHiPct = 100*dlo, 100*dhi
 	return r
 }
 

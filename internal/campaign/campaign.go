@@ -106,6 +106,9 @@ func New(p *isa.Program, eligible []bool, simCfg sim.Config, cfg Config) (*Engin
 	if len(eligible) != len(p.Text) {
 		return nil, fmt.Errorf("campaign: eligibility mask has %d entries for %d instructions", len(eligible), len(p.Text))
 	}
+	if !fault.AnyEligible(eligible) {
+		return nil, fmt.Errorf("campaign: eligibility mask marks no instructions; nothing to inject into")
+	}
 	cfg = cfg.withDefaults()
 	probe := simCfg
 	probe.Plan = &sim.FaultPlan{Eligible: eligible}
@@ -161,7 +164,13 @@ func (e *Engine) Run(n int, seed int64) sim.Result {
 
 // RunBits is Run with the flipped bit restricted to [loBit, hiBit].
 func (e *Engine) RunBits(n int, seed int64, loBit, hiBit uint8) sim.Result {
-	return e.RunPlan(fault.NewPlanBits(e.Eligible, e.Clean.EligibleExec, n, seed, loBit, hiBit))
+	plan, err := fault.NewPlanBits(e.Eligible, e.Clean.EligibleExec, n, seed, loBit, hiBit)
+	if err != nil {
+		// New rejects empty eligible streams, so a plan error here means
+		// the engine was built by hand around its constructor.
+		panic(err)
+	}
+	return e.RunPlan(plan)
 }
 
 // Point specifies one measurement point: how many errors per trial, where
@@ -180,9 +189,11 @@ type Point struct {
 	// to 2 shards' worth, clamped to half the trial budget so StopWidth
 	// stays meaningful for small budgets.
 	MinTrials int
-	// StopWidth, when positive, stops the point early once the Wilson 95%
-	// confidence interval on the catastrophic-failure rate is narrower
-	// than this fraction (e.g. 0.05 for ±2.5 points).
+	// StopWidth, when positive, stops the point early once every
+	// reported Wilson 95% interval — the catastrophic-failure rate and
+	// the detection rate — is narrower than this fraction (e.g. 0.05
+	// for ±2.5 points), so detection campaigns converge on the number
+	// they exist to measure.
 	StopWidth float64
 	// Seed overrides the engine seed for this point; 0 keeps it.
 	Seed int64
@@ -312,7 +323,7 @@ func (e *Engine) RunPoint(pt Point, observe func(trial int, tr Trial)) PointResu
 			trialBase += len(trials)
 			next++
 			if next < numShards && pt.StopWidth > 0 && a.trials >= pt.MinTrials {
-				if lo, hi := a.failInterval(); hi-lo < pt.StopWidth {
+				if a.ciWidth() < pt.StopWidth {
 					stopped = true
 					stop.Store(true)
 				}
@@ -328,7 +339,10 @@ func (e *Engine) runShard(seed int64, errors int, lo, hi uint8, shard, count int
 	rng := rand.New(rand.NewSource(shardSeed(seed, errors, lo, hi, shard)))
 	trials := make([]Trial, count)
 	for i := range trials {
-		plan := fault.NewPlanBitsRand(rng, e.Eligible, e.Clean.EligibleExec, errors, lo, hi)
+		plan, err := fault.NewPlanBitsRand(rng, e.Eligible, e.Clean.EligibleExec, errors, lo, hi)
+		if err != nil {
+			panic(err) // unreachable: New rejects empty eligible streams
+		}
 		res := e.RunPlan(plan)
 		tr := Trial{Outcome: res.Outcome, Value: math.NaN(), Instret: res.Instret, Injected: res.Injected}
 		if res.Outcome == sim.OK {

@@ -73,9 +73,9 @@ func WriteJSON(w io.Writer, reports []*Report) error {
 // csvHeader is the flat per-point schema shared by every report row.
 var csvHeader = []string{
 	"benchmark", "mode", "seed", "errors", "lo_bit", "hi_bit",
-	"trials", "crashes", "timeouts", "completed", "masked", "accepted",
-	"mean_value", "value_stddev", "fail_pct", "accept_pct",
-	"fail_lo_pct", "fail_hi_pct", "early_stopped",
+	"trials", "crashes", "timeouts", "detected", "completed", "masked", "accepted",
+	"mean_value", "value_stddev", "fail_pct", "accept_pct", "detect_pct",
+	"fail_lo_pct", "fail_hi_pct", "detect_lo_pct", "detect_hi_pct", "early_stopped",
 }
 
 // WriteCSV renders reports as one flat CSV table, one row per point. NaN
@@ -97,9 +97,11 @@ func WriteCSV(w io.Writer, reports []*Report) error {
 				r.Benchmark, r.Mode, strconv.FormatInt(r.Seed, 10),
 				strconv.Itoa(p.Errors), strconv.Itoa(int(p.LoBit)), strconv.Itoa(int(p.HiBit)),
 				strconv.Itoa(p.Trials), strconv.Itoa(p.Crashes), strconv.Itoa(p.Timeouts),
+				strconv.Itoa(p.Detected),
 				strconv.Itoa(p.Completed), strconv.Itoa(p.Masked), strconv.Itoa(p.Accepted),
-				f(p.MeanValue), f(p.ValueStddev), f(p.FailPct), f(p.AcceptPct),
-				f(p.FailLoPct), f(p.FailHiPct), strconv.FormatBool(p.EarlyStopped),
+				f(p.MeanValue), f(p.ValueStddev), f(p.FailPct), f(p.AcceptPct), f(p.DetectPct),
+				f(p.FailLoPct), f(p.FailHiPct), f(p.DetectLoPct), f(p.DetectHiPct),
+				strconv.FormatBool(p.EarlyStopped),
 			}
 			if err := cw.Write(row); err != nil {
 				return err

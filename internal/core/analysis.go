@@ -130,6 +130,11 @@ type Report struct {
 	// Summaries holds the fixpoint inter-procedural summaries, indexed
 	// like Prog.Funcs.
 	Summaries []Summary
+
+	// CFGs are the per-function control-flow graphs the analysis ran
+	// over, indexed like Prog.Funcs. The harden rewriter consumes them to
+	// place control-flow signature checks at block entries.
+	CFGs []*FuncCFG
 }
 
 // Analyze runs the control-data analysis over a validated program.
@@ -180,6 +185,7 @@ func Analyze(p *isa.Program, pol Policy) (*Report, error) {
 		CVarOut:      make([]RegMask, len(p.Text)),
 		CVarIn:       make([]RegMask, len(p.Text)),
 		Summaries:    a.sums,
+		CFGs:         cfgs,
 	}
 	for fi := range cfgs {
 		a.classify(fi, r)
@@ -395,6 +401,20 @@ func TraceSlice(instrs []isa.Instr, exit RegMask, pol Policy) []RegMask {
 		res[i] = cv
 	}
 	return res
+}
+
+// ProtectedSites returns the mask of instructions a redundancy transform
+// must duplicate to realize the protection this report assumes: every
+// injectable arithmetic instruction inside the control slice. Control
+// instructions and loads in the slice are not included — they are not
+// injection sites under the paper's fault model, so a rewriter protects
+// their inputs rather than their execution.
+func (r *Report) ProtectedSites() []bool {
+	sites := make([]bool, len(r.Prog.Text))
+	for i, in := range r.Prog.Text {
+		sites[i] = r.ControlSlice[i] && in.IsInjectable()
+	}
+	return sites
 }
 
 // EligibleAll returns the protection-off injection mask: every injectable

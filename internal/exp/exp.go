@@ -105,6 +105,9 @@ type Point struct {
 	Trials    int
 	Crashes   int
 	Timeouts  int
+	// Detected counts trials stopped by a hardened program's redundancy
+	// checks (always zero for the unhardened paper configurations).
+	Detected  int
 	Completed int
 	// MeanValue is the mean fidelity value over completed runs (NaN when
 	// every run failed).
@@ -132,6 +135,7 @@ func (b *Built) RunPoint(c *campaign.Engine, n int, opt Options) Point {
 		Trials:    r.Trials,
 		Crashes:   r.Crashes,
 		Timeouts:  r.Timeouts,
+		Detected:  r.Detected,
 		Completed: r.Completed,
 		MeanValue: r.MeanValue,
 		AcceptPct: r.AcceptPct,

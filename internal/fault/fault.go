@@ -18,15 +18,18 @@ import (
 // NewPlan schedules n single-bit flips uniformly over a dynamic eligible
 // stream of length streamLen, with bit positions uniform over the full
 // word. Ordinals are distinct; if n exceeds streamLen, the plan saturates
-// at streamLen flips.
-func NewPlan(eligible []bool, streamLen uint64, n int, seed int64) *sim.FaultPlan {
+// at streamLen flips. A streamLen of zero (or an eligibility mask that
+// marks nothing) is an error: there is nothing to inject into, and a
+// silently empty plan would let a campaign report a 0% failure rate that
+// measured nothing.
+func NewPlan(eligible []bool, streamLen uint64, n int, seed int64) (*sim.FaultPlan, error) {
 	return NewPlanBits(eligible, streamLen, n, seed, 0, 31)
 }
 
 // NewPlanBits is NewPlan with bit positions restricted to [loBit, hiBit]
 // (inclusive), for sensitivity studies of where in the word an upset
 // lands.
-func NewPlanBits(eligible []bool, streamLen uint64, n int, seed int64, loBit, hiBit uint8) *sim.FaultPlan {
+func NewPlanBits(eligible []bool, streamLen uint64, n int, seed int64, loBit, hiBit uint8) (*sim.FaultPlan, error) {
 	return NewPlanBitsRand(rand.New(rand.NewSource(seed)), eligible, streamLen, n, loBit, hiBit)
 }
 
@@ -35,7 +38,16 @@ func NewPlanBits(eligible []bool, streamLen uint64, n int, seed int64, loBit, hi
 // a shard from that shard's stream, so trial schedules depend only on
 // (seed, shard, position-in-shard) and results are reproducible for any
 // worker count.
-func NewPlanBitsRand(rng *rand.Rand, eligible []bool, streamLen uint64, n int, loBit, hiBit uint8) *sim.FaultPlan {
+func NewPlanBitsRand(rng *rand.Rand, eligible []bool, streamLen uint64, n int, loBit, hiBit uint8) (*sim.FaultPlan, error) {
+	if streamLen == 0 {
+		return nil, fmt.Errorf("fault: eligible stream is empty; nothing to inject into")
+	}
+	if len(eligible) > 0 && !AnyEligible(eligible) {
+		return nil, fmt.Errorf("fault: eligibility mask marks no instructions; nothing to inject into")
+	}
+	if n < 0 {
+		n = 0 // a negative budget schedules nothing, like n == 0
+	}
 	if hiBit > 31 {
 		hiBit = 31
 	}
@@ -57,7 +69,19 @@ func NewPlanBitsRand(rng *rand.Rand, eligible []bool, streamLen uint64, n int, l
 		inj = append(inj, sim.Injection{At: at, Bit: bit})
 	}
 	sort.Slice(inj, func(i, j int) bool { return inj[i].At < inj[j].At })
-	return &sim.FaultPlan{Eligible: eligible, Injections: inj}
+	return &sim.FaultPlan{Eligible: eligible, Injections: inj}, nil
+}
+
+// AnyEligible reports whether the mask marks at least one instruction.
+// The plan constructors and both campaign engines share it to reject
+// empty eligibility masks.
+func AnyEligible(mask []bool) bool {
+	for _, b := range mask {
+		if b {
+			return true
+		}
+	}
+	return false
 }
 
 // Campaign is a reusable fault-injection setup for one program, input and
@@ -84,6 +108,9 @@ func NewCampaign(p *isa.Program, eligible []bool, cfg sim.Config) (*Campaign, er
 	if len(eligible) != len(p.Text) {
 		return nil, fmt.Errorf("fault: eligibility mask has %d entries for %d instructions", len(eligible), len(p.Text))
 	}
+	if !AnyEligible(eligible) {
+		return nil, fmt.Errorf("fault: eligibility mask marks no instructions; nothing to inject into")
+	}
 	probe := cfg
 	probe.Plan = &sim.FaultPlan{Eligible: eligible}
 	clean := sim.Run(p, probe)
@@ -105,17 +132,20 @@ func NewCampaign(p *isa.Program, eligible []bool, cfg sim.Config) (*Campaign, er
 
 // Run executes one faulty trial with n errors, deterministic in seed.
 func (c *Campaign) Run(n int, seed int64) sim.Result {
-	cfg := c.baseCfg
-	cfg.MaxInstr = c.Budget
-	cfg.Plan = NewPlan(c.Eligible, c.Clean.EligibleExec, n, seed)
-	return sim.Run(c.Prog, cfg)
+	return c.RunBits(n, seed, 0, 31)
 }
 
 // RunBits is Run with the flipped bit restricted to [loBit, hiBit].
 func (c *Campaign) RunBits(n int, seed int64, loBit, hiBit uint8) sim.Result {
+	plan, err := NewPlanBits(c.Eligible, c.Clean.EligibleExec, n, seed, loBit, hiBit)
+	if err != nil {
+		// NewCampaign rejects empty eligible streams, so a plan error here
+		// means the campaign was built by hand around its constructor.
+		panic(err)
+	}
 	cfg := c.baseCfg
 	cfg.MaxInstr = c.Budget
-	cfg.Plan = NewPlanBits(c.Eligible, c.Clean.EligibleExec, n, seed, loBit, hiBit)
+	cfg.Plan = plan
 	return sim.Run(c.Prog, cfg)
 }
 

@@ -57,8 +57,8 @@ func TestPlanProperties(t *testing.T) {
 	f := func(seedRaw int64, nRaw uint8) bool {
 		streamLen := uint64(1000)
 		n := int(nRaw%100) + 1
-		plan := NewPlan(nil, streamLen, n, seedRaw)
-		if len(plan.Injections) != n {
+		plan, err := NewPlan(nil, streamLen, n, seedRaw)
+		if err != nil || len(plan.Injections) != n {
 			return false
 		}
 		seen := map[uint64]bool{}
@@ -87,15 +87,42 @@ func TestPlanProperties(t *testing.T) {
 }
 
 func TestPlanSaturatesAtStreamLength(t *testing.T) {
-	plan := NewPlan(nil, 5, 100, 1)
+	plan, err := NewPlan(nil, 5, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(plan.Injections) != 5 {
 		t.Fatalf("plan has %d injections, want 5 (saturated)", len(plan.Injections))
 	}
 }
 
+func TestPlanRejectsEmptyStream(t *testing.T) {
+	if _, err := NewPlan(nil, 0, 5, 1); err == nil {
+		t.Fatalf("NewPlan accepted a zero-length eligible stream")
+	}
+	if _, err := NewPlan(nil, 0, 0, 1); err == nil {
+		t.Fatalf("NewPlan accepted a zero-length eligible stream with zero errors")
+	}
+	if _, err := NewPlanBits(make([]bool, 16), 100, 5, 1, 0, 31); err == nil {
+		t.Fatalf("NewPlanBits accepted an all-false eligibility mask")
+	}
+	// A negative error budget schedules nothing, like n == 0 — callers
+	// like Campaign.Run(-1, seed) get a clean run, not a panic.
+	plan, err := NewPlan(nil, 100, -1, 1)
+	if err != nil || len(plan.Injections) != 0 {
+		t.Fatalf("NewPlan(-1 errors) = %d injections, err %v; want empty plan", len(plan.Injections), err)
+	}
+}
+
 func TestPlanDeterministicBySeed(t *testing.T) {
-	a := NewPlan(nil, 10000, 20, 42)
-	b := NewPlan(nil, 10000, 20, 42)
+	a, err := NewPlan(nil, 10000, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(nil, 10000, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a.Injections) != len(b.Injections) {
 		t.Fatalf("lengths differ")
 	}
@@ -104,7 +131,10 @@ func TestPlanDeterministicBySeed(t *testing.T) {
 			t.Fatalf("injection %d differs: %v vs %v", i, a.Injections[i], b.Injections[i])
 		}
 	}
-	c := NewPlan(nil, 10000, 20, 43)
+	c, err := NewPlan(nil, 10000, 20, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
 	same := true
 	for i := range a.Injections {
 		if a.Injections[i] != c.Injections[i] {
@@ -196,15 +226,21 @@ func TestEligibleFraction(t *testing.T) {
 
 func TestPlanBitsRestrictsLane(t *testing.T) {
 	for _, lane := range [][2]uint8{{0, 7}, {8, 15}, {24, 31}, {5, 5}} {
-		plan := NewPlanBits(nil, 10000, 50, 9, lane[0], lane[1])
+		plan, err := NewPlanBits(nil, 10000, 50, 9, lane[0], lane[1])
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, inj := range plan.Injections {
 			if inj.Bit < lane[0] || inj.Bit > lane[1] {
 				t.Fatalf("lane %v: bit %d outside range", lane, inj.Bit)
 			}
 		}
 	}
-	// Degenerate arguments are clamped, not rejected.
-	plan := NewPlanBits(nil, 100, 5, 1, 40, 50)
+	// Degenerate bit lanes are clamped, not rejected.
+	plan, err := NewPlanBits(nil, 100, 5, 1, 40, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, inj := range plan.Injections {
 		if inj.Bit > 31 {
 			t.Fatalf("bit %d > 31 after clamping", inj.Bit)

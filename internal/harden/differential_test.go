@@ -1,0 +1,66 @@
+package harden
+
+import (
+	"bytes"
+	"testing"
+
+	"etap/internal/apps/all"
+	"etap/internal/core"
+	"etap/internal/minic"
+	"etap/internal/sim"
+)
+
+// TestDifferentialAllApps is the rewriter's miscompile harness: for every
+// bundled application, the hardened program with zero faults must produce
+// bit-identical output and the same exit status as the baseline. Every
+// app runs under the default policy with both transforms; the first app
+// additionally sweeps every (policy, transform) combination.
+func TestDifferentialAllApps(t *testing.T) {
+	allPolicies := []core.Policy{core.PolicyControl, core.PolicyControlAddr, core.PolicyConservative}
+	allOpts := []Options{DefaultOptions(), {DupCompare: true}, {Signatures: true}}
+	for i, app := range all.Apps() {
+		app := app
+		pols, opts := allPolicies[1:2], allOpts[:1]
+		if i == 0 {
+			pols, opts = allPolicies, allOpts
+		}
+		t.Run(app.Name(), func(t *testing.T) {
+			prog, err := minic.Build(app.Source())
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := sim.Run(prog, sim.Config{Input: app.Input()})
+			if base.Outcome != sim.OK {
+				t.Fatalf("baseline outcome %s", base.Outcome)
+			}
+			for _, pol := range pols {
+				rep, err := core.Analyze(prog, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, o := range opts {
+					res, err := Harden(rep, o)
+					if err != nil {
+						t.Fatalf("%s/%s: %v", pol, o, err)
+					}
+					hard := sim.Run(res.Prog, sim.Config{Input: app.Input()})
+					if hard.Outcome != sim.OK {
+						t.Fatalf("%s/%s: hardened outcome %s (trap %s, detect pc %d)",
+							pol, o, hard.Outcome, hard.Trap, hard.DetectPC)
+					}
+					if hard.ExitCode != base.ExitCode {
+						t.Fatalf("%s/%s: exit %d, baseline %d", pol, o, hard.ExitCode, base.ExitCode)
+					}
+					if !bytes.Equal(hard.Output, base.Output) {
+						t.Fatalf("%s/%s: hardened output differs from baseline (%d vs %d bytes)",
+							pol, o, len(hard.Output), len(base.Output))
+					}
+					if hard.Instret <= base.Instret {
+						t.Fatalf("%s/%s: hardened instret %d not above baseline %d",
+							pol, o, hard.Instret, base.Instret)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,193 @@
+// Package harden rewrites assembled programs with real software
+// protection transforms, replacing the idealized protection model the
+// paper assumes in §4. The paper's campaigns model protection by simply
+// not injecting into control-slice instructions — implicitly assuming a
+// redundancy mechanism that catches every control-data error for free.
+// This package implements that redundancy, so the repo can measure
+// *realized* detection coverage and instruction overhead against the
+// idealized bound.
+//
+// Two transforms are available, separately or together:
+//
+//   - Duplicate-and-compare (EDDI/SWIFT style): every arithmetic
+//     instruction in the control slice is recomputed from shadow copies
+//     of its sources, and every control consumption of a register — a
+//     branch input, an indirect-jump target, a divisor, a syscall
+//     argument, and (policy-dependent) a memory-address base or stored
+//     value — is preceded by a comparison of the register against its
+//     shadow. A mismatch executes trapdet, which ends the run with the
+//     sim.Detected outcome.
+//
+//   - Control-flow signatures (CFCSS style): every basic block gets a
+//     compile-time signature; block entry code checks that the runtime
+//     signature word holds the signature of a legal predecessor and then
+//     installs the block's own signature. Illegal control transfers into
+//     a block entry — e.g. through a corrupted return address that still
+//     lands inside the text segment — are detected at the next block
+//     boundary.
+//
+// The shadow state lives in an ABI carved out of resources the
+// toolchain reserves but never uses: registers $k0/$k1 are scratch for
+// the inserted code, the never-allocated low page below the data
+// segment holds a 32-word shadow register file and the signature word,
+// and stack slots are mirrored at a fixed negative offset (the shadow
+// stack) so spilled values keep their redundant copy across memory.
+// docs/HARDEN.md specifies the ABI and its assumptions.
+package harden
+
+import (
+	"fmt"
+
+	"etap/internal/core"
+	"etap/internal/isa"
+)
+
+// The shadow ABI. All addresses live in the page below isa.DataBase,
+// which the assembler never allocates and compiled programs never touch.
+const (
+	// ShadowBase is the address of the 32-word shadow register file:
+	// shadow($r) lives at ShadowBase + 4*r. Slot 0 (the zero register) is
+	// never written, so it reads as zero — exactly the shadow $zero needs.
+	ShadowBase uint32 = 0x0100
+	// SigAddr holds the runtime control-flow signature word.
+	SigAddr uint32 = 0x0180
+	// ShadowStackGap is the displacement of the shadow stack: the mirror
+	// of stack slot addr is addr - ShadowStackGap. It must exceed the
+	// deepest stack the program reaches and keep the mirror region clear
+	// of the data segment; 1 MiB holds comfortably for every bundled app
+	// under the simulator's default 8 MiB fast region.
+	ShadowStackGap int32 = 1 << 20
+)
+
+// Options selects which transforms to apply.
+type Options struct {
+	// DupCompare duplicates control-slice computations and compares
+	// registers against their shadows at control uses.
+	DupCompare bool
+	// Signatures inserts per-basic-block control-flow signature checks.
+	Signatures bool
+}
+
+// DefaultOptions enables both transforms.
+func DefaultOptions() Options { return Options{DupCompare: true, Signatures: true} }
+
+func (o Options) String() string {
+	switch {
+	case o.DupCompare && o.Signatures:
+		return "dup+cfs"
+	case o.DupCompare:
+		return "dup"
+	case o.Signatures:
+		return "cfs"
+	}
+	return "none"
+}
+
+// ParseOptions resolves a transform name as printed by Options.String
+// ("dup+cfs", "dup", "cfs").
+func ParseOptions(s string) (Options, bool) {
+	for _, o := range []Options{DefaultOptions(), {DupCompare: true}, {Signatures: true}} {
+		if s == o.String() {
+			return o, true
+		}
+	}
+	return Options{}, false
+}
+
+// Result is a hardened program plus the maps relating it to the original.
+type Result struct {
+	// Prog is the rewritten program.
+	Prog *isa.Program
+	// Orig is the program the rewrite started from.
+	Orig *isa.Program
+	// Policy is the analysis policy whose control slice was protected.
+	Policy core.Policy
+	// Opts records the applied transforms.
+	Opts Options
+
+	// OrigOf maps each hardened text index to the original index it was
+	// copied from, or -1 for inserted protection code.
+	OrigOf []int
+	// NewOf maps each original text index to the hardened index of its
+	// primary copy (every original instruction has exactly one).
+	NewOf []int
+	// PrimaryProtected marks, in hardened text indices, the primary
+	// copies of the control-slice arithmetic instructions — the
+	// injection sites whose faults the idealized model assumes away and
+	// the transforms are supposed to detect. Under DupCompare these are
+	// exactly the duplicated sites; under a signatures-only rewrite they
+	// are still marked, so detection campaigns measure what signatures
+	// alone catch of the same fault population.
+	PrimaryProtected []bool
+
+	// DupSites is the number of duplicated (protected) instructions.
+	DupSites int
+	// Checks is the number of compare-against-shadow checks inserted.
+	Checks int
+	// SigBlocks is the number of basic blocks that received signature
+	// code.
+	SigBlocks int
+}
+
+// StaticOverhead is the hardened/original static instruction-count ratio.
+func (r *Result) StaticOverhead() float64 {
+	return float64(len(r.Prog.Text)) / float64(len(r.Orig.Text))
+}
+
+// PrimaryMask lifts an original-program instruction mask (e.g. the
+// analysis tag set) onto the hardened program: the primary copy of each
+// masked instruction is masked, inserted protection code never is.
+func (r *Result) PrimaryMask(origMask []bool) ([]bool, error) {
+	if len(origMask) != len(r.Orig.Text) {
+		return nil, fmt.Errorf("harden: mask has %d entries for %d original instructions",
+			len(origMask), len(r.Orig.Text))
+	}
+	out := make([]bool, len(r.Prog.Text))
+	for origIdx, on := range origMask {
+		if on {
+			out[r.NewOf[origIdx]] = true
+		}
+	}
+	return out, nil
+}
+
+// Harden rewrites the report's program under the given options. The
+// report must come from core.Analyze on the same program; its policy
+// decides which instructions are duplicated and which uses are checked.
+func Harden(rep *core.Report, opts Options) (*Result, error) {
+	if !opts.DupCompare && !opts.Signatures {
+		return nil, fmt.Errorf("harden: no transforms selected")
+	}
+	p := rep.Prog
+	for idx, in := range p.Text {
+		if in.Op == isa.TRAPDET {
+			return nil, fmt.Errorf("harden: instr %d is already a trapdet; refusing to harden twice", idx)
+		}
+		var uses [3]isa.Reg
+		for _, r := range append(in.Uses(uses[:0]), destOrZero(in)) {
+			if r == isa.RegK0 || r == isa.RegK1 {
+				return nil, fmt.Errorf("harden: instr %d (%s) touches reserved register %s",
+					idx, isa.Disasm(in), r)
+			}
+		}
+	}
+	if len(rep.CFGs) != len(p.Funcs) {
+		return nil, fmt.Errorf("harden: report has %d CFGs for %d functions", len(rep.CFGs), len(p.Funcs))
+	}
+	w := &rewriter{rep: rep, p: p, opts: opts}
+	res, err := w.rewrite()
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Prog.Validate(); err != nil {
+		return nil, fmt.Errorf("harden: rewritten program is invalid: %w", err)
+	}
+	return res, nil
+}
+
+func destOrZero(in isa.Instr) isa.Reg {
+	if d, ok := in.Dest(); ok {
+		return d
+	}
+	return isa.RegZero
+}

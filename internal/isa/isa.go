@@ -151,6 +151,12 @@ const (
 	// receives the result. See the sim package for the call table.
 	SYSCALL
 
+	// Error-detection trap. Emitted only by the internal/harden rewriter:
+	// a redundancy check (duplicate-compare mismatch or control-flow
+	// signature mismatch) branches here, and the simulator ends the run
+	// with the Detected outcome. It reads and writes no registers.
+	TRAPDET
+
 	numOps // sentinel
 )
 
@@ -259,6 +265,7 @@ var opTable = [numOps]opInfo{
 	JALR: {"jalr", ClassControl, fmtJALR},
 
 	SYSCALL: {"syscall", ClassSys, fmtNone},
+	TRAPDET: {"trapdet", ClassControl, fmtNone},
 }
 
 // String returns the assembler mnemonic.
@@ -339,7 +346,7 @@ func (i Instr) Dest() (Reg, bool) {
 // to buf to let hot paths avoid allocation.
 func (i Instr) Uses(buf []Reg) []Reg {
 	switch i.Op {
-	case NOP, J, JAL, LUI:
+	case NOP, J, JAL, LUI, TRAPDET:
 		return buf
 	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, NOR, SLLV, SRLV, SRAV, SLT, SLTU,
 		ADDF, SUBF, MULF, DIVF, CEQF, CLTF, CLEF:

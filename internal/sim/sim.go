@@ -45,6 +45,11 @@ const (
 	// Timeout means the instruction budget was exhausted: the paper's
 	// "infinite execution time" catastrophic failure.
 	Timeout
+	// Detected means the program executed a trapdet instruction: a
+	// redundancy check inserted by the internal/harden rewriter observed a
+	// mismatch and stopped the run. It is neither a completion nor a
+	// catastrophic failure; campaigns count it as detection coverage.
+	Detected
 )
 
 func (o Outcome) String() string {
@@ -55,6 +60,8 @@ func (o Outcome) String() string {
 		return "crash"
 	case Timeout:
 		return "timeout"
+	case Detected:
+		return "detected"
 	}
 	return fmt.Sprintf("outcome(%d)", uint8(o))
 }
@@ -162,6 +169,9 @@ type Result struct {
 	// Injected is how many scheduled flips actually fired (a run can crash
 	// before reaching later injection points).
 	Injected int
+	// DetectPC is the text index of the trapdet instruction that ended a
+	// Detected run, and -1 otherwise.
+	DetectPC int
 	// Output is everything the program wrote.
 	Output []byte
 	// ClassCounts counts executed instructions per isa.Class.
@@ -201,7 +211,12 @@ func Run(p *isa.Program, cfg Config) Result {
 		m.injections = cfg.Plan.Injections
 	}
 	m.run()
+	return m.result()
+}
 
+// result snapshots the machine's architecturally visible end state; Run,
+// Record and Recording.RunFrom all report through it.
+func (m *machine) result() Result {
 	return Result{
 		Outcome:      m.outcome,
 		Trap:         m.trap,
@@ -209,9 +224,18 @@ func Run(p *isa.Program, cfg Config) Result {
 		Instret:      m.instret,
 		EligibleExec: m.eligCount,
 		Injected:     m.injected,
+		DetectPC:     m.detectPC(),
 		Output:       m.out,
 		ClassCounts:  m.classCounts,
 	}
+}
+
+// detectPC is the trapdet location for Detected runs and -1 otherwise.
+func (m *machine) detectPC() int {
+	if m.outcome == Detected {
+		return m.pc
+	}
+	return -1
 }
 
 type machine struct {
@@ -644,6 +668,11 @@ func (m *machine) run() {
 			if !m.syscall() {
 				return
 			}
+
+		case isa.TRAPDET:
+			m.outcome = Detected
+			m.done = true
+			return
 		}
 
 		// Fault accounting and injection happen after writeback so the

@@ -206,16 +206,7 @@ func Record(p *isa.Program, cfg Config, opt RecordOptions) (*Recording, error) {
 	}
 	m.run()
 
-	res := Result{
-		Outcome:      m.outcome,
-		Trap:         m.trap,
-		ExitCode:     m.exitCode,
-		Instret:      m.instret,
-		EligibleExec: m.eligCount,
-		Injected:     m.injected,
-		Output:       m.out,
-		ClassCounts:  m.classCounts,
-	}
+	res := m.result()
 	for _, s := range rec.snaps {
 		s.out = res.Output[:s.outLen:s.outLen]
 	}
@@ -321,14 +312,5 @@ func (r *Recording) RunFrom(idx int, plan *FaultPlan, maxInstr uint64) Result {
 		m.injections = plan.Injections
 	}
 	m.run()
-	return Result{
-		Outcome:      m.outcome,
-		Trap:         m.trap,
-		ExitCode:     m.exitCode,
-		Instret:      m.instret,
-		EligibleExec: m.eligCount,
-		Injected:     m.injected,
-		Output:       m.out,
-		ClassCounts:  m.classCounts,
-	}
+	return m.result()
 }
