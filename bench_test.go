@@ -6,6 +6,7 @@
 package etap
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -38,7 +39,7 @@ func BenchmarkTable1Registry(b *testing.B) {
 
 func BenchmarkTable2Failures(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Table2(benchOpt()); err != nil {
+		if _, err := exp.Table2(context.Background(), benchOpt()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -46,16 +47,16 @@ func BenchmarkTable2Failures(b *testing.B) {
 
 func BenchmarkTable3Tagging(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Table3(benchOpt()); err != nil {
+		if _, err := exp.Table3(context.Background(), benchOpt()); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func benchFigure(b *testing.B, fn func(exp.Options) (*exp.Figure, error)) {
+func benchFigure(b *testing.B, fn func(context.Context, exp.Options) (*exp.Report, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if _, err := fn(benchOpt()); err != nil {
+		if _, err := fn(context.Background(), benchOpt()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +71,7 @@ func BenchmarkFigure6ART(b *testing.B)      { benchFigure(b, exp.Figure6) }
 
 func BenchmarkPolicyAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.PolicyAblation(benchOpt()); err != nil {
+		if _, err := exp.PolicyAblation(context.Background(), benchOpt()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,7 +79,7 @@ func BenchmarkPolicyAblation(b *testing.B) {
 
 func BenchmarkPotentialModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Potential(benchOpt()); err != nil {
+		if _, err := exp.Potential(context.Background(), benchOpt()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -86,7 +87,7 @@ func BenchmarkPotentialModel(b *testing.B) {
 
 func BenchmarkBitSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.BitSensitivity(benchOpt()); err != nil {
+		if _, err := exp.BitSensitivity(context.Background(), benchOpt()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -261,7 +262,7 @@ func BenchmarkCampaignPoint(b *testing.B) {
 	b.ResetTimer()
 	trials := 0
 	for i := 0; i < b.N; i++ {
-		r := eng.RunPoint(campaign.Point{Errors: 5, HiBit: 31, MaxTrials: 64, Seed: int64(i + 1)}, nil)
+		r := eng.RunPoint(context.Background(), campaign.Point{Errors: 5, HiBit: 31, MaxTrials: 64, Seed: int64(i + 1)}, nil)
 		trials += r.Trials
 	}
 	b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
@@ -319,7 +320,7 @@ func BenchmarkHardenOverhead(b *testing.B) {
 
 func BenchmarkMaskingDistribution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Masking(benchOpt()); err != nil {
+		if _, err := exp.Masking(context.Background(), benchOpt()); err != nil {
 			b.Fatal(err)
 		}
 	}

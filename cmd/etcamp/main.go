@@ -13,17 +13,22 @@
 // with -ci set, a point stops early once the Wilson 95% confidence
 // interval on its catastrophic-failure rate is narrower than W (for any
 // worker count, the numbers come out identical). Results go to stdout (or
-// -out); progress and diagnostics go to stderr. The exit code is non-zero
-// on any failure.
+// -out); live per-trial progress and diagnostics go to stderr. SIGINT or
+// SIGTERM cancels the campaign between trials: the points finished so
+// far (plus the partial, flagged point) are still exported before the
+// tool exits non-zero. The exit code is non-zero on any failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"etap/internal/apps"
@@ -32,11 +37,14 @@ import (
 	"etap/internal/core"
 	"etap/internal/minic"
 	"etap/internal/sim"
+	"etap/internal/termprog"
 	"etap/internal/textplot"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "etcamp:", err)
 		if _, ok := err.(usageError); ok {
 			os.Exit(2)
@@ -63,7 +71,7 @@ type options struct {
 	outFile   string
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("etcamp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	appFlag := fs.String("app", "", "benchmark names, comma-separated, or 'all'")
@@ -125,23 +133,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out = f
 	}
 
-	reports, err := runCampaigns(opt, stderr)
+	reports, err := runCampaigns(ctx, opt, stderr)
 	if err != nil {
 		return err
 	}
+	var werr error
 	switch opt.format {
 	case "json":
-		return campaign.WriteJSON(out, reports)
+		werr = campaign.WriteJSON(out, reports)
 	case "csv":
-		return campaign.WriteCSV(out, reports)
+		werr = campaign.WriteCSV(out, reports)
 	default:
-		return writeText(out, reports)
+		werr = writeText(out, reports)
 	}
+	if werr != nil {
+		return werr
+	}
+	// A cancelled campaign still exports what it measured, but exits
+	// non-zero so scripts know the sweep is incomplete.
+	return ctx.Err()
 }
 
-func runCampaigns(opt options, stderr io.Writer) ([]*campaign.Report, error) {
+func runCampaigns(ctx context.Context, opt options, stderr io.Writer) ([]*campaign.Report, error) {
 	var reports []*campaign.Report
 	for _, a := range opt.apps {
+		if ctx.Err() != nil {
+			break
+		}
 		prog, err := minic.Build(a.Source())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name(), err)
@@ -151,6 +169,9 @@ func runCampaigns(opt options, stderr io.Writer) ([]*campaign.Report, error) {
 			return nil, fmt.Errorf("%s: %w", a.Name(), err)
 		}
 		for _, mode := range opt.modes {
+			if ctx.Err() != nil {
+				break
+			}
 			eligible := rep.Tagged
 			if mode == "unprotected" {
 				eligible = core.EligibleAll(prog)
@@ -166,21 +187,31 @@ func runCampaigns(opt options, stderr io.Writer) ([]*campaign.Report, error) {
 			var points []campaign.PointResult
 			for _, n := range opt.errors {
 				start := time.Now()
-				p := eng.RunPoint(campaign.Point{
+				prog := termprog.New(stderr)
+				p := eng.RunPoint(ctx, campaign.Point{
 					Errors:    n,
 					HiBit:     31,
 					MaxTrials: opt.trials,
 					MinTrials: opt.minTrials,
 					StopWidth: opt.ciWidth,
-				}, nil)
+				}, func(trial int, tr campaign.Trial) {
+					prog.Printf("[%s/%s] errors=%d trial %d/%d", a.Name(), mode, n, trial+1, opt.trials)
+				})
+				prog.Clear()
 				note := ""
 				if p.EarlyStopped {
 					note = " (early stop)"
+				}
+				if p.Cancelled {
+					note = " (cancelled)"
 				}
 				fmt.Fprintf(stderr, "[%s/%s] errors=%d trials=%d fail=%.1f%% [%.1f, %.1f] accept=%.1f%% in %.2fs%s\n",
 					a.Name(), mode, n, p.Trials, p.FailPct, p.FailLoPct, p.FailHiPct, p.AcceptPct,
 					time.Since(start).Seconds(), note)
 				points = append(points, p)
+				if p.Cancelled {
+					break
+				}
 			}
 			reports = append(reports, eng.NewReport(a.Name(), mode, points))
 		}

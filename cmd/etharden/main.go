@@ -16,19 +16,26 @@
 // single-bit faults per trial into the primary copies of the protected
 // instructions — exactly the faults the idealized model assumes are
 // harmless. Detection coverage is the fraction of trials stopped by a
-// trapdet check, with a Wilson 95% confidence interval; crashes,
-// timeouts and silent corruptions are escapes. Results go to stdout (or
-// -out), progress to stderr; the exit code is non-zero on any failure.
+// trapdet check, with a Wilson 95% confidence interval, and the
+// detection-latency p50/p95 (injection to trapdet, in retired
+// instructions) bounds the recovery window; crashes, timeouts and silent
+// corruptions are escapes. Results go to stdout (or -out), live
+// per-trial progress to stderr; SIGINT/SIGTERM cancels between trials
+// and the rows finished so far are still exported before the tool exits
+// non-zero. The exit code is non-zero on any failure.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"etap/internal/apps/all"
@@ -37,11 +44,14 @@ import (
 	"etap/internal/harden"
 	"etap/internal/minic"
 	"etap/internal/sim"
+	"etap/internal/termprog"
 	"etap/internal/textplot"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "etharden:", err)
 		if _, ok := err.(usageError); ok {
 			os.Exit(2)
@@ -65,7 +75,7 @@ type row struct {
 	point      campaign.PointResult
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("etharden", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	appFlag := fs.String("app", "all", "benchmark names, comma-separated, or 'all'")
@@ -115,6 +125,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var rows []row
 	for _, a := range sel {
+		if ctx.Err() != nil {
+			break
+		}
 		prog, err := minic.Build(a.Source())
 		if err != nil {
 			return fmt.Errorf("%s: %w", a.Name(), err)
@@ -124,6 +137,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("%s: baseline run %s", a.Name(), base.Outcome)
 		}
 		for _, pol := range policies {
+			if ctx.Err() != nil {
+				break
+			}
 			rep, err := core.Analyze(prog, pol)
 			if err != nil {
 				return fmt.Errorf("%s (%s): %w", a.Name(), pol, err)
@@ -158,14 +174,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 				res.StaticOverhead(), float64(hard.Instret)/float64(base.Instret))
 
 			start := time.Now()
-			pt := eng.RunPoint(campaign.Point{
+			prog := termprog.New(stderr)
+			pt := eng.RunPoint(ctx, campaign.Point{
 				Errors:    *errorsN,
 				HiBit:     31,
 				MaxTrials: *trials,
-			}, nil)
-			fmt.Fprintf(stderr, "[%s/%s] %d trials: %.1f%% detected [%.1f, %.1f] in %.2fs\n",
+			}, func(trial int, tr campaign.Trial) {
+				prog.Printf("[%s/%s] trial %d/%d", a.Name(), pol, trial+1, *trials)
+			})
+			prog.Clear()
+			note := ""
+			if pt.Cancelled {
+				note = " (cancelled)"
+			}
+			fmt.Fprintf(stderr, "[%s/%s] %d trials: %.1f%% detected [%.1f, %.1f] latency p50=%d p95=%d in %.2fs%s\n",
 				a.Name(), pol, pt.Trials, pt.DetectPct, pt.DetectLoPct, pt.DetectHiPct,
-				time.Since(start).Seconds())
+				pt.DetectLatencyP50, pt.DetectLatencyP95,
+				time.Since(start).Seconds(), note)
 
 			rows = append(rows, row{
 				app:        a.Name(),
@@ -179,16 +204,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	var werr error
 	if *format == "csv" {
-		return writeCSV(out, rows)
+		werr = writeCSV(out, rows)
+	} else {
+		werr = writeText(out, rows, opts, *errorsN)
 	}
-	return writeText(out, rows, opts, *errorsN)
+	if werr != nil {
+		return werr
+	}
+	return ctx.Err()
 }
 
 func writeText(w io.Writer, rows []row, opts harden.Options, errors int) error {
 	fmt.Fprintf(w, "Realized protection (%s transforms), %d error(s) per trial into protected primaries.\n", opts, errors)
 	fmt.Fprintf(w, "The idealized model assumes 100%% coverage and 1.00x overhead for these faults.\n\n")
-	header := []string{"App", "Policy", "Sites", "Static", "Dynamic", "Coverage", "95% CI", "Crash", "Timeout", "SDC", "Masked"}
+	header := []string{"App", "Policy", "Sites", "Static", "Dynamic", "Coverage", "95% CI", "Lat p50", "Lat p95", "Crash", "Timeout", "SDC", "Masked"}
 	cells := make([][]string, len(rows))
 	for i, r := range rows {
 		p := r.point
@@ -201,6 +232,8 @@ func writeText(w io.Writer, rows []row, opts harden.Options, errors int) error {
 			fmt.Sprintf("%.2fx", r.dynamicOvh),
 			fmt.Sprintf("%.1f%%", p.DetectPct),
 			fmt.Sprintf("[%.1f, %.1f]", p.DetectLoPct, p.DetectHiPct),
+			strconv.FormatUint(p.DetectLatencyP50, 10),
+			strconv.FormatUint(p.DetectLatencyP95, 10),
 			strconv.Itoa(p.Crashes),
 			strconv.Itoa(p.Timeouts),
 			strconv.Itoa(sdc),
@@ -219,6 +252,7 @@ func writeCSV(w io.Writer, rows []row) error {
 		"app", "policy", "transforms", "sites", "static_overhead", "dynamic_overhead",
 		"trials", "detected", "crashes", "timeouts", "sdc", "masked",
 		"detect_pct", "detect_lo_pct", "detect_hi_pct",
+		"detect_latency_p50", "detect_latency_p95",
 	}); err != nil {
 		return err
 	}
@@ -234,6 +268,8 @@ func writeCSV(w io.Writer, rows []row) error {
 			strconv.FormatFloat(p.DetectPct, 'f', 2, 64),
 			strconv.FormatFloat(p.DetectLoPct, 'f', 2, 64),
 			strconv.FormatFloat(p.DetectHiPct, 'f', 2, 64),
+			strconv.FormatUint(p.DetectLatencyP50, 10),
+			strconv.FormatUint(p.DetectLatencyP95, 10),
 		}); err != nil {
 			return err
 		}

@@ -30,15 +30,16 @@
 package etap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"etap/internal/apps"
 	"etap/internal/apps/all"
 	"etap/internal/campaign"
 	"etap/internal/core"
-	"etap/internal/exp"
 	"etap/internal/harden"
 	"etap/internal/isa"
 	"etap/internal/minic"
@@ -139,21 +140,14 @@ type RunResult struct {
 
 func fromSim(r sim.Result) RunResult {
 	out := RunResult{
+		Outcome:        outcomeFromSim(r.Outcome),
 		Output:         r.Output,
 		ExitCode:       r.ExitCode,
 		Instructions:   r.Instret,
 		InjectedErrors: r.Injected,
 	}
-	switch r.Outcome {
-	case sim.OK:
-		out.Outcome = Completed
-	case sim.Crash:
-		out.Outcome = Crashed
+	if r.Outcome == sim.Crash {
 		out.TrapDescription = r.Trap.String()
-	case sim.Timeout:
-		out.Outcome = TimedOut
-	case sim.Detected:
-		out.Outcome = Detected
 	}
 	return out
 }
@@ -274,6 +268,19 @@ type HardenedSystem struct {
 	*System
 	base *System
 	res  *harden.Result
+
+	// overheadMu guards overheads, the per-input cache of fault-free
+	// instruction counts DynamicOverhead compares. Both runs are
+	// deterministic for a given input, so they are simulated at most once
+	// per input per receiver.
+	overheadMu sync.Mutex
+	overheads  map[string]overheadRuns
+}
+
+// overheadRuns caches the fault-free dynamic instruction counts of the
+// original and hardened programs for one input.
+type overheadRuns struct {
+	base, hardened uint64
 }
 
 // Harden rewrites the system's program with the selected transforms. A
@@ -300,15 +307,35 @@ func (s *System) Harden(opts HardenOptions) (*HardenedSystem, error) {
 // ratio.
 func (h *HardenedSystem) StaticOverhead() float64 { return h.res.StaticOverhead() }
 
-// DynamicOverhead runs both programs fault-free on the input and
-// returns the hardened/original dynamic instruction-count ratio.
+// DynamicOverhead returns the hardened/original dynamic
+// instruction-count ratio for fault-free runs on the input. The two
+// simulations run once per distinct input and are cached on the
+// receiver, so repeated calls (overhead tables, concurrent Lab callers)
+// cost a map lookup.
 func (h *HardenedSystem) DynamicOverhead(input []byte) float64 {
-	base := h.base.Run(input)
-	hard := h.Run(input)
-	if base.Instructions == 0 {
+	key := string(input)
+	h.overheadMu.Lock()
+	runs, ok := h.overheads[key]
+	h.overheadMu.Unlock()
+	if !ok {
+		// Simulate outside the lock: inputs are typically distinct only
+		// across callers, and a duplicated race costs two identical
+		// deterministic runs, not wrong numbers.
+		runs = overheadRuns{
+			base:     h.base.Run(input).Instructions,
+			hardened: h.Run(input).Instructions,
+		}
+		h.overheadMu.Lock()
+		if h.overheads == nil {
+			h.overheads = make(map[string]overheadRuns)
+		}
+		h.overheads[key] = runs
+		h.overheadMu.Unlock()
+	}
+	if runs.base == 0 {
 		return 0
 	}
-	return float64(hard.Instructions) / float64(base.Instructions)
+	return float64(runs.hardened) / float64(runs.base)
 }
 
 // ProtectedSites is the number of duplicated control-slice instructions.
@@ -391,27 +418,6 @@ func (c *Campaign) Run(n int, seed int64) RunResult {
 	return fromSim(c.c.Run(n, seed))
 }
 
-// PointOptions controls a multi-trial measurement point.
-type PointOptions struct {
-	// MaxTrials is the trial budget per point. Defaults to 40.
-	MaxTrials int
-	// StopCIWidth, when positive, stops a point early once every
-	// reported Wilson 95% confidence interval — the catastrophic-failure
-	// rate and, for hardened systems, the detection rate — is narrower
-	// than this fraction (e.g. 0.05 for ±2.5 points) — but not before
-	// MinTrials trials have aggregated.
-	StopCIWidth float64
-	// MinTrials is the floor before early stopping may trigger; 0 picks
-	// a default scaled to the budget.
-	MinTrials int
-	// Seed makes the point's injection schedules reproducible. Defaults
-	// to 1.
-	Seed int64
-	// Workers sizes the trial pool; 0 means GOMAXPROCS. Worker count
-	// never changes results.
-	Workers int
-}
-
 // PointStats aggregates one measurement point.
 type PointStats struct {
 	Errors   int
@@ -443,54 +449,65 @@ type PointStats struct {
 	DetectPct     float64
 	DetectLowPct  float64
 	DetectHighPct float64
-	EarlyStopped  bool
+	// DetectLatencyP50/P95 are nearest-rank percentiles, over Detected
+	// trials, of the distance (in retired instructions) between the first
+	// injected fault and the redundancy check that caught it; 0 when
+	// nothing was detected. The window bounds how long corrupted state
+	// was live — i.e. how far a checkpoint-rollback recovery must rewind.
+	DetectLatencyP50 uint64
+	DetectLatencyP95 uint64
+	EarlyStopped     bool
+	// Cancelled marks a partial aggregate from a point whose context was
+	// cancelled mid-run. Cancelled numbers are not reproducible; an
+	// uncancelled re-run of the same point is.
+	Cancelled bool
 }
 
 func fromPoint(r campaign.PointResult) PointStats {
 	return PointStats{
-		Errors:        r.Errors,
-		Trials:        r.Trials,
-		Crashes:       r.Crashes,
-		Timeouts:      r.Timeouts,
-		Detected:      r.Detected,
-		Completed:     r.Completed,
-		Masked:        r.Masked,
-		Accepted:      r.Accepted,
-		MeanValue:     r.MeanValue,
-		FailPct:       r.FailPct,
-		AcceptPct:     r.AcceptPct,
-		FailLowPct:    r.FailLoPct,
-		FailHighPct:   r.FailHiPct,
-		DetectPct:     r.DetectPct,
-		DetectLowPct:  r.DetectLoPct,
-		DetectHighPct: r.DetectHiPct,
-		EarlyStopped:  r.EarlyStopped,
+		Errors:           r.Errors,
+		Trials:           r.Trials,
+		Crashes:          r.Crashes,
+		Timeouts:         r.Timeouts,
+		Detected:         r.Detected,
+		Completed:        r.Completed,
+		Masked:           r.Masked,
+		Accepted:         r.Accepted,
+		MeanValue:        r.MeanValue,
+		FailPct:          r.FailPct,
+		AcceptPct:        r.AcceptPct,
+		FailLowPct:       r.FailLoPct,
+		FailHighPct:      r.FailHiPct,
+		DetectPct:        r.DetectPct,
+		DetectLowPct:     r.DetectLoPct,
+		DetectHighPct:    r.DetectHiPct,
+		DetectLatencyP50: r.DetectLatencyP50,
+		DetectLatencyP95: r.DetectLatencyP95,
+		EarlyStopped:     r.EarlyStopped,
+		Cancelled:        r.Cancelled,
 	}
 }
 
-// RunPoint executes up to opt.MaxTrials independent trials with the given
-// error count, sharded across the worker pool, and aggregates them online.
-// Results depend only on the options, never on scheduling.
-func (c *Campaign) RunPoint(errors int, opt PointOptions) PointStats {
-	if opt.MaxTrials == 0 {
-		opt.MaxTrials = 40
-	}
-	return fromPoint(c.c.RunPoint(campaign.Point{
-		Errors:    errors,
-		HiBit:     31,
-		MaxTrials: opt.MaxTrials,
-		MinTrials: opt.MinTrials,
-		StopWidth: opt.StopCIWidth,
-		Seed:      opt.Seed,
-		Workers:   opt.Workers,
-	}, nil))
+// RunPoint executes up to WithTrials independent trials with the given
+// error count, sharded across the worker pool, and aggregates them
+// online. Results depend only on the options, never on scheduling or
+// worker count. Cancelling ctx stops the point between trials and
+// returns the partial aggregate with Cancelled set.
+func (c *Campaign) RunPoint(ctx context.Context, errors int, opts ...Option) PointStats {
+	cfg := applyOptions(opts)
+	return fromPoint(c.c.RunPoint(ctx, cfg.point(errors), cfg.observer()))
 }
 
-// Sweep runs RunPoint for each error count.
-func (c *Campaign) Sweep(errorCounts []int, opt PointOptions) []PointStats {
-	out := make([]PointStats, len(errorCounts))
-	for i, n := range errorCounts {
-		out[i] = c.RunPoint(n, opt)
+// Sweep runs RunPoint for each error count, stopping early (with the
+// points so far) when ctx is cancelled.
+func (c *Campaign) Sweep(ctx context.Context, errorCounts []int, opts ...Option) []PointStats {
+	cfg := applyOptions(opts)
+	out := make([]PointStats, 0, len(errorCounts))
+	for _, n := range errorCounts {
+		if ctx.Err() != nil {
+			return out
+		}
+		out = append(out, fromPoint(c.c.RunPoint(ctx, cfg.point(n), cfg.observer())))
 	}
 	return out
 }
@@ -548,69 +565,3 @@ func (b *Benchmark) Build(policy Policy) (*System, error) {
 	return Build(b.app.Source(), policy)
 }
 
-// ExperimentIDs lists the experiments RunExperiment accepts.
-func ExperimentIDs() []string {
-	return []string{"table1", "table2", "table3", "figure1", "figure2", "figure3", "figure4", "figure5", "figure6", "ablation", "potential", "bits", "masking"}
-}
-
-// RunExperiment regenerates one of the paper's tables or figures and
-// returns its rendered text. Trials ≤ 0 selects the default (40 per
-// point). IDs are listed by ExperimentIDs.
-func RunExperiment(id string, trials int) (string, error) {
-	opt := exp.DefaultOptions()
-	if trials > 0 {
-		opt.Trials = trials
-	}
-	switch id {
-	case "table1":
-		return exp.Table1().Render(), nil
-	case "table2":
-		r, err := exp.Table2(opt)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	case "table3":
-		r, err := exp.Table3(opt)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	case "ablation":
-		r, err := exp.PolicyAblation(opt)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	case "potential":
-		r, err := exp.Potential(opt)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	case "bits":
-		r, err := exp.BitSensitivity(opt)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	case "masking":
-		r, err := exp.Masking(opt)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	case "figure1", "figure2", "figure3", "figure4", "figure5", "figure6":
-		fns := map[string]func(exp.Options) (*exp.Figure, error){
-			"figure1": exp.Figure1, "figure2": exp.Figure2, "figure3": exp.Figure3,
-			"figure4": exp.Figure4, "figure5": exp.Figure5, "figure6": exp.Figure6,
-		}
-		f, err := fns[id](opt)
-		if err != nil {
-			return "", err
-		}
-		return f.Render(), nil
-	default:
-		return "", fmt.Errorf("etap: unknown experiment %q (have %s)", id, strings.Join(ExperimentIDs(), ", "))
-	}
-}

@@ -1,7 +1,10 @@
 package etap
 
 import (
+	"context"
+	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -23,6 +26,8 @@ int main() {
     return 0;
 }
 `
+
+var bgctx = context.Background()
 
 func testInput() []byte {
 	in := make([]byte, 64)
@@ -161,12 +166,12 @@ func TestCampaignRunPoint(t *testing.T) {
 		return v, v >= 90
 	})
 
-	clean := camp.RunPoint(0, PointOptions{MaxTrials: 8, Seed: 3})
+	clean := camp.RunPoint(bgctx, 0, WithTrials(8), WithSeed(3))
 	if clean.Trials != 8 || clean.Masked != 8 || clean.AcceptPct != 100 || clean.FailPct != 0 {
 		t.Fatalf("zero-error point: %+v", clean)
 	}
 
-	p := camp.RunPoint(2, PointOptions{MaxTrials: 24, Seed: 3, Workers: 1})
+	p := camp.RunPoint(bgctx, 2, WithTrials(24), WithSeed(3), WithWorkers(1))
 	if p.Trials != 24 || p.Completed+p.Crashes+p.Timeouts != p.Trials {
 		t.Fatalf("accounting: %+v", p)
 	}
@@ -175,12 +180,12 @@ func TestCampaignRunPoint(t *testing.T) {
 			p.FailLowPct, p.FailHighPct, p.FailPct)
 	}
 	// Worker count must not change the numbers.
-	p2 := camp.RunPoint(2, PointOptions{MaxTrials: 24, Seed: 3, Workers: 5})
+	p2 := camp.RunPoint(bgctx, 2, WithTrials(24), WithSeed(3), WithWorkers(5))
 	if p != p2 {
 		t.Fatalf("points differ across worker counts:\n%+v\n%+v", p, p2)
 	}
 
-	sweep := camp.Sweep([]int{0, 2}, PointOptions{MaxTrials: 8, Seed: 3})
+	sweep := camp.Sweep(bgctx, []int{0, 2}, WithTrials(8), WithSeed(3))
 	if len(sweep) != 2 || sweep[0].Errors != 0 || sweep[1].Errors != 2 {
 		t.Fatalf("sweep shape: %+v", sweep)
 	}
@@ -329,7 +334,7 @@ func TestHardenedSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pt := camp.RunPoint(1, PointOptions{MaxTrials: 48, Seed: 7})
+	pt := camp.RunPoint(bgctx, 1, WithTrials(48), WithSeed(7))
 	if pt.Trials == 0 {
 		t.Fatalf("no trials ran")
 	}
@@ -351,5 +356,248 @@ func TestHardenedSystem(t *testing.T) {
 	}
 	if r := pc.Run(1, 3); r.Outcome == Crashed && r.TrapDescription == "" {
 		t.Fatalf("crash without trap description")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	es := Experiments()
+	if len(es) != len(ExperimentIDs()) {
+		t.Fatalf("%d experiments for %d ids", len(es), len(ExperimentIDs()))
+	}
+	for _, e := range es {
+		if e.ID == "" || e.Title == "" {
+			t.Fatalf("experiment incompletely registered: %+v", e)
+		}
+	}
+	e, ok := ExperimentByID("table1")
+	if !ok {
+		t.Fatalf("table1 not registered")
+	}
+	r, err := e.Run(bgctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "table1" || len(r.Rows) != 7 || len(r.Columns) == 0 {
+		t.Fatalf("table1 report: %+v", r)
+	}
+	if !strings.Contains(r.RenderText(), "susan") {
+		t.Fatalf("table1 render missing susan")
+	}
+	if _, ok := ExperimentByID("nosuch"); ok {
+		t.Fatalf("unknown experiment resolved")
+	}
+}
+
+// TestRunExperimentShimMatchesRegistry: the deprecated string API must
+// render exactly what the registry produces.
+func TestRunExperimentShimMatchesRegistry(t *testing.T) {
+	want, ok := ExperimentByID("table1")
+	if !ok {
+		t.Fatalf("table1 not registered")
+	}
+	r, err := want.Run(bgctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shim, err := RunExperiment("table1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shim != r.RenderText() {
+		t.Fatalf("shim output diverged from registry render")
+	}
+}
+
+func TestCampaignContextCancellation(t *testing.T) {
+	sys, err := Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := sys.NewCampaign(testInput(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := camp.RunPoint(cctx, 2, WithTrials(64), WithSeed(3))
+	if !p.Cancelled || p.Trials != 0 {
+		t.Fatalf("pre-cancelled point: %+v", p)
+	}
+	// Sweep under a cancelled context returns no points.
+	if pts := camp.Sweep(cctx, []int{1, 2}, WithTrials(8)); len(pts) != 0 {
+		t.Fatalf("cancelled sweep ran %d points", len(pts))
+	}
+	// The campaign is unharmed: a live-context run matches a fresh one.
+	a := camp.RunPoint(bgctx, 2, WithTrials(16), WithSeed(3))
+	b := camp.RunPoint(bgctx, 2, WithTrials(16), WithSeed(3))
+	if math.IsNaN(a.MeanValue) && math.IsNaN(b.MeanValue) {
+		a.MeanValue, b.MeanValue = 0, 0
+	}
+	if a.Cancelled || a != b {
+		t.Fatalf("post-cancel runs diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestWithProgressStreamsTrials(t *testing.T) {
+	sys, err := Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := sys.NewCampaign(testInput(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []ProgressEvent
+	p := camp.RunPoint(bgctx, 1, WithTrials(12), WithSeed(5), WithProgress(func(e ProgressEvent) {
+		events = append(events, e)
+	}))
+	if len(events) != p.Trials {
+		t.Fatalf("progress saw %d events for %d trials", len(events), p.Trials)
+	}
+	for i, e := range events {
+		if e.Trial != i {
+			t.Fatalf("event %d has trial index %d", i, e.Trial)
+		}
+		if e.Instructions == 0 {
+			t.Fatalf("event %d has no instruction count", i)
+		}
+		if e.Shard < 0 {
+			t.Fatalf("event %d has negative shard", i)
+		}
+	}
+}
+
+func TestDetectionLatencySurfaced(t *testing.T) {
+	sys, err := Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Harden(DefaultHardenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := h.NewDetectionCampaign(testInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := camp.RunPoint(bgctx, 1, WithTrials(64), WithSeed(7))
+	if pt.Detected == 0 {
+		t.Fatalf("no detections; latency untestable: %+v", pt)
+	}
+	if pt.DetectLatencyP50 == 0 || pt.DetectLatencyP95 < pt.DetectLatencyP50 {
+		t.Fatalf("implausible detection latency percentiles: %+v", pt)
+	}
+}
+
+// TestDynamicOverheadCached: repeated calls must not re-simulate — the
+// second call with the same input returns the identical cached ratio,
+// and concurrent callers race safely.
+func TestDynamicOverheadCached(t *testing.T) {
+	sys, err := Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Harden(DefaultHardenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInput()
+	first := h.DynamicOverhead(in)
+	if first <= 1 {
+		t.Fatalf("dynamic overhead %.2f", first)
+	}
+	var wg sync.WaitGroup
+	results := make([]float64, 8)
+	for i := range results {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = h.DynamicOverhead(in)
+		}()
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r != first {
+			t.Fatalf("call %d returned %.4f, first returned %.4f", i, r, first)
+		}
+	}
+}
+
+func TestLabCachesBuilds(t *testing.T) {
+	lab := NewLab()
+	s1, err := lab.Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := lab.Build(testSource, PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("same key built twice")
+	}
+	s3, err := lab.Build(testSource, PolicyControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Fatalf("different policy shared a cache entry")
+	}
+	if lab.Len() != 2 {
+		t.Fatalf("lab holds %d entries", lab.Len())
+	}
+
+	h1, err := lab.Harden(testSource, PolicyControlAddr, DefaultHardenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := lab.Harden(testSource, PolicyControlAddr, DefaultHardenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("same harden key built twice")
+	}
+
+	if _, err := lab.Build("int main() { return x; }", PolicyControl); err == nil {
+		t.Fatalf("bad program accepted")
+	}
+	// Errors are cached too: the same bad source fails again, cheaply.
+	if _, err := lab.Build("int main() { return x; }", PolicyControl); err == nil {
+		t.Fatalf("bad program accepted on second lookup")
+	}
+	if _, err := lab.BuildBenchmark("nosuch", PolicyControl); err == nil {
+		t.Fatalf("unknown benchmark accepted")
+	}
+	if _, err := lab.BuildBenchmark("adpcm", PolicyControlAddr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLabConcurrentSingleBuild: concurrent requests for one key must
+// produce one System, exercised under -race.
+func TestLabConcurrentSingleBuild(t *testing.T) {
+	lab := NewLab()
+	var wg sync.WaitGroup
+	systems := make([]*System, 8)
+	for i := range systems {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := lab.Build(testSource, PolicyControlAddr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			systems[i] = s
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < len(systems); i++ {
+		if systems[i] != systems[0] {
+			t.Fatalf("concurrent builds returned distinct systems")
+		}
 	}
 }

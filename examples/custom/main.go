@@ -2,10 +2,12 @@
 // API. The program is a small fixed-point FIR filter; the example shows
 // the paper-style annotated listing (which instructions the analysis
 // tagged, with the CVar sets of the worked example's bracket notation) and
-// then measures fidelity under injection.
+// then measures fidelity under injection with live per-trial progress
+// streamed through the v2 WithProgress option.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -51,6 +53,7 @@ int main() {
 `
 
 func main() {
+	ctx := context.Background()
 	sys, err := etap.Build(source, etap.PolicyControlAddr)
 	if err != nil {
 		log.Fatal(err)
@@ -85,31 +88,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	golden := camp.CleanOutput()
 	fmt.Printf("\nclean run: %d instructions, %.1f%% of the dynamic stream is low-reliability\n",
 		camp.CleanInstructions(), 100*camp.LowReliabilityFraction())
 
-	for _, errs := range []int{1, 5, 20} {
-		worst := 0
-		fails := 0
-		const trials = 10
-		for seed := int64(0); seed < trials; seed++ {
-			res := camp.Run(errs, seed)
-			if res.Outcome != etap.Completed {
-				fails++
-				continue
-			}
-			diff := 0
-			for i := range golden {
-				if i < len(res.Output) && res.Output[i] != golden[i] {
-					diff++
-				}
-			}
-			if diff > worst {
-				worst = diff
+	// Score by output bytes intact, and watch each trial stream by.
+	camp.SetScore(func(golden, corrupted []byte) (float64, bool) {
+		diff := 0
+		for i := range golden {
+			if i >= len(corrupted) || corrupted[i] != golden[i] {
+				diff++
 			}
 		}
-		fmt.Printf("%2d errors: %d/%d failed, worst case %d/%d output bytes corrupted\n",
-			errs, fails, trials, worst, len(golden))
+		v := 100 * float64(len(golden)-diff) / float64(len(golden))
+		return v, v >= 95
+	})
+	for _, errs := range []int{1, 5, 20} {
+		outcomes := map[etap.Outcome]int{}
+		p := camp.RunPoint(ctx, errs, etap.WithTrials(10), etap.WithSeed(1),
+			etap.WithProgress(func(e etap.ProgressEvent) {
+				outcomes[e.Outcome]++
+				fmt.Printf("\r%2d errors: trial %2d (%s, %d instructions, shard %d)   ",
+					errs, e.Trial+1, e.Outcome, e.Instructions, e.Shard)
+			}))
+		fmt.Printf("\r%2d errors: %d/%d failed, %.1f%% of output bytes intact on average (%d outcome kinds seen)\n",
+			errs, p.Crashes+p.Timeouts, p.Trials, p.MeanValue, len(outcomes))
 	}
 }

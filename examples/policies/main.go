@@ -5,9 +5,14 @@
 // literal control-only slice tags the most work but leaves address
 // computations exposed; protecting addresses removes most crashes; the
 // conservative policy protects stored values too and tags almost nothing.
+//
+// The example also shows the v2 session cache: all three builds go
+// through one etap.Lab, so re-running a policy (as a characterization
+// service would per request) costs a map lookup, not a recompile.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,17 +20,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	bench, ok := etap.BenchmarkByName("blowfish")
 	if !ok {
 		log.Fatal("blowfish benchmark not registered")
 	}
 	const errs = 20
 	const trials = 15
+	lab := etap.NewLab()
 
 	fmt.Printf("Blowfish, %d errors per run, %d trials per policy\n\n", errs, trials)
 	fmt.Printf("%-14s  %12s  %10s  %14s\n", "policy", "low-rel %", "failures", "avg bytes ok")
 	for _, pol := range []etap.Policy{etap.PolicyControl, etap.PolicyControlAddr, etap.PolicyConservative} {
-		sys, err := bench.Build(pol)
+		sys, err := lab.Build(bench.Source(), pol)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -33,24 +40,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		golden := camp.CleanOutput()
-		fails := 0
-		fidSum, fidN := 0.0, 0
-		for seed := int64(1); seed <= trials; seed++ {
-			res := camp.Run(errs, seed)
-			if res.Outcome != etap.Completed {
-				fails++
-				continue
-			}
-			v, _ := bench.Score(golden, res.Output)
-			fidSum += v
-			fidN++
-		}
-		avg := 0.0
-		if fidN > 0 {
-			avg = fidSum / float64(fidN)
-		}
+		camp.SetScore(bench.Score)
+		p := camp.RunPoint(ctx, errs, etap.WithTrials(trials), etap.WithSeed(1))
 		fmt.Printf("%-14s  %11.1f%%  %6d/%d  %13.1f%%\n",
-			pol, 100*camp.LowReliabilityFraction(), fails, trials, avg)
+			pol, 100*camp.LowReliabilityFraction(), p.Crashes+p.Timeouts, p.Trials, p.MeanValue)
 	}
+
+	// The Lab now holds one compiled system per policy; a second pass over
+	// the same keys rebuilds nothing.
+	for _, pol := range []etap.Policy{etap.PolicyControl, etap.PolicyControlAddr, etap.PolicyConservative} {
+		if _, err := lab.Build(bench.Source(), pol); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nlab cache: %d compiled systems after two passes over three policies\n", lab.Len())
 }

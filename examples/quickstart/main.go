@@ -1,10 +1,12 @@
 // Quickstart: compile a tiny error-tolerant program, inject bit errors
 // with and without control-data protection, and watch the paper's headline
 // effect — protected runs degrade gracefully while unprotected runs crash
-// or hang.
+// or hang. Measurement points run on the v2 API: context-aware Sweep
+// with functional options instead of hand-rolled seed loops.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,6 +40,7 @@ int main() {
 `
 
 func main() {
+	ctx := context.Background()
 	sys, err := etap.Build(source, etap.PolicyControlAddr)
 	if err != nil {
 		log.Fatal(err)
@@ -57,33 +60,25 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		golden := camp.CleanOutput()
+		// Score a surviving run by how many pixels came out right.
+		camp.SetScore(func(golden, corrupted []byte) (float64, bool) {
+			ok := 0
+			for i := range golden {
+				if i < len(corrupted) && corrupted[i] == golden[i] {
+					ok++
+				}
+			}
+			v := 100 * float64(ok) / float64(len(golden))
+			return v, v >= 99
+		})
 		label := "protection ON (errors hit only tagged instructions)"
 		if !protected {
 			label = "protection OFF (errors hit any arithmetic result)"
 		}
 		fmt.Println(label)
-		for _, errs := range []int{1, 4, 16} {
-			crashes, hangs, totalWrong := 0, 0, 0
-			const trials = 20
-			for seed := int64(0); seed < trials; seed++ {
-				res := camp.Run(errs, seed)
-				switch res.Outcome {
-				case etap.Crashed:
-					crashes++
-				case etap.TimedOut:
-					hangs++
-				default:
-					for i := range golden {
-						if i < len(res.Output) && res.Output[i] != golden[i] {
-							totalWrong++
-						}
-					}
-				}
-			}
-			fmt.Printf("  %2d errors: %2d/%d crashed, %2d/%d hung, avg %.1f corrupted pixels per surviving run\n",
-				errs, crashes, trials, hangs, trials,
-				float64(totalWrong)/float64(trials-crashes-hangs))
+		for _, p := range camp.Sweep(ctx, []int{1, 4, 16}, etap.WithTrials(20), etap.WithSeed(1)) {
+			fmt.Printf("  %2d errors: %2d/%d crashed, %2d/%d hung, %5.1f%% pixels correct in surviving runs\n",
+				p.Errors, p.Crashes, p.Trials, p.Timeouts, p.Trials, p.MeanValue)
 		}
 		fmt.Println()
 	}

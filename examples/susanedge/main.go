@@ -1,10 +1,13 @@
 // Susanedge: reproduce the Figure 1 experiment interactively — run the
 // Susan edge detector under increasing error counts and print the PSNR of
 // each corrupted edge map against the fault-free one, with the analysis on
-// and off.
+// and off. The sweep runs on the v2 API (context-aware Sweep with the
+// benchmark's own fidelity scorer), and the same data is available as a
+// structured report via the figure1 registry experiment.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	bench, ok := etap.BenchmarkByName("susan")
 	if !ok {
 		log.Fatal("susan benchmark not registered")
@@ -23,34 +27,23 @@ func main() {
 
 	fmt.Printf("%s — %s\nfidelity: %s (threshold 10 dB)\n\n", bench.Name(), bench.Title(), bench.FidelityName())
 
-	const trials = 8
-	fmt.Printf("%8s  %22s  %22s\n", "errors", "PSNR dB (analysis ON)", "PSNR dB (analysis OFF)")
-	for _, errs := range []int{50, 200, 800, 1600, 2400} {
-		var row [2]float64
-		var fails [2]int
-		for mode, protected := range map[int]bool{0: true, 1: false} {
-			camp, err := sys.NewCampaign(bench.Input(), protected)
-			if err != nil {
-				log.Fatal(err)
-			}
-			golden := camp.CleanOutput()
-			sum, n := 0.0, 0
-			for seed := int64(1); seed <= trials; seed++ {
-				res := camp.Run(errs, seed*31+int64(errs))
-				if res.Outcome != etap.Completed {
-					fails[mode]++
-					continue
-				}
-				v, _ := bench.Score(golden, res.Output)
-				sum += v
-				n++
-			}
-			if n > 0 {
-				row[mode] = sum / float64(n)
-			}
+	errorCounts := []int{50, 200, 800, 1600, 2400}
+	sweeps := map[bool][]etap.PointStats{}
+	for _, protected := range []bool{true, false} {
+		camp, err := sys.NewCampaign(bench.Input(), protected)
+		if err != nil {
+			log.Fatal(err)
 		}
+		camp.SetScore(bench.Score)
+		sweeps[protected] = camp.Sweep(ctx, errorCounts, etap.WithTrials(8), etap.WithSeed(31))
+	}
+
+	fmt.Printf("%8s  %22s  %22s\n", "errors", "PSNR dB (analysis ON)", "PSNR dB (analysis OFF)")
+	for i, errs := range errorCounts {
+		on, off := sweeps[true][i], sweeps[false][i]
 		fmt.Printf("%8d  %19.1f dB  %19.1f dB   (failed runs: on=%d off=%d of %d)\n",
-			errs, row[0], row[1], fails[0], fails[1], trials)
+			errs, on.MeanValue, off.MeanValue,
+			on.Crashes+on.Timeouts, off.Crashes+off.Timeouts, on.Trials)
 	}
 	fmt.Println("\nWith control data protected, fidelity degrades smoothly; without it,")
 	fmt.Println("the same error counts crash the run or wreck the output entirely.")

@@ -1,0 +1,95 @@
+package etap
+
+import (
+	"context"
+	"io"
+
+	"etap/internal/exp"
+)
+
+// Report is the structured result of one experiment: named, unit-tagged
+// columns, typed rows (with Wilson confidence bounds on rate cells),
+// figure series, and the options metadata to reproduce the run. Render
+// it with RenderText, or serialize batches with WriteReportsJSON /
+// WriteReportsCSV; the text rendering is byte-identical to the output of
+// the pre-Report RunExperiment for the paper's tables and figures.
+type Report = exp.Report
+
+// WriteReportsJSON renders reports as one indented JSON array.
+func WriteReportsJSON(w io.Writer, reports []*Report) error {
+	return exp.WriteJSON(w, reports)
+}
+
+// WriteReportsCSV renders reports as CSV blocks, one per report, with
+// confidence-bound companion columns where cells carry them.
+func WriteReportsCSV(w io.Writer, reports []*Report) error {
+	return exp.WriteCSV(w, reports)
+}
+
+// Experiment is one registered, runnable experiment from the paper's
+// evaluation (or a DESIGN.md extension).
+type Experiment struct {
+	// ID is the stable identifier ("table2", "figure1", ...).
+	ID string
+	// Title is a one-line description.
+	Title string
+
+	run func(context.Context, exp.Options) (*exp.Report, error)
+}
+
+// Run executes the experiment. It honours WithTrials, WithSeed,
+// WithWorkers, WithPolicy and WithProgress; cancelling ctx aborts the
+// run between campaign trials and returns ctx's error.
+func (e Experiment) Run(ctx context.Context, opts ...Option) (*Report, error) {
+	if e.run == nil {
+		return nil, exp.UnknownExperimentError(e.ID)
+	}
+	return e.run(ctx, applyOptions(opts).expOptions())
+}
+
+// Experiments lists every registered experiment in canonical order.
+func Experiments() []Experiment {
+	es := exp.Experiments()
+	out := make([]Experiment, len(es))
+	for i, e := range es {
+		out[i] = Experiment{ID: e.ID, Title: e.Title, run: e.Run}
+	}
+	return out
+}
+
+// ExperimentByID resolves one registered experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ExperimentIDs lists the registered experiment IDs in canonical order.
+func ExperimentIDs() []string { return exp.IDs() }
+
+// RunExperiment regenerates one experiment and returns its rendered
+// text. Trials ≤ 0 selects the default (40 per point).
+//
+// Deprecated: RunExperiment is a shim over the Experiments registry kept
+// for pre-v2 callers. Use ExperimentByID(id).Run(ctx, opts...) to get a
+// structured *Report with cancellation, progress and machine renderings.
+func RunExperiment(id string, trials int) (string, error) {
+	e, ok := ExperimentByID(id)
+	if !ok {
+		return "", unknownExperiment(id)
+	}
+	var opts []Option
+	if trials > 0 {
+		opts = append(opts, WithTrials(trials))
+	}
+	r, err := e.Run(context.Background(), opts...)
+	if err != nil {
+		return "", err
+	}
+	return r.RenderText(), nil
+}
+
+func unknownExperiment(id string) error { return exp.UnknownExperimentError(id) }

@@ -2,14 +2,17 @@ package campaign
 
 import (
 	"math"
+	"sort"
 
 	"etap/internal/sim"
 )
 
 // aggregate is the online accumulator the collector folds trials into:
-// outcome counters, fidelity sums and the Wilson interval inputs. It never
-// holds per-trial data, so points with millions of trials aggregate in
-// constant space.
+// outcome counters, fidelity sums and the Wilson interval inputs. The only
+// per-trial data it retains are the detection latencies of Detected trials
+// (needed for exact percentiles); everything else aggregates in constant
+// space, and unhardened campaigns never detect, so points with millions of
+// trials stay cheap.
 type aggregate struct {
 	trials    int
 	crashes   int
@@ -21,6 +24,7 @@ type aggregate struct {
 	valueN    int
 	valueSum  float64
 	valueSq   float64
+	latencies []uint64
 }
 
 func (a *aggregate) add(t Trial) {
@@ -43,6 +47,9 @@ func (a *aggregate) add(t Trial) {
 		a.crashes++
 	case sim.Detected:
 		a.detected++
+		if t.HasLatency {
+			a.latencies = append(a.latencies, t.DetectLatency)
+		}
 	default:
 		a.timeouts++
 	}
@@ -75,29 +82,40 @@ func (a *aggregate) ciWidth() float64 {
 // completions nor catastrophic failures, so FailPct and AcceptPct exclude
 // them by construction (both are fractions of all trials).
 type PointResult struct {
-	Errors       int     `json:"errors"`
-	LoBit        uint8   `json:"lo_bit"`
-	HiBit        uint8   `json:"hi_bit"`
-	Trials       int     `json:"trials"`
-	Crashes      int     `json:"crashes"`
-	Timeouts     int     `json:"timeouts"`
-	Detected     int     `json:"detected"`
-	Completed    int     `json:"completed"`
-	Masked       int     `json:"masked"`
-	Accepted     int     `json:"accepted"`
-	MeanValue    float64 `json:"mean_value"`
-	ValueStddev  float64 `json:"value_stddev"`
-	FailPct      float64 `json:"fail_pct"`
-	AcceptPct    float64 `json:"accept_pct"`
-	DetectPct    float64 `json:"detect_pct"`
-	FailLoPct    float64 `json:"fail_lo_pct"`
-	FailHiPct    float64 `json:"fail_hi_pct"`
-	DetectLoPct  float64 `json:"detect_lo_pct"`
-	DetectHiPct  float64 `json:"detect_hi_pct"`
-	EarlyStopped bool    `json:"early_stopped"`
+	Errors      int     `json:"errors"`
+	LoBit       uint8   `json:"lo_bit"`
+	HiBit       uint8   `json:"hi_bit"`
+	Trials      int     `json:"trials"`
+	Crashes     int     `json:"crashes"`
+	Timeouts    int     `json:"timeouts"`
+	Detected    int     `json:"detected"`
+	Completed   int     `json:"completed"`
+	Masked      int     `json:"masked"`
+	Accepted    int     `json:"accepted"`
+	MeanValue   float64 `json:"mean_value"`
+	ValueStddev float64 `json:"value_stddev"`
+	FailPct     float64 `json:"fail_pct"`
+	AcceptPct   float64 `json:"accept_pct"`
+	DetectPct   float64 `json:"detect_pct"`
+	FailLoPct   float64 `json:"fail_lo_pct"`
+	FailHiPct   float64 `json:"fail_hi_pct"`
+	DetectLoPct float64 `json:"detect_lo_pct"`
+	DetectHiPct float64 `json:"detect_hi_pct"`
+	// DetectLatencyP50/P95 are nearest-rank percentiles of the
+	// injection→trapdet distance (retired instructions) over Detected
+	// trials; 0 when no trial was detected. The latency window bounds how
+	// long a corrupted value was architecturally live before a redundancy
+	// check caught it — i.e. the recovery cost of checkpoint rollback.
+	DetectLatencyP50 uint64 `json:"detect_latency_p50"`
+	DetectLatencyP95 uint64 `json:"detect_latency_p95"`
+	EarlyStopped     bool   `json:"early_stopped"`
+	// Cancelled marks a partial aggregate: the point's context was
+	// cancelled before the trial budget (or early stop) was reached. A
+	// cancelled point's numbers are not reproducible.
+	Cancelled bool `json:"cancelled"`
 }
 
-func (a *aggregate) result(errors int, lo, hi uint8, stopped bool) PointResult {
+func (a *aggregate) result(errors int, lo, hi uint8, stopped, cancelled bool) PointResult {
 	r := PointResult{
 		Errors:       errors,
 		LoBit:        lo,
@@ -112,7 +130,10 @@ func (a *aggregate) result(errors int, lo, hi uint8, stopped bool) PointResult {
 		MeanValue:    math.NaN(),
 		ValueStddev:  math.NaN(),
 		EarlyStopped: stopped,
+		Cancelled:    cancelled,
 	}
+	r.DetectLatencyP50 = percentile(a.latencies, 50)
+	r.DetectLatencyP95 = percentile(a.latencies, 95)
 	if a.valueN > 0 {
 		mean := a.valueSum / float64(a.valueN)
 		r.MeanValue = mean
@@ -134,6 +155,22 @@ func (a *aggregate) result(errors int, lo, hi uint8, stopped bool) PointResult {
 	dlo, dhi := wilson(a.detected, a.trials, 1.96)
 	r.DetectLoPct, r.DetectHiPct = 100*dlo, 100*dhi
 	return r
+}
+
+// percentile is the nearest-rank p-th percentile of vs; it sorts a copy
+// and returns 0 for an empty slice.
+func percentile(vs []uint64, p int) uint64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := make([]uint64, len(vs))
+	copy(sorted, vs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // wilson returns the Wilson score interval for k successes in n trials at

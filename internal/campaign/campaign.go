@@ -25,6 +25,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -216,14 +217,37 @@ type Trial struct {
 	Masked   bool
 	Instret  uint64
 	Injected int
+	// Shard is the index of the shard that executed the trial. The
+	// trial→shard mapping depends only on the point, never on scheduling.
+	Shard int
+	// DetectLatency is the injection→trapdet distance in retired
+	// instructions; HasLatency reports whether the trial was Detected with
+	// a measurable window (see sim.Result.DetectLatency).
+	DetectLatency uint64
+	HasLatency    bool
 }
+
+// Observer receives every aggregated trial of a point in deterministic
+// order. It runs on the collector goroutine, so no locking is needed, but
+// a slow observer backpressures aggregation.
+type Observer func(trial int, tr Trial)
 
 // RunPoint executes up to pt.MaxTrials trials, aggregating online and
 // early-stopping once the failure-rate confidence interval is tight
 // enough. observe, when non-nil, receives every aggregated trial in
 // deterministic order (it runs on the collector goroutine; no locking
 // needed). Results are identical for any worker count.
-func (e *Engine) RunPoint(pt Point, observe func(trial int, tr Trial)) PointResult {
+//
+// Cancelling ctx stops the point between trials: in-flight trials finish
+// (a trial is at most one budgeted simulation), no new trials start, and
+// the partial aggregate comes back with Cancelled set. A cancelled
+// point's numbers depend on how far work had progressed and are NOT
+// reproducible; re-running the same point under a live context is
+// bit-identical to a never-cancelled run at every worker count.
+func (e *Engine) RunPoint(ctx context.Context, pt Point, observe Observer) PointResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// Clamp the lane the same way plan generation will, so reported
 	// lanes, shard seeds and the actual flips all agree.
 	lo, hi := pt.LoBit, pt.HiBit
@@ -260,7 +284,10 @@ func (e *Engine) RunPoint(pt Point, observe func(trial int, tr Trial)) PointResu
 		idx    int
 		trials []Trial
 	}
-	var stop atomic.Bool
+	// curtailed records whether cancellation actually cut work short (a
+	// shard skipped, truncated, or never fed). A cancel that lands after
+	// the full budget ran leaves the point complete and un-flagged.
+	var stop, curtailed atomic.Bool
 	shardCh := make(chan int)
 	outCh := make(chan shardOut, workers)
 
@@ -270,7 +297,12 @@ func (e *Engine) RunPoint(pt Point, observe func(trial int, tr Trial)) PointResu
 			if stop.Load() {
 				return
 			}
-			shardCh <- s
+			select {
+			case shardCh <- s:
+			case <-ctx.Done():
+				curtailed.Store(true)
+				return
+			}
 		}
 	}()
 	var wg sync.WaitGroup
@@ -283,11 +315,20 @@ func (e *Engine) RunPoint(pt Point, observe func(trial int, tr Trial)) PointResu
 					outCh <- shardOut{s, nil}
 					continue
 				}
+				if ctx.Err() != nil {
+					curtailed.Store(true)
+					outCh <- shardOut{s, nil}
+					continue
+				}
 				count := shardSize
 				if rem := pt.MaxTrials - s*shardSize; rem < count {
 					count = rem
 				}
-				outCh <- shardOut{s, e.runShard(seed, pt.Errors, lo, hi, s, count)}
+				trials := e.runShard(ctx, seed, pt.Errors, lo, hi, s, count)
+				if len(trials) < count {
+					curtailed.Store(true)
+				}
+				outCh <- shardOut{s, trials}
 			}
 		}()
 	}
@@ -330,21 +371,26 @@ func (e *Engine) RunPoint(pt Point, observe func(trial int, tr Trial)) PointResu
 			}
 		}
 	}
-	return a.result(pt.Errors, lo, hi, stopped)
+	return a.result(pt.Errors, lo, hi, stopped, curtailed.Load())
 }
 
 // runShard executes one shard's trials sequentially off the shard's own
-// RNG stream.
-func (e *Engine) runShard(seed int64, errors int, lo, hi uint8, shard, count int) []Trial {
+// RNG stream. A cancelled context stops the shard between trials and
+// returns the trials finished so far.
+func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi uint8, shard, count int) []Trial {
 	rng := rand.New(rand.NewSource(shardSeed(seed, errors, lo, hi, shard)))
-	trials := make([]Trial, count)
-	for i := range trials {
+	trials := make([]Trial, 0, count)
+	for i := 0; i < count; i++ {
+		if ctx.Err() != nil {
+			return trials
+		}
 		plan, err := fault.NewPlanBitsRand(rng, e.Eligible, e.Clean.EligibleExec, errors, lo, hi)
 		if err != nil {
 			panic(err) // unreachable: New rejects empty eligible streams
 		}
 		res := e.RunPlan(plan)
-		tr := Trial{Outcome: res.Outcome, Value: math.NaN(), Instret: res.Instret, Injected: res.Injected}
+		tr := Trial{Outcome: res.Outcome, Value: math.NaN(), Instret: res.Instret, Injected: res.Injected, Shard: shard}
+		tr.DetectLatency, tr.HasLatency = res.DetectLatency()
 		if res.Outcome == sim.OK {
 			tr.Masked = bytes.Equal(res.Output, e.Clean.Output)
 			if e.Score != nil {
@@ -353,7 +399,7 @@ func (e *Engine) runShard(seed int64, errors int, lo, hi uint8, shard, count int
 				tr.Acceptable = tr.Masked
 			}
 		}
-		trials[i] = tr
+		trials = append(trials, tr)
 	}
 	return trials
 }

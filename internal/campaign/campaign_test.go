@@ -2,18 +2,24 @@ package campaign_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"etap/internal/apps"
 	"etap/internal/apps/all"
 	"etap/internal/campaign"
 	"etap/internal/core"
+	"etap/internal/harden"
 	"etap/internal/minic"
 	"etap/internal/sim"
 )
+
+// ctx is the live context shared by tests that never cancel.
+var ctx = context.Background()
 
 // buildEngine compiles a benchmark and prepares a protected-mode engine.
 func buildEngine(t *testing.T, name string, cfg campaign.Config) (*campaign.Engine, apps.App, sim.Config) {
@@ -101,7 +107,7 @@ func TestRunPointReproducibleAcrossWorkers(t *testing.T) {
 	var results []campaign.PointResult
 	for _, workers := range []int{1, 3, 8} {
 		pt.Workers = workers
-		results = append(results, e.RunPoint(pt, nil))
+		results = append(results, e.RunPoint(ctx, pt, nil))
 	}
 	for i := 1; i < len(results); i++ {
 		if !pointsEqual(results[0], results[i]) {
@@ -135,7 +141,7 @@ func TestObserverSeesTrialsInOrder(t *testing.T) {
 	e, _, _ := buildEngine(t, "adpcm", campaign.Config{Seed: 5, ShardSize: 4, Workers: 4})
 	var indices []int
 	var trials []campaign.Trial
-	r := e.RunPoint(campaign.Point{Errors: 2, HiBit: 31, MaxTrials: 24}, func(i int, tr campaign.Trial) {
+	r := e.RunPoint(ctx, campaign.Point{Errors: 2, HiBit: 31, MaxTrials: 24}, func(i int, tr campaign.Trial) {
 		indices = append(indices, i)
 		trials = append(trials, tr)
 	})
@@ -149,7 +155,7 @@ func TestObserverSeesTrialsInOrder(t *testing.T) {
 	}
 	// Re-running must replay the identical trial stream.
 	var again []campaign.Trial
-	e.RunPoint(campaign.Point{Errors: 2, HiBit: 31, MaxTrials: 24}, func(i int, tr campaign.Trial) {
+	e.RunPoint(ctx, campaign.Point{Errors: 2, HiBit: 31, MaxTrials: 24}, func(i int, tr campaign.Trial) {
 		again = append(again, tr)
 	})
 	for i := range trials {
@@ -171,7 +177,7 @@ func TestEarlyStopConverges(t *testing.T) {
 	// Zero errors → zero failures; the Wilson upper bound shrinks like
 	// z²/n, so width < 0.05 needs ~75 trials out of the 2000 budget.
 	pt := campaign.Point{Errors: 0, HiBit: 31, MaxTrials: 2000, StopWidth: 0.05}
-	r1 := e.RunPoint(pt, nil)
+	r1 := e.RunPoint(ctx, pt, nil)
 	if !r1.EarlyStopped {
 		t.Fatalf("point did not stop early: %+v", r1)
 	}
@@ -182,7 +188,7 @@ func TestEarlyStopConverges(t *testing.T) {
 		t.Fatalf("stopped with wide interval [%.2f, %.2f]", r1.FailLoPct, r1.FailHiPct)
 	}
 	pt.Workers = 7
-	r2 := e.RunPoint(pt, nil)
+	r2 := e.RunPoint(ctx, pt, nil)
 	if !pointsEqual(r1, r2) {
 		t.Fatalf("early-stopped results differ across worker counts:\n%+v\n%+v", r1, r2)
 	}
@@ -192,7 +198,7 @@ func TestEarlyStopConverges(t *testing.T) {
 // from the last checkpoint and must reproduce the golden run.
 func TestZeroErrorTrialsMatchClean(t *testing.T) {
 	e, _, _ := buildEngine(t, "adpcm", campaign.Config{})
-	r := e.RunPoint(campaign.Point{Errors: 0, HiBit: 31, MaxTrials: 8}, func(i int, tr campaign.Trial) {
+	r := e.RunPoint(ctx, campaign.Point{Errors: 0, HiBit: 31, MaxTrials: 8}, func(i int, tr campaign.Trial) {
 		if tr.Outcome != sim.OK || !tr.Masked || tr.Instret != e.Clean.Instret {
 			t.Fatalf("zero-error trial %d diverged from clean run: %+v", i, tr)
 		}
@@ -205,8 +211,8 @@ func TestZeroErrorTrialsMatchClean(t *testing.T) {
 func TestExportJSONAndCSV(t *testing.T) {
 	e, _, _ := buildEngine(t, "adpcm", campaign.Config{Seed: 3, ShardSize: 8})
 	points := []campaign.PointResult{
-		e.RunPoint(campaign.Point{Errors: 0, HiBit: 31, MaxTrials: 8}, nil),
-		e.RunPoint(campaign.Point{Errors: 10, HiBit: 31, MaxTrials: 8}, nil),
+		e.RunPoint(ctx, campaign.Point{Errors: 0, HiBit: 31, MaxTrials: 8}, nil),
+		e.RunPoint(ctx, campaign.Point{Errors: 10, HiBit: 31, MaxTrials: 8}, nil),
 	}
 	rep := e.NewReport("adpcm", "protected", points)
 
@@ -250,5 +256,165 @@ func TestNewRejectsManagedConfig(t *testing.T) {
 	}
 	if _, err := campaign.New(prog, rep.Tagged[:1], sim.Config{Input: a.Input()}, campaign.Config{}); err == nil {
 		t.Fatal("short eligibility mask accepted")
+	}
+}
+
+// TestCancelledPointReturnsPartialFlagged is the cancellation contract:
+// cancelling mid-point stops the campaign promptly (no new trials start;
+// in-flight trials finish), and the partial aggregate comes back flagged
+// Cancelled with internally consistent accounting.
+func TestCancelledPointReturnsPartialFlagged(t *testing.T) {
+	e, _, _ := buildEngine(t, "adpcm", campaign.Config{Seed: 9, ShardSize: 4})
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Cancel from the observer after a handful of trials have aggregated,
+	// with a budget far beyond what could run in the test's lifetime.
+	const budget = 1 << 20
+	seen := 0
+	start := time.Now()
+	r := e.RunPoint(cctx, campaign.Point{Errors: 2, HiBit: 31, MaxTrials: budget, Workers: 4},
+		func(i int, tr campaign.Trial) {
+			seen++
+			if seen == 6 {
+				cancel()
+			}
+		})
+	elapsed := time.Since(start)
+
+	if !r.Cancelled {
+		t.Fatalf("cancelled point not flagged: %+v", r)
+	}
+	if r.Trials >= budget {
+		t.Fatalf("cancelled point ran the whole budget (%d trials)", r.Trials)
+	}
+	if r.Trials < 6 {
+		t.Fatalf("cancelled point lost aggregated trials: %d < 6", r.Trials)
+	}
+	if r.Completed+r.Crashes+r.Timeouts+r.Detected != r.Trials {
+		t.Fatalf("partial accounting inconsistent: %+v", r)
+	}
+	// "Promptly" here is generous (CI machines vary), but a full budget of
+	// ~1M adpcm trials would take hours, so any same-order-of-magnitude
+	// bound proves cancellation cut the point short.
+	if elapsed > 2*time.Minute {
+		t.Fatalf("cancelled point took %s to return", elapsed)
+	}
+}
+
+// TestCancelledBeforeStartRunsNothing: a context cancelled on entry yields
+// an empty, flagged aggregate.
+func TestCancelledBeforeStartRunsNothing(t *testing.T) {
+	e, _, _ := buildEngine(t, "adpcm", campaign.Config{})
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := e.RunPoint(cctx, campaign.Point{Errors: 1, HiBit: 31, MaxTrials: 64}, nil)
+	if !r.Cancelled {
+		t.Fatalf("pre-cancelled point not flagged: %+v", r)
+	}
+	if r.Trials != 0 {
+		t.Fatalf("pre-cancelled point ran %d trials", r.Trials)
+	}
+}
+
+// TestRerunAfterCancelBitIdentical: cancellation must leave no trace in
+// the engine. After a cancelled point, re-running the same point under a
+// live context is bit-identical to a never-cancelled run at every worker
+// count.
+func TestRerunAfterCancelBitIdentical(t *testing.T) {
+	pt := campaign.Point{Errors: 3, HiBit: 31, MaxTrials: 48}
+
+	// Reference: a fresh engine that never saw a cancellation.
+	ref, _, _ := buildEngine(t, "adpcm", campaign.Config{Seed: 13, ShardSize: 8})
+	want := ref.RunPoint(ctx, pt, nil)
+
+	e, _, _ := buildEngine(t, "adpcm", campaign.Config{Seed: 13, ShardSize: 8})
+	cctx, cancel := context.WithCancel(context.Background())
+	e.RunPoint(cctx, pt, func(i int, tr campaign.Trial) {
+		if i == 2 {
+			cancel()
+		}
+	})
+	for _, workers := range []int{1, 3, 8} {
+		p := pt
+		p.Workers = workers
+		got := e.RunPoint(ctx, p, nil)
+		if !pointsEqual(want, got) {
+			t.Fatalf("post-cancel re-run differs at %d workers:\n%+v\n%+v", workers, want, got)
+		}
+	}
+}
+
+// buildHardenedEngine compiles a benchmark, hardens it with both
+// transforms, and prepares a detection campaign against the protected
+// primaries.
+func buildHardenedEngine(t *testing.T, name string) *campaign.Engine {
+	t.Helper()
+	a, ok := all.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Analyze(prog, core.PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harden.Harden(rep, harden.Options{DupCompare: true, Signatures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := campaign.New(res.Prog, res.PrimaryProtected, sim.Config{Input: a.Input()}, campaign.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestDetectionLatencyPercentiles: a detection campaign on a hardened
+// program must report latency percentiles consistent with its per-trial
+// latencies, deterministically across worker counts.
+func TestDetectionLatencyPercentiles(t *testing.T) {
+	e := buildHardenedEngine(t, "adpcm")
+	pt := campaign.Point{Errors: 1, HiBit: 31, MaxTrials: 64}
+	var lats []uint64
+	r := e.RunPoint(ctx, pt, func(i int, tr campaign.Trial) {
+		if tr.Outcome == sim.Detected {
+			if !tr.HasLatency {
+				t.Fatalf("detected trial %d has no latency window", i)
+			}
+			lats = append(lats, tr.DetectLatency)
+		} else if tr.HasLatency {
+			t.Fatalf("non-detected trial %d claims a latency", i)
+		}
+	})
+	if r.Detected == 0 {
+		t.Fatalf("no detections over %d trials; latency untestable: %+v", r.Trials, r)
+	}
+	if len(lats) != r.Detected {
+		t.Fatalf("observer saw %d latencies for %d detections", len(lats), r.Detected)
+	}
+	if r.DetectLatencyP50 == 0 || r.DetectLatencyP95 < r.DetectLatencyP50 {
+		t.Fatalf("implausible latency percentiles: p50=%d p95=%d", r.DetectLatencyP50, r.DetectLatencyP95)
+	}
+	var lo, hi uint64 = lats[0], lats[0]
+	for _, l := range lats {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if r.DetectLatencyP50 < lo || r.DetectLatencyP95 > hi {
+		t.Fatalf("percentiles [%d, %d] outside observed range [%d, %d]",
+			r.DetectLatencyP50, r.DetectLatencyP95, lo, hi)
+	}
+	pt.Workers = 5
+	r2 := e.RunPoint(ctx, pt, nil)
+	if !pointsEqual(r, r2) {
+		t.Fatalf("latency percentiles differ across worker counts:\n%+v\n%+v", r, r2)
 	}
 }

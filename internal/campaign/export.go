@@ -75,7 +75,8 @@ var csvHeader = []string{
 	"benchmark", "mode", "seed", "errors", "lo_bit", "hi_bit",
 	"trials", "crashes", "timeouts", "detected", "completed", "masked", "accepted",
 	"mean_value", "value_stddev", "fail_pct", "accept_pct", "detect_pct",
-	"fail_lo_pct", "fail_hi_pct", "detect_lo_pct", "detect_hi_pct", "early_stopped",
+	"fail_lo_pct", "fail_hi_pct", "detect_lo_pct", "detect_hi_pct",
+	"detect_latency_p50", "detect_latency_p95", "early_stopped", "cancelled",
 }
 
 // WriteCSV renders reports as one flat CSV table, one row per point. NaN
@@ -101,7 +102,8 @@ func WriteCSV(w io.Writer, reports []*Report) error {
 				strconv.Itoa(p.Completed), strconv.Itoa(p.Masked), strconv.Itoa(p.Accepted),
 				f(p.MeanValue), f(p.ValueStddev), f(p.FailPct), f(p.AcceptPct), f(p.DetectPct),
 				f(p.FailLoPct), f(p.FailHiPct), f(p.DetectLoPct), f(p.DetectHiPct),
-				strconv.FormatBool(p.EarlyStopped),
+				strconv.FormatUint(p.DetectLatencyP50, 10), strconv.FormatUint(p.DetectLatencyP95, 10),
+				strconv.FormatBool(p.EarlyStopped), strconv.FormatBool(p.Cancelled),
 			}
 			if err := cw.Write(row); err != nil {
 				return err

@@ -1,10 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"etap/internal/campaign"
-	"etap/internal/textplot"
 )
 
 // BitSensitivity is a DESIGN.md extension experiment: how much does it
@@ -13,30 +13,27 @@ import (
 // numeric weight (larger fidelity dents), and for values that are secretly
 // addresses or loop-bound material the high lanes are catastrophic —
 // protected runs make the first effect visible in isolation, unprotected
-// runs show the second.
-
-// BitsRow is one (application, protection, lane) measurement.
-type BitsRow struct {
-	App       string
-	Protected bool
-	LoBit     uint8
-	HiBit     uint8
-	FailPct   float64
-	MeanValue float64
-}
-
-// BitsResult is the bit-lane sensitivity table.
-type BitsResult struct {
-	Rows   []BitsRow
-	Errors int
-	Trials int
-}
-
-// BitSensitivity measures blowfish and gsm across the four byte lanes.
-func BitSensitivity(opt Options) (*BitsResult, error) {
+// runs show the second. Blowfish and gsm are measured across the four
+// byte lanes.
+func BitSensitivity(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	const errs = 10
-	res := &BitsResult{Errors: errs, Trials: opt.Trials}
+	r := &Report{
+		ID:   "bits",
+		Kind: KindTable,
+		Title: fmt.Sprintf("Bit-lane sensitivity: %d errors restricted to one byte lane of the\nresult word (%d trials per point)",
+			errs, opt.Trials),
+		Columns: []Column{
+			{Name: "Algorithm"},
+			{Name: "Protection"},
+			{Name: "Flipped lane"},
+			{Name: "Fail %", Unit: "%"},
+			{Name: "Mean fidelity"},
+		},
+		Trials: opt.Trials,
+		Seed:   opt.Seed,
+		Policy: opt.Policy.String(),
+	}
 	lanes := [][2]uint8{{0, 7}, {8, 15}, {16, 23}, {24, 31}}
 	for _, name := range []string{"blowfish", "gsm"} {
 		a, err := appByNameOrErr(name)
@@ -49,48 +46,32 @@ func BitSensitivity(opt Options) (*BitsResult, error) {
 		}
 		for _, protected := range []bool{true, false} {
 			camp := b.On
+			mode := "on"
 			if !protected {
 				camp = b.Off
+				mode = "off"
 			}
 			for _, lane := range lanes {
-				p := camp.RunPoint(campaign.Point{
+				p := camp.RunPoint(ctx, campaign.Point{
 					Errors:    errs,
 					LoBit:     lane[0],
 					HiBit:     lane[1],
 					MaxTrials: opt.Trials,
 					Seed:      opt.Seed,
 					Workers:   opt.Workers,
-				}, nil)
-				res.Rows = append(res.Rows, BitsRow{
-					App:       name,
-					Protected: protected,
-					LoBit:     lane[0],
-					HiBit:     lane[1],
-					FailPct:   p.FailPct,
-					MeanValue: p.MeanValue,
+				}, opt.Observer)
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				r.Rows = append(r.Rows, []Cell{
+					cellStr(name),
+					cellStr(mode),
+					cellStr(fmt.Sprintf("bits %d-%d", lane[0], lane[1])),
+					cellCI(pct(p.FailPct), p.FailPct, p.FailLoPct, p.FailHiPct),
+					cellNum(num(p.MeanValue), p.MeanValue),
 				})
 			}
 		}
 	}
-	return res, nil
-}
-
-// Render formats the table.
-func (r *BitsResult) Render() string {
-	rows := make([][]string, len(r.Rows))
-	for i, row := range r.Rows {
-		mode := "off"
-		if row.Protected {
-			mode = "on"
-		}
-		rows[i] = []string{
-			row.App,
-			mode,
-			fmt.Sprintf("bits %d-%d", row.LoBit, row.HiBit),
-			pct(row.FailPct),
-			num(row.MeanValue),
-		}
-	}
-	return fmt.Sprintf("Bit-lane sensitivity: %d errors restricted to one byte lane of the\nresult word (%d trials per point)\n\n", r.Errors, r.Trials) +
-		textplot.Table([]string{"Algorithm", "Protection", "Flipped lane", "Fail %", "Mean fidelity"}, rows)
+	return r, nil
 }

@@ -8,6 +8,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -34,6 +35,10 @@ type Options struct {
 	Workers int
 	// Seed makes every injection schedule reproducible. Defaults to 1.
 	Seed int64
+	// Observer, when non-nil, receives every aggregated trial of every
+	// campaign point an experiment runs, in deterministic order. It is
+	// for progress display; it never changes results.
+	Observer campaign.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -101,10 +106,10 @@ func Build(app apps.App, pol core.Policy) (*Built, error) {
 
 // Point aggregates one (error count, protection mode) measurement.
 type Point struct {
-	Errors    int
-	Trials    int
-	Crashes   int
-	Timeouts  int
+	Errors   int
+	Trials   int
+	Crashes  int
+	Timeouts int
 	// Detected counts trials stopped by a hardened program's redundancy
 	// checks (always zero for the unhardened paper configurations).
 	Detected  int
@@ -116,20 +121,25 @@ type Point struct {
 	// acceptable fidelity.
 	AcceptPct float64
 	// FailPct is the percentage of catastrophic failures (crash or
-	// infinite run) over all trials.
-	FailPct float64
+	// infinite run) over all trials, bounded by the Wilson 95% interval
+	// [FailLoPct, FailHiPct].
+	FailPct   float64
+	FailLoPct float64
+	FailHiPct float64
 }
 
-// RunPoint executes trials with n errors on campaign engine c.
-func (b *Built) RunPoint(c *campaign.Engine, n int, opt Options) Point {
+// RunPoint executes trials with n errors on campaign engine c. A
+// cancelled context yields a partial point; callers that care check
+// ctx.Err afterwards.
+func (b *Built) RunPoint(ctx context.Context, c *campaign.Engine, n int, opt Options) Point {
 	opt = opt.withDefaults()
-	r := c.RunPoint(campaign.Point{
+	r := c.RunPoint(ctx, campaign.Point{
 		Errors:    n,
 		HiBit:     31,
 		MaxTrials: opt.Trials,
 		Seed:      opt.Seed,
 		Workers:   opt.Workers,
-	}, nil)
+	}, opt.Observer)
 	return Point{
 		Errors:    n,
 		Trials:    r.Trials,
@@ -140,14 +150,20 @@ func (b *Built) RunPoint(c *campaign.Engine, n int, opt Options) Point {
 		MeanValue: r.MeanValue,
 		AcceptPct: r.AcceptPct,
 		FailPct:   r.FailPct,
+		FailLoPct: r.FailLoPct,
+		FailHiPct: r.FailHiPct,
 	}
 }
 
-// Sweep runs RunPoint for each error count.
-func (b *Built) Sweep(c *campaign.Engine, errorCounts []int, opt Options) []Point {
+// Sweep runs RunPoint for each error count, stopping early when ctx is
+// cancelled.
+func (b *Built) Sweep(ctx context.Context, c *campaign.Engine, errorCounts []int, opt Options) []Point {
 	out := make([]Point, len(errorCounts))
 	for i, n := range errorCounts {
-		out[i] = b.RunPoint(c, n, opt)
+		if ctx.Err() != nil {
+			return out[:i]
+		}
+		out[i] = b.RunPoint(ctx, c, n, opt)
 	}
 	return out
 }

@@ -1,7 +1,12 @@
 package exp
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -11,6 +16,12 @@ import (
 
 // fastOpt keeps harness tests quick.
 var fastOpt = Options{Trials: 6, Policy: core.PolicyControlAddr, Seed: 3}
+
+// goldenOpt is the configuration internal/exp/testdata/*.golden were
+// generated with (against the pre-Report renderers).
+var goldenOpt = Options{Trials: 4, Policy: core.PolicyControlAddr, Seed: 3}
+
+var ctx = context.Background()
 
 func TestBuildCrossChecksReference(t *testing.T) {
 	a, _ := all.ByName("adpcm")
@@ -36,7 +47,7 @@ func TestRunPointAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := b.RunPoint(b.On, 3, fastOpt)
+	p := b.RunPoint(ctx, b.On, 3, fastOpt)
 	if p.Trials != fastOpt.Trials {
 		t.Fatalf("trials = %d", p.Trials)
 	}
@@ -45,6 +56,9 @@ func TestRunPointAggregates(t *testing.T) {
 	}
 	if p.FailPct < 0 || p.FailPct > 100 || p.AcceptPct < 0 || p.AcceptPct > 100 {
 		t.Fatalf("percentages out of range: %+v", p)
+	}
+	if p.FailLoPct > p.FailPct || p.FailPct > p.FailHiPct {
+		t.Fatalf("Wilson interval [%.2f, %.2f] does not bracket %.2f", p.FailLoPct, p.FailHiPct, p.FailPct)
 	}
 	if p.Completed > 0 && math.IsNaN(p.MeanValue) {
 		t.Fatalf("mean value NaN with completions")
@@ -57,7 +71,7 @@ func TestZeroErrorsIsPerfect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := b.RunPoint(b.On, 0, fastOpt)
+	p := b.RunPoint(ctx, b.On, 0, fastOpt)
 	if p.FailPct != 0 || p.AcceptPct != 100 {
 		t.Fatalf("zero-error point: %+v", p)
 	}
@@ -69,8 +83,8 @@ func TestRunPointDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p1 := b.RunPoint(b.On, 5, fastOpt)
-	p2 := b.RunPoint(b.On, 5, fastOpt)
+	p1 := b.RunPoint(ctx, b.On, 5, fastOpt)
+	p2 := b.RunPoint(ctx, b.On, 5, fastOpt)
 	if p1 != p2 {
 		t.Fatalf("points differ: %+v vs %+v", p1, p2)
 	}
@@ -89,8 +103,8 @@ func TestProtectionReducesFailures(t *testing.T) {
 			t.Fatal(err)
 		}
 		errs := 40
-		on := b.RunPoint(b.On, errs, fastOpt)
-		off := b.RunPoint(b.Off, errs, fastOpt)
+		on := b.RunPoint(ctx, b.On, errs, fastOpt)
+		off := b.RunPoint(ctx, b.Off, errs, fastOpt)
 		if on.FailPct > off.FailPct {
 			t.Errorf("%s: protected failures %.0f%% exceed unprotected %.0f%%", name, on.FailPct, off.FailPct)
 		}
@@ -105,7 +119,10 @@ func TestTable1Renders(t *testing.T) {
 	if len(r.Rows) != 7 {
 		t.Fatalf("table 1 has %d rows", len(r.Rows))
 	}
-	out := r.Render()
+	if r.Kind != KindTable || r.ID != "table1" {
+		t.Fatalf("report identity: %s/%s", r.ID, r.Kind)
+	}
+	out := r.RenderText()
 	for _, name := range all.Names() {
 		if !strings.Contains(out, name) {
 			t.Fatalf("table 1 missing %s", name)
@@ -117,7 +134,7 @@ func TestTable3Measures(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	r, err := Table3(fastOpt)
+	r, err := Table3(ctx, fastOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,14 +142,16 @@ func TestTable3Measures(t *testing.T) {
 		t.Fatalf("table 3 has %d rows", len(r.Rows))
 	}
 	for _, row := range r.Rows {
-		if row.Instret == 0 {
-			t.Errorf("%s: no instructions", row.App)
+		app := row[0].Text
+		if row[1].Num == nil || *row[1].Num == 0 {
+			t.Errorf("%s: no instructions", app)
 		}
-		if row.LowRelPct <= 0 || row.LowRelPct > row.ArithPct {
-			t.Errorf("%s: low-rel %.1f%% outside (0, arith %.1f%%]", row.App, row.LowRelPct, row.ArithPct)
+		lowRel, arith := row[2].Num, row[4].Num
+		if lowRel == nil || arith == nil || *lowRel <= 0 || *lowRel > *arith {
+			t.Errorf("%s: low-rel outside (0, arith]: %+v", app, row)
 		}
 	}
-	out := r.Render()
+	out := r.RenderText()
 	if !strings.Contains(out, "Table 3") {
 		t.Fatalf("render: %s", out)
 	}
@@ -144,21 +163,24 @@ func TestFigureRendering(t *testing.T) {
 	}
 	opt := fastOpt
 	opt.Trials = 3
-	f, err := Figure6(opt) // ART is the fastest sweep
+	f, err := Figure6(ctx, opt) // ART is the fastest sweep
 	if err != nil {
 		t.Fatal(err)
+	}
+	if f.Kind != KindFigure || f.App != "art" {
+		t.Fatalf("figure identity: %+v", f)
 	}
 	if len(f.Series) != 2 {
 		t.Fatalf("figure 6 has %d series", len(f.Series))
 	}
-	out := f.Render()
+	if len(f.Rows) != len(f.Series[0].X) || len(f.Columns) != 1+len(f.Series) {
+		t.Fatalf("figure table misaligned: %d rows, %d columns", len(f.Rows), len(f.Columns))
+	}
+	out := f.RenderText()
 	for _, want := range []string{"Figure 6", "errors inserted", "% images recognized", "errors"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
-	}
-	if len(f.Points["% images recognized"]) != len(f.Errors) {
-		t.Fatalf("points not recorded")
 	}
 }
 
@@ -198,7 +220,7 @@ func TestMaskingBins(t *testing.T) {
 	}
 	opt := fastOpt
 	opt.Trials = 10
-	r, err := Masking(opt)
+	r, err := Masking(ctx, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,13 +228,146 @@ func TestMaskingBins(t *testing.T) {
 		t.Fatalf("%d rows", len(r.Rows))
 	}
 	for _, row := range r.Rows {
-		total := row.MaskedPct + row.ToleratedPct + row.DegradedPct + row.CatastrophicPct
+		total := 0.0
+		for _, c := range row[1:] {
+			if c.Num == nil {
+				t.Fatalf("%s: non-numeric bin cell %+v", row[0].Text, c)
+			}
+			total += *c.Num
+		}
 		if total < 99.9 || total > 100.1 {
-			t.Errorf("%s: bins sum to %.1f%%", row.App, total)
+			t.Errorf("%s: bins sum to %.1f%%", row[0].Text, total)
 		}
 	}
-	out := r.Render()
+	out := r.RenderText()
 	if !strings.Contains(out, "Masked") || !strings.Contains(out, "Catastrophic") {
 		t.Fatalf("render missing headers")
+	}
+}
+
+// TestRegistryComplete pins the canonical experiment set and its order.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "figure1", "figure2", "figure3",
+		"figure4", "figure5", "figure6", "ablation", "potential", "bits", "masking"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v", got)
+		}
+	}
+	for _, id := range want {
+		e, ok := ByID(id)
+		if !ok || e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %s incompletely registered", id)
+		}
+	}
+	if _, ok := ByID("nosuch"); ok {
+		t.Fatalf("unknown experiment resolved")
+	}
+}
+
+func golden(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRenderTextMatchesGolden is the redesign's compatibility contract:
+// the structured reports must render, as text, byte-identically to the
+// output of the pre-Report harness (captured in testdata at goldenOpt).
+func TestRenderTextMatchesGolden(t *testing.T) {
+	if got, want := Table1().RenderText(), golden(t, "table1.golden"); got != want {
+		t.Errorf("table1 render diverged from pre-redesign output:\n got: %q\nwant: %q", got, want)
+	}
+	if testing.Short() {
+		t.Skip("short mode: skipping campaign-backed goldens")
+	}
+	t3, err := Table3(ctx, goldenOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := t3.RenderText(), golden(t, "table3.golden"); got != want {
+		t.Errorf("table3 render diverged from pre-redesign output:\n got: %q\nwant: %q", got, want)
+	}
+	f6, err := Figure6(ctx, goldenOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f6.RenderText(), golden(t, "figure6.golden"); got != want {
+		t.Errorf("figure6 render diverged from pre-redesign output:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestTable2RenderMatchesGolden runs the full Table 2 campaign at the
+// golden options; it is the slowest golden and gets its own test so -run
+// can select it.
+func TestTable2RenderMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t2, err := Table2(ctx, goldenOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := t2.RenderText(), golden(t, "table2.golden"); got != want {
+		t.Errorf("table2 render diverged from pre-redesign output:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestReportJSONAndCSV checks the machine renderings: valid JSON with
+// typed cells, and CSV blocks with CI companion columns.
+func TestReportJSONAndCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := fastOpt
+	opt.Trials = 3
+	f, err := Figure6(ctx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := []*Report{Table1(), f}
+
+	var jb bytes.Buffer
+	if err := WriteJSON(&jb, reports); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(jb.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON artifact: %v\n%s", err, jb.String())
+	}
+	if len(decoded) != 2 || decoded[0]["id"] != "table1" || decoded[1]["id"] != "figure6" {
+		t.Fatalf("unexpected JSON shape: %s", jb.String())
+	}
+	if decoded[1]["series"] == nil {
+		t.Fatalf("figure JSON missing series: %s", jb.String())
+	}
+
+	var cb bytes.Buffer
+	if err := WriteCSV(&cb, reports); err != nil {
+		t.Fatal(err)
+	}
+	out := cb.String()
+	if !strings.Contains(out, "report,Application") || !strings.Contains(out, "table1,susan") {
+		t.Fatalf("unexpected CSV: %s", out)
+	}
+}
+
+// TestCancelledExperimentPropagates: a cancelled context aborts a
+// campaign-backed experiment with the context's error.
+func TestCancelledExperimentPropagates(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Table3(cctx, fastOpt); err == nil {
+		t.Fatalf("cancelled table3 returned no error")
+	}
+	if _, err := BitSensitivity(cctx, fastOpt); err == nil {
+		t.Fatalf("cancelled bits returned no error")
 	}
 }

@@ -1,78 +1,59 @@
 package exp
 
 import (
-	"fmt"
-
-	"etap/internal/textplot"
+	"context"
 )
 
-// Figure is one reproduced figure: fidelity (and failure) series over an
-// error-count sweep.
-type Figure struct {
-	ID     string
-	Title  string
-	App    string
-	YLabel string
-	// Errors is the x axis.
-	Errors []int
-	// Series are named y-value vectors aligned with Errors.
-	Series []textplot.Series
-	// Points preserves the raw measurements per series name.
-	Points map[string][]Point
-	// Threshold, when non-nil, draws the paper's fidelity threshold.
-	Threshold *float64
+// figure accumulates one figure report: an error-count sweep with named
+// series, rendered as a chart plus the numeric table behind it.
+type figure struct {
+	rep    *Report
+	errors []int
 }
 
-func (f *Figure) xs() []float64 {
-	xs := make([]float64, len(f.Errors))
-	for i, e := range f.Errors {
+func newFigure(id, title, app, ylabel string, errors []int, opt Options) *figure {
+	return &figure{
+		rep: &Report{
+			ID:      id,
+			Kind:    KindFigure,
+			Title:   title,
+			App:     app,
+			XLabel:  "errors inserted",
+			YLabel:  ylabel,
+			Columns: []Column{{Name: "errors", Unit: "count"}},
+			Trials:  opt.Trials,
+			Seed:    opt.Seed,
+			Policy:  opt.Policy.String(),
+		},
+		errors: errors,
+	}
+}
+
+func (f *figure) xs() []float64 {
+	xs := make([]float64, len(f.errors))
+	for i, e := range f.errors {
 		xs[i] = float64(e)
 	}
 	return xs
 }
 
-func (f *Figure) addSeries(name string, ys []float64, pts []Point) {
-	f.Series = append(f.Series, textplot.Series{Name: name, X: f.xs(), Y: ys})
-	if pts != nil {
-		if f.Points == nil {
-			f.Points = map[string][]Point{}
-		}
-		f.Points[name] = pts
-	}
+func (f *figure) addSeries(name string, ys []float64) {
+	f.rep.Series = append(f.rep.Series, Series{Name: name, X: f.xs(), Y: ys})
+	f.rep.Columns = append(f.rep.Columns, Column{Name: name, Unit: f.rep.YLabel})
 }
 
-// Render draws the chart plus the numeric table behind it.
-func (f *Figure) Render() string {
-	series := f.Series
-	if f.Threshold != nil {
-		series = append(series, textplot.Series{
-			Name: fmt.Sprintf("fidelity threshold (%.0f)", *f.Threshold),
-			X:    f.xs(),
-			Y:    repeat(*f.Threshold, len(f.Errors)),
-		})
-	}
-	out := textplot.Chart(fmt.Sprintf("%s: %s", f.ID, f.Title), "errors inserted", f.YLabel, 56, 14, series)
-	headers := []string{"errors"}
-	for _, s := range f.Series {
-		headers = append(headers, s.Name)
-	}
-	rows := make([][]string, len(f.Errors))
-	for i := range f.Errors {
-		row := []string{fmt.Sprintf("%d", f.Errors[i])}
-		for _, s := range f.Series {
-			row = append(row, num(s.Y[i]))
+// report fills the numeric table from the accumulated series and returns
+// the finished Report.
+func (f *figure) report() *Report {
+	f.rep.Rows = make([][]Cell, len(f.errors))
+	for i, e := range f.errors {
+		row := []Cell{cellInt(e)}
+		for _, s := range f.rep.Series {
+			row = append(row, cellNum(num(s.Y[i]), s.Y[i]))
 		}
-		rows[i] = row
+		f.rep.Rows[i] = row
 	}
-	return out + "\n" + textplot.Table(headers, rows)
-}
-
-func repeat(v float64, n int) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = v
-	}
-	return out
+	return f.rep
 }
 
 func values(pts []Point, f func(Point) float64) []float64 {
@@ -104,125 +85,127 @@ func buildFor(name string, opt Options) (*Built, error) {
 
 // Figure1 — Susan: PSNR of the edge map versus errors inserted, with the
 // static analysis on and off, against the 10 dB threshold.
-func Figure1(opt Options) (*Figure, error) {
+func Figure1(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	b, err := buildFor("susan", opt)
 	if err != nil {
 		return nil, err
 	}
-	f := &Figure{
-		ID: "Figure 1", Title: "Susan results", App: "susan",
-		YLabel: "PSNR of pictures with error (dB)",
-		Errors: []int{100, 500, 920, 1100, 1550, 2300},
-	}
+	f := newFigure("figure1", "Figure 1: Susan results", "susan",
+		"PSNR of pictures with error (dB)", []int{100, 500, 920, 1100, 1550, 2300}, opt)
 	thr := 10.0
-	f.Threshold = &thr
-	on := b.Sweep(b.On, f.Errors, opt)
-	off := b.Sweep(b.Off, f.Errors, opt)
-	f.addSeries("static analysis ON", meanValues(on), on)
-	f.addSeries("static analysis OFF", meanValues(off), off)
-	return f, nil
+	f.rep.Threshold = &thr
+	on := b.Sweep(ctx, b.On, f.errors, opt)
+	off := b.Sweep(ctx, b.Off, f.errors, opt)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f.addSeries("static analysis ON", meanValues(on))
+	f.addSeries("static analysis OFF", meanValues(off))
+	return f.report(), nil
 }
 
 // Figure2 — MPEG: percentage of bad frames and failed executions versus
 // errors, protection on.
-func Figure2(opt Options) (*Figure, error) {
+func Figure2(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	b, err := buildFor("mpeg", opt)
 	if err != nil {
 		return nil, err
 	}
-	f := &Figure{
-		ID: "Figure 2", Title: "MPEG results", App: "mpeg",
-		YLabel: "% of bad frames / % failed",
-		Errors: []int{10, 50, 100, 150, 300, 500},
-	}
+	f := newFigure("figure2", "Figure 2: MPEG results", "mpeg",
+		"% of bad frames / % failed", []int{10, 50, 100, 150, 300, 500}, opt)
 	thr := 10.0
-	f.Threshold = &thr
-	on := b.Sweep(b.On, f.Errors, opt)
-	f.addSeries("% bad frames (analysis ON)", meanValues(on), on)
-	f.addSeries("% failed executions", failValues(on), nil)
-	return f, nil
+	f.rep.Threshold = &thr
+	on := b.Sweep(ctx, b.On, f.errors, opt)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f.addSeries("% bad frames (analysis ON)", meanValues(on))
+	f.addSeries("% failed executions", failValues(on))
+	return f.report(), nil
 }
 
 // Figure3 — MCF: percentage of optimal schedules found and failed runs.
-func Figure3(opt Options) (*Figure, error) {
+func Figure3(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	b, err := buildFor("mcf", opt)
 	if err != nil {
 		return nil, err
 	}
-	f := &Figure{
-		ID: "Figure 3", Title: "MCF results", App: "mcf",
-		YLabel: "% optimal schedules / % failed",
-		Errors: []int{1, 20, 50, 100, 150, 200, 250, 300},
+	f := newFigure("figure3", "Figure 3: MCF results", "mcf",
+		"% optimal schedules / % failed", []int{1, 20, 50, 100, 150, 200, 250, 300}, opt)
+	on := b.Sweep(ctx, b.On, f.errors, opt)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	on := b.Sweep(b.On, f.Errors, opt)
-	f.addSeries("% optimal schedules found", acceptValues(on), on)
-	f.addSeries("% failed executions", failValues(on), nil)
-	return f, nil
+	f.addSeries("% optimal schedules found", acceptValues(on))
+	f.addSeries("% failed executions", failValues(on))
+	return f.report(), nil
 }
 
 // Figure4 — Blowfish: percentage of bytes correct and failed executions.
-func Figure4(opt Options) (*Figure, error) {
+func Figure4(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	b, err := buildFor("blowfish", opt)
 	if err != nil {
 		return nil, err
 	}
-	f := &Figure{
-		ID: "Figure 4", Title: "Blowfish results", App: "blowfish",
-		YLabel: "% bytes correct / % failed",
-		Errors: []int{5, 10, 15, 20, 25, 30, 35, 40},
+	f := newFigure("figure4", "Figure 4: Blowfish results", "blowfish",
+		"% bytes correct / % failed", []int{5, 10, 15, 20, 25, 30, 35, 40}, opt)
+	on := b.Sweep(ctx, b.On, f.errors, opt)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	on := b.Sweep(b.On, f.Errors, opt)
-	f.addSeries("% bytes correct (fidelity)", meanValues(on), on)
-	f.addSeries("% failed executions", failValues(on), nil)
-	return f, nil
+	f.addSeries("% bytes correct (fidelity)", meanValues(on))
+	f.addSeries("% failed executions", failValues(on))
+	return f.report(), nil
 }
 
 // Figure5 — GSM: SNR relative to the fault-free decode and failures.
-func Figure5(opt Options) (*Figure, error) {
+func Figure5(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	b, err := buildFor("gsm", opt)
 	if err != nil {
 		return nil, err
 	}
-	f := &Figure{
-		ID: "Figure 5", Title: "GSM results", App: "gsm",
-		YLabel: "% SNR from optimal / % failed",
-		Errors: []int{5, 10, 15, 20, 25, 30, 35, 40},
+	f := newFigure("figure5", "Figure 5: GSM results", "gsm",
+		"% SNR from optimal / % failed", []int{5, 10, 15, 20, 25, 30, 35, 40}, opt)
+	on := b.Sweep(ctx, b.On, f.errors, opt)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	on := b.Sweep(b.On, f.Errors, opt)
-	f.addSeries("% SNR from optimal (fidelity)", meanValues(on), on)
-	f.addSeries("% failed executions", failValues(on), nil)
-	return f, nil
+	f.addSeries("% SNR from optimal (fidelity)", meanValues(on))
+	f.addSeries("% failed executions", failValues(on))
+	return f.report(), nil
 }
 
 // Figure6 — ART: percentage of images recognized and failures.
-func Figure6(opt Options) (*Figure, error) {
+func Figure6(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	b, err := buildFor("art", opt)
 	if err != nil {
 		return nil, err
 	}
-	f := &Figure{
-		ID: "Figure 6", Title: "ART results", App: "art",
-		YLabel: "% images recognized / % failed",
-		Errors: []int{1, 2, 3, 4},
+	f := newFigure("figure6", "Figure 6: ART results", "art",
+		"% images recognized / % failed", []int{1, 2, 3, 4}, opt)
+	on := b.Sweep(ctx, b.On, f.errors, opt)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	on := b.Sweep(b.On, f.Errors, opt)
-	f.addSeries("% images recognized", acceptValues(on), on)
-	f.addSeries("% failed executions", failValues(on), nil)
-	return f, nil
+	f.addSeries("% images recognized", acceptValues(on))
+	f.addSeries("% failed executions", failValues(on))
+	return f.report(), nil
 }
 
 // Figures runs all six figures.
-func Figures(opt Options) ([]*Figure, error) {
-	builders := []func(Options) (*Figure, error){Figure1, Figure2, Figure3, Figure4, Figure5, Figure6}
-	out := make([]*Figure, 0, len(builders))
+func Figures(ctx context.Context, opt Options) ([]*Report, error) {
+	builders := []func(context.Context, Options) (*Report, error){
+		Figure1, Figure2, Figure3, Figure4, Figure5, Figure6,
+	}
+	out := make([]*Report, 0, len(builders))
 	for _, fn := range builders {
-		f, err := fn(opt)
+		f, err := fn(ctx, opt)
 		if err != nil {
 			return nil, err
 		}

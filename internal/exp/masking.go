@@ -1,11 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"etap/internal/apps/all"
 	"etap/internal/campaign"
-	"etap/internal/textplot"
 )
 
 // Masking measures the paper's framing premise: the introduction positions
@@ -21,26 +21,24 @@ import (
 //	              as failures that users never notice);
 //	degraded    — output below the fidelity threshold;
 //	catastrophic — crash or infinite run.
-
-// MaskingRow is one application's single-error outcome distribution.
-type MaskingRow struct {
-	App             string
-	MaskedPct       float64
-	ToleratedPct    float64
-	DegradedPct     float64
-	CatastrophicPct float64
-}
-
-// MaskingResult is the single-error outcome table.
-type MaskingResult struct {
-	Rows   []MaskingRow
-	Trials int
-}
-
-// Masking runs the single-error characterization for every benchmark.
-func Masking(opt Options) (*MaskingResult, error) {
+func Masking(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	res := &MaskingResult{Trials: opt.Trials}
+	r := &Report{
+		ID:   "masking",
+		Kind: KindTable,
+		Title: fmt.Sprintf("Single-error outcome distribution under protection (%d trials):\nmasked = output identical (the AVF bin); tolerated = differs but passes\nthe fidelity threshold (the paper's added tolerance); degraded = below\nthreshold; catastrophic = crash/hang",
+			opt.Trials),
+		Columns: []Column{
+			{Name: "Algorithm"},
+			{Name: "Masked", Unit: "%"},
+			{Name: "Tolerated", Unit: "%"},
+			{Name: "Degraded", Unit: "%"},
+			{Name: "Catastrophic", Unit: "%"},
+		},
+		Trials: opt.Trials,
+		Seed:   opt.Seed,
+		Policy: opt.Policy.String(),
+	}
 	for _, a := range all.Apps() {
 		b, err := Build(a, opt.Policy)
 		if err != nil {
@@ -49,37 +47,26 @@ func Masking(opt Options) (*MaskingResult, error) {
 		// The engine's point aggregation already separates the four bins:
 		// masked (bit-identical output), accepted ⊇ masked (passes the
 		// threshold) and catastrophic (crash/hang).
-		p := b.On.RunPoint(campaign.Point{
+		p := b.On.RunPoint(ctx, campaign.Point{
 			Errors:    1,
 			HiBit:     31,
 			MaxTrials: opt.Trials,
 			Seed:      opt.Seed,
 			Workers:   opt.Workers,
-		}, nil)
+		}, opt.Observer)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pcts := func(n int) float64 { return 100 * float64(n) / float64(p.Trials) }
-		res.Rows = append(res.Rows, MaskingRow{
-			App:             a.Name(),
-			MaskedPct:       pcts(p.Masked),
-			ToleratedPct:    pcts(p.Accepted - p.Masked),
-			DegradedPct:     pcts(p.Completed - p.Accepted),
-			CatastrophicPct: pcts(p.Crashes + p.Timeouts),
+		masked, tolerated := pcts(p.Masked), pcts(p.Accepted-p.Masked)
+		degraded, catastrophic := pcts(p.Completed-p.Accepted), pcts(p.Crashes+p.Timeouts)
+		r.Rows = append(r.Rows, []Cell{
+			cellStr(a.Name()),
+			cellNum(pct(masked), masked),
+			cellNum(pct(tolerated), tolerated),
+			cellNum(pct(degraded), degraded),
+			cellNum(pct(catastrophic), catastrophic),
 		})
 	}
-	return res, nil
-}
-
-// Render formats the table.
-func (r *MaskingResult) Render() string {
-	rows := make([][]string, len(r.Rows))
-	for i, row := range r.Rows {
-		rows[i] = []string{
-			row.App,
-			pct(row.MaskedPct),
-			pct(row.ToleratedPct),
-			pct(row.DegradedPct),
-			pct(row.CatastrophicPct),
-		}
-	}
-	return fmt.Sprintf("Single-error outcome distribution under protection (%d trials):\nmasked = output identical (the AVF bin); tolerated = differs but passes\nthe fidelity threshold (the paper's added tolerance); degraded = below\nthreshold; catastrophic = crash/hang\n\n", r.Trials) +
-		textplot.Table([]string{"Algorithm", "Masked", "Tolerated", "Degraded", "Catastrophic"}, rows)
+	return r, nil
 }

@@ -1,50 +1,43 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"etap/internal/apps/all"
 	"etap/internal/core"
-	"etap/internal/textplot"
 )
 
-// Section 5.3 of the paper ("Future Potential") argues that error
-// tolerance should buy cheaper or faster reliability: protect the control
-// instructions with a known redundancy scheme and run the low-reliability
-// instructions on unprotected hardware. Potential quantifies that: if a
-// protected instruction costs r times an unprotected one (r = 2 for dual
-// redundant execution with retry, r = 3 for TMR), the speedup of
+// Potential reproduces Section 5.3 of the paper ("Future Potential"): if
+// a protected instruction costs r times an unprotected one (r = 2 for
+// dual redundant execution with retry, r = 3 for TMR), the speedup of
 // selective protection over protecting everything is
 //
 //	speedup(r) = (N·r) / (N_protected·r + N_tagged·1)
 //
 // where the counts are dynamic. The same figure reads as an
-// energy-saving ratio under an energy-proportional cost model.
-
-// PotentialRow is one application's selective-protection payoff under one
-// policy.
-type PotentialRow struct {
-	App       string
-	Policy    core.Policy
-	LowRelPct float64
-	// SpeedupDMR/SpeedupTMR are the selective-protection speedups for
-	// redundancy factors 2 and 3.
-	SpeedupDMR float64
-	SpeedupTMR float64
-}
-
-// PotentialResult reproduces the §5.3 analysis over every benchmark, under
-// both the paper's control-only slice and the address-protecting policy.
-type PotentialResult struct {
-	Rows []PotentialRow
-}
-
-// Potential computes the selective-protection payoff per application.
-func Potential(opt Options) (*PotentialResult, error) {
+// energy-saving ratio under an energy-proportional cost model. The
+// analysis runs over every benchmark, under both the paper's control-only
+// slice and the address-protecting policy.
+func Potential(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	res := &PotentialResult{}
+	r := &Report{
+		ID:    "potential",
+		Kind:  KindTable,
+		Title: "Future potential (paper §5.3): speedup of protecting only control data\nover protecting everything, for dual-redundant (2x) and TMR (3x) hardware",
+		Columns: []Column{
+			{Name: "Algorithm"},
+			{Name: "Policy"},
+			{Name: "% low-rel (dynamic)", Unit: "%"},
+			{Name: "Speedup (DMR)", Unit: "x"},
+			{Name: "Speedup (TMR)", Unit: "x"},
+		},
+	}
 	for _, a := range all.Apps() {
 		for _, pol := range []core.Policy{core.PolicyControl, core.PolicyControlAddr} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			b, err := Build(a, pol)
 			if err != nil {
 				return nil, err
@@ -53,30 +46,14 @@ func Potential(opt Options) (*PotentialResult, error) {
 			speedup := func(r float64) float64 {
 				return r / ((1-frac)*r + frac)
 			}
-			res.Rows = append(res.Rows, PotentialRow{
-				App:        a.Name(),
-				Policy:     pol,
-				LowRelPct:  100 * frac,
-				SpeedupDMR: speedup(2),
-				SpeedupTMR: speedup(3),
+			r.Rows = append(r.Rows, []Cell{
+				cellStr(a.Name()),
+				cellStr(pol.String()),
+				cellNum(pct(100*frac), 100*frac),
+				cellNum(fmt.Sprintf("%.2fx", speedup(2)), speedup(2)),
+				cellNum(fmt.Sprintf("%.2fx", speedup(3)), speedup(3)),
 			})
 		}
 	}
-	return res, nil
-}
-
-// Render formats the table.
-func (r *PotentialResult) Render() string {
-	rows := make([][]string, len(r.Rows))
-	for i, row := range r.Rows {
-		rows[i] = []string{
-			row.App,
-			row.Policy.String(),
-			pct(row.LowRelPct),
-			fmt.Sprintf("%.2fx", row.SpeedupDMR),
-			fmt.Sprintf("%.2fx", row.SpeedupTMR),
-		}
-	}
-	return "Future potential (paper §5.3): speedup of protecting only control data\nover protecting everything, for dual-redundant (2x) and TMR (3x) hardware\n\n" +
-		textplot.Table([]string{"Algorithm", "Policy", "% low-rel (dynamic)", "Speedup (DMR)", "Speedup (TMR)"}, rows)
+	return r, nil
 }

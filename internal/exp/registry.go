@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// Experiment is one runnable, registered experiment: a stable ID, a
+// human title, and a Run function producing a structured Report.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ctx context.Context, opt Options) (*Report, error)
+}
+
+// Experiments lists every registered experiment in canonical order
+// (tables, figures, then the DESIGN.md extensions).
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Applications and fidelity measures",
+			Run: func(ctx context.Context, opt Options) (*Report, error) { return Table1(), nil }},
+		{ID: "table2", Title: "Catastrophic failures with and without protecting control data", Run: Table2},
+		{ID: "table3", Title: "Dynamic low-reliability instruction fractions", Run: Table3},
+		{ID: "figure1", Title: "Susan: edge-map PSNR versus errors inserted", Run: Figure1},
+		{ID: "figure2", Title: "MPEG: bad frames and failures versus errors", Run: Figure2},
+		{ID: "figure3", Title: "MCF: optimal schedules and failures versus errors", Run: Figure3},
+		{ID: "figure4", Title: "Blowfish: bytes correct and failures versus errors", Run: Figure4},
+		{ID: "figure5", Title: "GSM: SNR and failures versus errors", Run: Figure5},
+		{ID: "figure6", Title: "ART: images recognized and failures versus errors", Run: Figure6},
+		{ID: "ablation", Title: "Coverage/failure trade-off of the analysis policies", Run: PolicyAblation},
+		{ID: "potential", Title: "Selective-protection speedup (paper §5.3)", Run: Potential},
+		{ID: "bits", Title: "Bit-lane sensitivity of injected upsets", Run: BitSensitivity},
+		{ID: "masking", Title: "Single-error outcome distribution (AVF and beyond)", Run: Masking},
+	}
+}
+
+// ByID resolves one registered experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists the registered experiment IDs in canonical order.
+func IDs() []string {
+	es := Experiments()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// UnknownExperimentError names an ID ByID cannot resolve, listing the
+// valid ones.
+func UnknownExperimentError(id string) error {
+	return fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+}

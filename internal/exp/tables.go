@@ -1,37 +1,32 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"etap/internal/apps"
 	"etap/internal/apps/all"
 	"etap/internal/core"
-	"etap/internal/textplot"
 )
 
-// Table1Result reproduces Table 1: applications and fidelity measures.
-type Table1Result struct {
-	Rows [][3]string
-}
-
-// Table1 lists the registered benchmarks.
-func Table1() *Table1Result {
-	r := &Table1Result{}
+// Table1 reproduces Table 1: applications and fidelity measures. It is
+// static — no campaigns run.
+func Table1() *Report {
+	r := &Report{
+		ID:    "table1",
+		Kind:  KindTable,
+		Title: "Table 1: applications and fidelity measures",
+		Columns: []Column{
+			{Name: "Application"},
+			{Name: "Description"},
+			{Name: "Fidelity measure"},
+		},
+	}
 	for _, a := range all.Apps() {
-		r.Rows = append(r.Rows, [3]string{a.Name(), a.Title(), a.FidelityName()})
+		r.Rows = append(r.Rows, []Cell{cellStr(a.Name()), cellStr(a.Title()), cellStr(a.FidelityName())})
 	}
 	return r
-}
-
-// Render formats the table.
-func (r *Table1Result) Render() string {
-	rows := make([][]string, len(r.Rows))
-	for i, row := range r.Rows {
-		rows[i] = row[:]
-	}
-	return "Table 1: applications and fidelity measures\n\n" +
-		textplot.Table([]string{"Application", "Description", "Fidelity measure"}, rows)
 }
 
 // table2Errors mirrors the paper's per-application error counts: the
@@ -47,154 +42,117 @@ var table2Errors = map[string][]int{
 	"adpcm":    {3, 56},
 }
 
-// Table2Row is one (application, error count) measurement.
-type Table2Row struct {
-	App        string
-	Errors     int
-	TotalInstr uint64
-	// Failure percentages (crash or infinite run) with and without
-	// control-data protection.
-	FailOnPct  float64
-	FailOffPct float64
-	CrashOn    int
-	TimeoutOn  int
-	CrashOff   int
-	TimeoutOff int
-}
-
-// Table2Result reproduces Table 2: catastrophic failures with and without
-// protecting control data.
-type Table2Result struct {
-	Rows   []Table2Row
-	Trials int
-}
-
-// Table2 runs the failure-rate experiment for every benchmark.
-func Table2(opt Options) (*Table2Result, error) {
+// Table2 runs the failure-rate experiment for every benchmark: the
+// paper's Table 2, catastrophic failures with and without protecting
+// control data. The failure-rate cells carry Wilson 95% bounds in the
+// JSON/CSV renderings.
+func Table2(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	res := &Table2Result{Trials: opt.Trials}
+	r := &Report{
+		ID:   "table2",
+		Kind: KindTable,
+		Title: fmt.Sprintf("Table 2: %% catastrophic failures (crash or infinite run) with and without\nprotecting control data (%d trials per point)",
+			opt.Trials),
+		Columns: []Column{
+			{Name: "Algorithm"},
+			{Name: "Errors", Unit: "count"},
+			{Name: "Instructions", Unit: "count"},
+			{Name: "Fail (protected)", Unit: "%"},
+			{Name: "Fail (unprotected)", Unit: "%"},
+		},
+		Trials: opt.Trials,
+		Seed:   opt.Seed,
+		Policy: opt.Policy.String(),
+	}
 	for _, a := range all.Apps() {
 		b, err := Build(a, opt.Policy)
 		if err != nil {
 			return nil, err
 		}
 		for _, n := range table2Errors[a.Name()] {
-			on := b.RunPoint(b.On, n, opt)
-			off := b.RunPoint(b.Off, n, opt)
-			res.Rows = append(res.Rows, Table2Row{
-				App:        a.Name(),
-				Errors:     n,
-				TotalInstr: b.On.Clean.Instret,
-				FailOnPct:  on.FailPct,
-				FailOffPct: off.FailPct,
-				CrashOn:    on.Crashes,
-				TimeoutOn:  on.Timeouts,
-				CrashOff:   off.Crashes,
-				TimeoutOff: off.Timeouts,
+			on := b.RunPoint(ctx, b.On, n, opt)
+			off := b.RunPoint(ctx, b.Off, n, opt)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			instr := b.On.Clean.Instret
+			r.Rows = append(r.Rows, []Cell{
+				cellStr(a.Name()),
+				cellInt(n),
+				cellNum(fmt.Sprintf("%dM", instr/1_000_000), float64(instr)),
+				cellCI(pct(on.FailPct), on.FailPct, on.FailLoPct, on.FailHiPct),
+				cellCI(pct(off.FailPct), off.FailPct, off.FailLoPct, off.FailHiPct),
 			})
 		}
 	}
-	return res, nil
+	return r, nil
 }
 
-// Render formats the table.
-func (r *Table2Result) Render() string {
-	rows := make([][]string, len(r.Rows))
-	for i, row := range r.Rows {
-		rows[i] = []string{
-			row.App,
-			fmt.Sprintf("%d", row.Errors),
-			fmt.Sprintf("%dM", row.TotalInstr/1_000_000),
-			pct(row.FailOnPct),
-			pct(row.FailOffPct),
-		}
-	}
-	return fmt.Sprintf("Table 2: %% catastrophic failures (crash or infinite run) with and without\nprotecting control data (%d trials per point)\n\n",
-		r.Trials) +
-		textplot.Table([]string{"Algorithm", "Errors", "Instructions", "Fail (protected)", "Fail (unprotected)"}, rows)
-}
-
-// Table3Row is one application's instruction profile.
-type Table3Row struct {
-	App string
-	// Instret is the dynamic instruction count of the clean run.
-	Instret uint64
-	// LowRelPct is the dynamic percentage of instructions the analysis
-	// tagged low-reliability.
-	LowRelPct float64
-	// StaticTaggedPct is the static tag percentage over the text segment.
-	StaticTaggedPct float64
-	// ArithPct is the dynamic percentage of arithmetic instructions (the
-	// upper bound any tagging could reach).
-	ArithPct float64
-}
-
-// Table3Result reproduces Table 3: dynamic low-reliability instruction
-// fractions under the analysis.
-type Table3Result struct {
-	Policy core.Policy
-	Rows   []Table3Row
-}
-
-// Table3 measures tagging on clean runs (no injection involved).
-func Table3(opt Options) (*Table3Result, error) {
+// Table3 reproduces Table 3 — dynamic low-reliability instruction
+// fractions under the analysis — measured on clean runs (no injection
+// involved).
+func Table3(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	res := &Table3Result{Policy: opt.Policy}
+	r := &Report{
+		ID:   "table3",
+		Kind: KindTable,
+		Title: fmt.Sprintf("Table 3: dynamic instructions identified as not leading to control\n(policy: %s) — these could run in a low-reliability environment",
+			opt.Policy),
+		Columns: []Column{
+			{Name: "Algorithm"},
+			{Name: "Instructions", Unit: "count"},
+			{Name: "% low-rel (dynamic)", Unit: "%"},
+			{Name: "% tagged (static)", Unit: "%"},
+			{Name: "% arith (dynamic)", Unit: "%"},
+		},
+		Seed:   opt.Seed,
+		Policy: opt.Policy.String(),
+	}
 	for _, a := range all.Apps() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b, err := Build(a, opt.Policy)
 		if err != nil {
 			return nil, err
 		}
 		st := b.Report.Stats()
 		arith := b.On.Clean.ClassCounts[1] // isa.ClassArith
-		res.Rows = append(res.Rows, Table3Row{
-			App:             a.Name(),
-			Instret:         b.On.Clean.Instret,
-			LowRelPct:       b.TaggedDynamicPct(),
-			StaticTaggedPct: 100 * float64(st.TaggedStatic) / float64(st.TextInstrs),
-			ArithPct:        100 * float64(arith) / float64(b.On.Clean.Instret),
+		instret := b.On.Clean.Instret
+		lowRel := b.TaggedDynamicPct()
+		static := 100 * float64(st.TaggedStatic) / float64(st.TextInstrs)
+		arithPct := 100 * float64(arith) / float64(instret)
+		r.Rows = append(r.Rows, []Cell{
+			cellStr(a.Name()),
+			cellNum(fmt.Sprintf("%.1fM", float64(instret)/1e6), float64(instret)),
+			cellNum(pct(lowRel), lowRel),
+			cellNum(pct(static), static),
+			cellNum(pct(arithPct), arithPct),
 		})
 	}
-	return res, nil
-}
-
-// Render formats the table.
-func (r *Table3Result) Render() string {
-	rows := make([][]string, len(r.Rows))
-	for i, row := range r.Rows {
-		rows[i] = []string{
-			row.App,
-			fmt.Sprintf("%.1fM", float64(row.Instret)/1e6),
-			pct(row.LowRelPct),
-			pct(row.StaticTaggedPct),
-			pct(row.ArithPct),
-		}
-	}
-	return fmt.Sprintf("Table 3: dynamic instructions identified as not leading to control\n(policy: %s) — these could run in a low-reliability environment\n\n", r.Policy) +
-		textplot.Table([]string{"Algorithm", "Instructions", "% low-rel (dynamic)", "% tagged (static)", "% arith (dynamic)"}, rows)
-}
-
-// AblationRow is one (application, policy) measurement.
-type AblationRow struct {
-	App       string
-	Policy    core.Policy
-	LowRelPct float64
-	FailPct   float64
-	Errors    int
-}
-
-// AblationResult compares the three protection policies: how much of the
-// program each leaves unprotected and what failure rate results.
-type AblationResult struct {
-	Rows   []AblationRow
-	Trials int
+	return r, nil
 }
 
 // PolicyAblation measures susan, blowfish and mcf under all three
-// policies at a fixed error count.
-func PolicyAblation(opt Options) (*AblationResult, error) {
+// policies at a fixed error count: the coverage/failure trade-off of the
+// analysis policies.
+func PolicyAblation(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	res := &AblationResult{Trials: opt.Trials}
+	r := &Report{
+		ID:   "ablation",
+		Kind: KindTable,
+		Title: fmt.Sprintf("Policy ablation: coverage/failure trade-off of the analysis policies\n(%d trials per point, protection on)",
+			opt.Trials),
+		Columns: []Column{
+			{Name: "Algorithm"},
+			{Name: "Policy"},
+			{Name: "Errors", Unit: "count"},
+			{Name: "% low-rel (dynamic)", Unit: "%"},
+			{Name: "Fail %", Unit: "%"},
+		},
+		Trials: opt.Trials,
+		Seed:   opt.Seed,
+	}
 	errorsFor := map[string]int{"susan": 200, "blowfish": 20, "mcf": 40}
 	for _, name := range []string{"susan", "blowfish", "mcf"} {
 		a, ok := all.ByName(name)
@@ -206,33 +164,21 @@ func PolicyAblation(opt Options) (*AblationResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			p := b.RunPoint(b.On, errorsFor[name], opt)
-			res.Rows = append(res.Rows, AblationRow{
-				App:       name,
-				Policy:    pol,
-				LowRelPct: b.TaggedDynamicPct(),
-				FailPct:   p.FailPct,
-				Errors:    errorsFor[name],
+			p := b.RunPoint(ctx, b.On, errorsFor[name], opt)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			lowRel := b.TaggedDynamicPct()
+			r.Rows = append(r.Rows, []Cell{
+				cellStr(name),
+				cellStr(pol.String()),
+				cellInt(errorsFor[name]),
+				cellNum(pct(lowRel), lowRel),
+				cellCI(pct(p.FailPct), p.FailPct, p.FailLoPct, p.FailHiPct),
 			})
 		}
 	}
-	return res, nil
-}
-
-// Render formats the ablation table.
-func (r *AblationResult) Render() string {
-	rows := make([][]string, len(r.Rows))
-	for i, row := range r.Rows {
-		rows[i] = []string{
-			row.App,
-			row.Policy.String(),
-			fmt.Sprintf("%d", row.Errors),
-			pct(row.LowRelPct),
-			pct(row.FailPct),
-		}
-	}
-	return fmt.Sprintf("Policy ablation: coverage/failure trade-off of the analysis policies\n(%d trials per point, protection on)\n\n", r.Trials) +
-		textplot.Table([]string{"Algorithm", "Policy", "Errors", "% low-rel (dynamic)", "Fail %"}, rows)
+	return r, nil
 }
 
 // appByNameOrErr fetches a registered app.

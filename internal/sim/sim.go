@@ -169,6 +169,14 @@ type Result struct {
 	// Injected is how many scheduled flips actually fired (a run can crash
 	// before reaching later injection points).
 	Injected int
+	// FirstInjectInstret is the value of Instret at the moment the first
+	// scheduled flip fired (the flipped instruction had just retired), and
+	// 0 when no flip fired.
+	FirstInjectInstret uint64
+	// DetectInstret is the value of Instret when a trapdet check ended a
+	// Detected run, and 0 otherwise. DetectInstret-FirstInjectInstret is
+	// the detection latency in retired instructions.
+	DetectInstret uint64
 	// DetectPC is the text index of the trapdet instruction that ended a
 	// Detected run, and -1 otherwise.
 	DetectPC int
@@ -176,6 +184,17 @@ type Result struct {
 	Output []byte
 	// ClassCounts counts executed instructions per isa.Class.
 	ClassCounts [6]uint64
+}
+
+// DetectLatency is the distance, in retired instructions, between the
+// first fired injection and the redundancy check that caught it. It is
+// meaningful only for Detected runs with at least one fired flip; ok
+// reports whether both ends of the window exist.
+func (r Result) DetectLatency() (lat uint64, ok bool) {
+	if r.Outcome != Detected || r.Injected == 0 || r.DetectInstret < r.FirstInjectInstret {
+		return 0, false
+	}
+	return r.DetectInstret - r.FirstInjectInstret, true
 }
 
 const pageShift = 12
@@ -218,15 +237,17 @@ func Run(p *isa.Program, cfg Config) Result {
 // Record and Recording.RunFrom all report through it.
 func (m *machine) result() Result {
 	return Result{
-		Outcome:      m.outcome,
-		Trap:         m.trap,
-		ExitCode:     m.exitCode,
-		Instret:      m.instret,
-		EligibleExec: m.eligCount,
-		Injected:     m.injected,
-		DetectPC:     m.detectPC(),
-		Output:       m.out,
-		ClassCounts:  m.classCounts,
+		Outcome:            m.outcome,
+		Trap:               m.trap,
+		ExitCode:           m.exitCode,
+		Instret:            m.instret,
+		EligibleExec:       m.eligCount,
+		Injected:           m.injected,
+		FirstInjectInstret: m.firstInjInstret,
+		DetectInstret:      m.detectInstret(),
+		DetectPC:           m.detectPC(),
+		Output:             m.out,
+		ClassCounts:        m.classCounts,
 	}
 }
 
@@ -236,6 +257,15 @@ func (m *machine) detectPC() int {
 		return m.pc
 	}
 	return -1
+}
+
+// detectInstret is the retirement count at trapdet for Detected runs and 0
+// otherwise.
+func (m *machine) detectInstret() uint64 {
+	if m.outcome == Detected {
+		return m.instret
+	}
+	return 0
 }
 
 type machine struct {
@@ -266,10 +296,11 @@ type machine struct {
 	out   []byte
 	cfg   Config
 
-	eligible   []bool
-	injections []Injection
-	injected   int
-	eligCount  uint64
+	eligible        []bool
+	injections      []Injection
+	injected        int
+	firstInjInstret uint64
+	eligCount       uint64
 
 	instret     uint64
 	classCounts [6]uint64
@@ -683,6 +714,9 @@ func (m *machine) run() {
 				bit := m.injections[m.injected].Bit & 31
 				if d, ok := in.Dest(); ok && d != isa.RegZero {
 					m.regs[d] ^= 1 << bit
+				}
+				if m.injected == 0 {
+					m.firstInjInstret = m.instret
 				}
 				m.injected++
 			}

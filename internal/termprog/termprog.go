@@ -1,0 +1,64 @@
+// Package termprog renders live, self-overwriting progress lines for
+// the CLIs. It keeps per-trial observers cheap: writes are throttled to
+// a fixed interval, and suppressed entirely when the writer is not a
+// terminal — piped stderr (CI logs, scripts) sees no control-character
+// spam, and campaigns with hundreds of thousands of trials do not
+// serialize a formatted write per trial on the aggregation goroutine.
+package termprog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Printer writes throttled \r-overwriting progress lines to one
+// terminal writer. The zero value is unusable; construct with New. A
+// Printer is not safe for concurrent use (campaign observers run on a
+// single goroutine).
+type Printer struct {
+	w       io.Writer
+	enabled bool
+	last    time.Time
+	shown   bool
+}
+
+// interval caps progress rendering at ~10 lines a second.
+const interval = 100 * time.Millisecond
+
+// New builds a Printer for w. Progress renders only when w is a
+// character device (an interactive terminal); otherwise every call is a
+// no-op.
+func New(w io.Writer) *Printer {
+	p := &Printer{w: w}
+	if f, ok := w.(*os.File); ok {
+		if st, err := f.Stat(); err == nil && st.Mode()&os.ModeCharDevice != 0 {
+			p.enabled = true
+		}
+	}
+	return p
+}
+
+// Printf overwrites the current progress line, at most once per
+// throttle interval.
+func (p *Printer) Printf(format string, args ...any) {
+	if !p.enabled {
+		return
+	}
+	if now := time.Now(); now.Sub(p.last) >= interval {
+		fmt.Fprintf(p.w, "\r"+format, args...)
+		p.last = now
+		p.shown = true
+	}
+}
+
+// Clear erases the progress line so subsequent output starts on a clean
+// one.
+func (p *Printer) Clear() {
+	if p.shown {
+		fmt.Fprint(p.w, "\r\033[K")
+		p.shown = false
+		p.last = time.Time{}
+	}
+}

@@ -1,0 +1,95 @@
+package etap
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Lab is a session cache for compiled systems: it memoizes Build and
+// Harden results per (source, policy, harden-options) key so concurrent
+// callers — a characterization service, a sweep over many inputs, a test
+// harness — never recompile or re-analyze the same program twice.
+// Systems and HardenedSystems are immutable after construction and safe
+// to share; campaign construction (which records a golden pass per
+// input) stays with the caller.
+//
+// A Lab is safe for concurrent use. Concurrent requests for the same key
+// block on one build; requests for different keys build in parallel.
+type Lab struct {
+	mu      sync.Mutex
+	entries map[labKey]*labEntry
+}
+
+type labKey struct {
+	source   string
+	policy   Policy
+	hardened bool
+	harden   HardenOptions
+}
+
+type labEntry struct {
+	once sync.Once
+	sys  *System
+	hard *HardenedSystem
+	err  error
+}
+
+// NewLab creates an empty session cache.
+func NewLab() *Lab {
+	return &Lab{entries: make(map[labKey]*labEntry)}
+}
+
+func (l *Lab) entry(key labKey) *labEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[key]
+	if !ok {
+		e = &labEntry{}
+		l.entries[key] = e
+	}
+	return e
+}
+
+// Build compiles and analyzes source under policy, or returns the cached
+// System from an earlier call with the same key.
+func (l *Lab) Build(source string, policy Policy) (*System, error) {
+	e := l.entry(labKey{source: source, policy: policy})
+	e.once.Do(func() {
+		e.sys, e.err = Build(source, policy)
+	})
+	return e.sys, e.err
+}
+
+// BuildBenchmark is Build over a registered benchmark's source.
+func (l *Lab) BuildBenchmark(name string, policy Policy) (*System, error) {
+	b, ok := BenchmarkByName(name)
+	if !ok {
+		return nil, fmt.Errorf("etap: unknown benchmark %q", name)
+	}
+	return l.Build(b.Source(), policy)
+}
+
+// Harden returns the hardened system for (source, policy, opts),
+// building and caching both the base System and the hardened rewrite on
+// first use. The base compile is shared with Build: hardening a source
+// the Lab already built reuses the analysis instead of recompiling.
+func (l *Lab) Harden(source string, policy Policy, opts HardenOptions) (*HardenedSystem, error) {
+	e := l.entry(labKey{source: source, policy: policy, hardened: true, harden: opts})
+	e.once.Do(func() {
+		sys, err := l.Build(source, policy)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.hard, e.err = sys.Harden(opts)
+	})
+	return e.hard, e.err
+}
+
+// Len reports how many distinct (source, policy, harden) keys the Lab
+// has cached, counting entries that failed to build.
+func (l *Lab) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

@@ -1,0 +1,160 @@
+package etap
+
+import (
+	"etap/internal/campaign"
+	"etap/internal/exp"
+	"etap/internal/sim"
+)
+
+// ProgressEvent is one trial of a running campaign point, streamed to a
+// WithProgress observer in deterministic order: trial index, how the
+// trial ended, how many instructions it retired, and which shard
+// executed it.
+type ProgressEvent struct {
+	// Trial is the zero-based index of the trial within its point.
+	Trial int
+	// Outcome classifies the trial.
+	Outcome Outcome
+	// Instructions is the trial's retired instruction count.
+	Instructions uint64
+	// Shard is the work-distribution shard that ran the trial; the
+	// trial→shard mapping is deterministic, the shard→worker mapping is
+	// not.
+	Shard int
+}
+
+// Option configures a campaign point or an experiment run. The same set
+// serves Campaign.RunPoint, Campaign.Sweep and Experiment.Run; options
+// that do not apply to a call are ignored.
+type Option func(*runConfig)
+
+// runConfig is the collapsed option set behind the Option functions; it
+// replaces the former etap.PointOptions/exp.Options duplication.
+type runConfig struct {
+	trials    int
+	minTrials int
+	seed      int64
+	workers   int
+	stopCI    float64
+	policy    Policy
+	policySet bool
+	progress  func(ProgressEvent)
+}
+
+func applyOptions(opts []Option) runConfig {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithTrials sets the trial budget per measurement point. Zero or
+// negative keeps the default (40).
+func WithTrials(n int) Option {
+	return func(c *runConfig) { c.trials = n }
+}
+
+// WithMinTrials sets the trial floor before WithStopCI early stopping may
+// trigger; 0 picks a default scaled to the budget.
+func WithMinTrials(n int) Option {
+	return func(c *runConfig) { c.minTrials = n }
+}
+
+// WithSeed makes every injection schedule reproducible in s. Defaults
+// to 1.
+func WithSeed(s int64) Option {
+	return func(c *runConfig) { c.seed = s }
+}
+
+// WithWorkers sizes the trial worker pool; 0 means GOMAXPROCS. Worker
+// count never changes results.
+func WithWorkers(n int) Option {
+	return func(c *runConfig) { c.workers = n }
+}
+
+// WithStopCI stops a point early once every reported Wilson 95%
+// confidence interval — the catastrophic-failure rate and, for hardened
+// systems, the detection rate — is narrower than width (e.g. 0.05 for
+// ±2.5 points), but not before the WithMinTrials floor.
+func WithStopCI(width float64) Option {
+	return func(c *runConfig) { c.stopCI = width }
+}
+
+// WithPolicy selects the analysis policy for experiment runs (campaign
+// calls ignore it — their policy was fixed at Build time). Defaults to
+// PolicyControlAddr, the configuration the paper's headline results use.
+func WithPolicy(p Policy) Option {
+	return func(c *runConfig) { c.policy = p; c.policySet = true }
+}
+
+// WithProgress streams every aggregated trial to fn in deterministic
+// order. fn runs on the aggregation goroutine: it needs no locking, but
+// a slow fn backpressures the campaign.
+func WithProgress(fn func(ProgressEvent)) Option {
+	return func(c *runConfig) { c.progress = fn }
+}
+
+// observer adapts the progress callback to the campaign engine's
+// observer interface.
+func (c runConfig) observer() campaign.Observer {
+	if c.progress == nil {
+		return nil
+	}
+	fn := c.progress
+	return func(trial int, tr campaign.Trial) {
+		fn(ProgressEvent{
+			Trial:        trial,
+			Outcome:      outcomeFromSim(tr.Outcome),
+			Instructions: tr.Instret,
+			Shard:        tr.Shard,
+		})
+	}
+}
+
+// point assembles the engine-level point spec for a campaign call.
+func (c runConfig) point(errors int) campaign.Point {
+	trials := c.trials
+	if trials <= 0 {
+		trials = 40
+	}
+	return campaign.Point{
+		Errors:    errors,
+		HiBit:     31,
+		MaxTrials: trials,
+		MinTrials: c.minTrials,
+		StopWidth: c.stopCI,
+		Seed:      c.seed,
+		Workers:   c.workers,
+	}
+}
+
+// expOptions assembles the experiment-harness options for a registry
+// run.
+func (c runConfig) expOptions() exp.Options {
+	policy := PolicyControlAddr
+	if c.policySet {
+		policy = c.policy
+	}
+	return exp.Options{
+		Trials:   c.trials,
+		Policy:   toCore(policy),
+		Workers:  c.workers,
+		Seed:     c.seed,
+		Observer: c.observer(),
+	}
+}
+
+// outcomeFromSim maps an engine outcome to the public enum.
+func outcomeFromSim(o sim.Outcome) Outcome {
+	switch o {
+	case sim.Crash:
+		return Crashed
+	case sim.Timeout:
+		return TimedOut
+	case sim.Detected:
+		return Detected
+	default:
+		return Completed
+	}
+}
