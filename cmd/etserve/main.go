@@ -1,0 +1,89 @@
+// Command etserve runs the HTTP characterization service: the etap
+// campaign surface behind a JSON API. Clients POST source + policy +
+// campaign options to /api/v1/jobs, poll job status, stream per-trial
+// progress over SSE (disconnecting a ?cancel=1 stream cancels the
+// campaign between trials), and fetch the final report as JSON, CSV or
+// text. All jobs share one Lab, so identical (source, policy, harden)
+// keys compile exactly once. See docs/SERVE.md for the wire surface and
+// a curl walkthrough.
+//
+// Usage:
+//
+//	etserve [-addr :8372] [-workers N] [-queue N]
+//	        [-state jobs.json] [-lab-capacity N] [-quiet]
+//
+// SIGINT/SIGTERM shuts down gracefully: running campaigns stop between
+// trials, their partial aggregates persist as cancelled, and -state
+// gets a final snapshot so a restarted server still answers for
+// finished jobs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"etap"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "etserve:", err)
+		if _, ok := err.(usageError); ok {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("etserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8372", "listen address")
+	workers := fs.Int("workers", 0, "concurrent campaign workers (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "queued-job bound before submissions get 503 (0 = 64)")
+	state := fs.String("state", "", "persist the job table to this JSON file (restart-safe)")
+	labCapacity := fs.Int("lab-capacity", etap.DefaultLabCapacity, "compile-cache entries before LRU eviction (<= 0 = unbounded)")
+	quiet := fs.Bool("quiet", false, "suppress per-job log lines")
+	if err := fs.Parse(args); err != nil {
+		return usageError(err.Error())
+	}
+	if fs.NArg() > 0 {
+		return usageError(fmt.Sprintf("unexpected arguments: %v", fs.Args()))
+	}
+
+	logger := log.New(stderr, "etserve: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	opts := []etap.ServeOption{
+		etap.WithServeLab(etap.NewLabCapacity(*labCapacity)),
+		etap.WithServeWorkers(*workers),
+		etap.WithServeQueueDepth(*queue),
+		etap.WithServeLog(logf),
+	}
+	if *state != "" {
+		opts = append(opts, etap.WithServeStateFile(*state))
+	}
+	logf("listening on %s (state: %s)", *addr, orNone(*state))
+	return etap.Serve(ctx, *addr, opts...)
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -239,6 +239,15 @@ func (s *System) Run(input []byte) RunResult {
 	return fromSim(sim.Run(s.prog, sim.Config{Input: input}))
 }
 
+// RunLimited is Run with an instruction budget: a run retiring more
+// than maxInstr instructions ends as TimedOut. It is how services
+// validate untrusted programs without betting a worker on termination.
+// A maxInstr of zero selects the simulator's default budget (2^32),
+// the same bound Run applies.
+func (s *System) RunLimited(input []byte, maxInstr uint64) RunResult {
+	return fromSim(sim.Run(s.prog, sim.Config{Input: input, MaxInstr: maxInstr}))
+}
+
 // HardenOptions selects the software protection transforms System.Harden
 // applies (see internal/harden and docs/HARDEN.md). The zero value is
 // invalid; DefaultHardenOptions enables both transforms.

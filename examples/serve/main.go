@@ -1,0 +1,132 @@
+// Serve: the characterization service end to end, in process. Starts
+// the HTTP service on a loopback listener, submits an ad-hoc MiniC
+// program the way a remote client would (POST JSON), follows the job's
+// SSE event stream trial by trial, and fetches the final report —
+// first as the text table, then picking numbers out of the JSON form.
+// Run `cmd/etserve` for the standalone server; docs/SERVE.md documents
+// the wire surface this example speaks.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"etap"
+)
+
+// The service validates this at submit time: it must compile under the
+// policy and its clean run must complete within the instruction budget.
+const source = `
+char data[128];
+
+tolerant void smooth(char *p, int n) {
+    int i;
+    for (i = 1; i < n - 1; i = i + 1) {
+        p[i] = (p[i-1] + p[i] + p[i+1]) / 3;
+    }
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 128; i = i + 1) { data[i] = inb(); }
+    smooth(data, 128);
+    for (i = 0; i < 128; i = i + 1) { outb(data[i]); }
+    return 0;
+}
+`
+
+func main() {
+	// One shared Lab: every submission of the same (source, policy)
+	// compiles once, however many clients race.
+	lab := etap.NewLab()
+	srv, err := etap.NewServer(etap.WithServeLab(lab), etap.WithServeWorkers(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // ends with the listener
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("service listening on", base)
+
+	// Submit: source + input + campaign options, as JSON.
+	req := map[string]any{
+		"source": source,
+		"input":  strings.Repeat("abcdefghijklmnop", 8),
+		"errors": []int{1, 4, 16},
+		"trials": 24,
+		"seed":   7,
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ack struct {
+		ID    string            `json:"id"`
+		Links map[string]string `json:"links"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted job %s\n\n", ack.ID)
+
+	// Stream: the SSE feed replays from the start and ends with the
+	// terminal state event, so reading it to EOF doubles as waiting.
+	events, err := http.Get(base + ack.Links["events"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer events.Body.Close()
+	trials := 0
+	sc := bufio.NewScanner(events.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		data := strings.TrimPrefix(line, "data: ")
+		var ev struct {
+			State   string `json:"state"`
+			Errors  int    `json:"errors"`
+			Trial   int    `json:"trial"`
+			Outcome string `json:"outcome"`
+		}
+		if json.Unmarshal([]byte(data), &ev) != nil {
+			continue
+		}
+		switch {
+		case ev.State != "":
+			fmt.Println("state:", ev.State)
+		default:
+			trials++
+			if ev.Trial == 0 {
+				fmt.Printf("  point errors=%d running...\n", ev.Errors)
+			}
+		}
+	}
+	fmt.Printf("streamed %d trial events\n\n", trials)
+
+	// Fetch: same report, three formats; text is the human one.
+	report, err := http.Get(base + ack.Links["report"] + "?format=text")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer report.Body.Close()
+	sc = bufio.NewScanner(report.Body)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	fmt.Printf("\nlab compiled %d time(s) for this session\n", lab.Builds())
+}

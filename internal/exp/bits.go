@@ -64,11 +64,11 @@ func BitSensitivity(ctx context.Context, opt Options) (*Report, error) {
 					return nil, err
 				}
 				r.Rows = append(r.Rows, []Cell{
-					cellStr(name),
-					cellStr(mode),
-					cellStr(fmt.Sprintf("bits %d-%d", lane[0], lane[1])),
-					cellCI(pct(p.FailPct), p.FailPct, p.FailLoPct, p.FailHiPct),
-					cellNum(num(p.MeanValue), p.MeanValue),
+					CellStr(name),
+					CellStr(mode),
+					CellStr(fmt.Sprintf("bits %d-%d", lane[0], lane[1])),
+					CellCI(pct(p.FailPct), p.FailPct, p.FailLoPct, p.FailHiPct),
+					CellNum(num(p.MeanValue), p.MeanValue),
 				})
 			}
 		}

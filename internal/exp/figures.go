@@ -47,9 +47,9 @@ func (f *figure) addSeries(name string, ys []float64) {
 func (f *figure) report() *Report {
 	f.rep.Rows = make([][]Cell, len(f.errors))
 	for i, e := range f.errors {
-		row := []Cell{cellInt(e)}
+		row := []Cell{CellInt(e)}
 		for _, s := range f.rep.Series {
-			row = append(row, cellNum(num(s.Y[i]), s.Y[i]))
+			row = append(row, CellNum(num(s.Y[i]), s.Y[i]))
 		}
 		f.rep.Rows[i] = row
 	}

@@ -61,11 +61,11 @@ func Masking(ctx context.Context, opt Options) (*Report, error) {
 		masked, tolerated := pcts(p.Masked), pcts(p.Accepted-p.Masked)
 		degraded, catastrophic := pcts(p.Completed-p.Accepted), pcts(p.Crashes+p.Timeouts)
 		r.Rows = append(r.Rows, []Cell{
-			cellStr(a.Name()),
-			cellNum(pct(masked), masked),
-			cellNum(pct(tolerated), tolerated),
-			cellNum(pct(degraded), degraded),
-			cellNum(pct(catastrophic), catastrophic),
+			CellStr(a.Name()),
+			CellNum(pct(masked), masked),
+			CellNum(pct(tolerated), tolerated),
+			CellNum(pct(degraded), degraded),
+			CellNum(pct(catastrophic), catastrophic),
 		})
 	}
 	return r, nil

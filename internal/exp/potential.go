@@ -47,11 +47,11 @@ func Potential(ctx context.Context, opt Options) (*Report, error) {
 				return r / ((1-frac)*r + frac)
 			}
 			r.Rows = append(r.Rows, []Cell{
-				cellStr(a.Name()),
-				cellStr(pol.String()),
-				cellNum(pct(100*frac), 100*frac),
-				cellNum(fmt.Sprintf("%.2fx", speedup(2)), speedup(2)),
-				cellNum(fmt.Sprintf("%.2fx", speedup(3)), speedup(3)),
+				CellStr(a.Name()),
+				CellStr(pol.String()),
+				CellNum(pct(100*frac), 100*frac),
+				CellNum(fmt.Sprintf("%.2fx", speedup(2)), speedup(2)),
+				CellNum(fmt.Sprintf("%.2fx", speedup(3)), speedup(3)),
 			})
 		}
 	}

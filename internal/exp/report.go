@@ -40,16 +40,20 @@ type Cell struct {
 	Hi   *float64 `json:"hi,omitempty"`
 }
 
-func cellStr(s string) Cell { return Cell{Text: s} }
+// CellStr, CellInt, CellNum and CellCI construct cells under the
+// renderers' conventions; report builders outside the package (the HTTP
+// service's sweep reports) share them so the formatting contract has
+// one implementation.
+func CellStr(s string) Cell { return Cell{Text: s} }
 
-func cellInt(n int) Cell {
+func CellInt(n int) Cell {
 	v := float64(n)
 	return Cell{Text: strconv.Itoa(n), Num: &v}
 }
 
 // cellNum pairs a pre-formatted text with its numeric value; NaN leaves
 // the cell textual so JSON consumers see null, not a broken number.
-func cellNum(text string, v float64) Cell {
+func CellNum(text string, v float64) Cell {
 	c := Cell{Text: text}
 	if !math.IsNaN(v) {
 		c.Num = &v
@@ -58,8 +62,8 @@ func cellNum(text string, v float64) Cell {
 }
 
 // cellCI is cellNum plus Wilson interval bounds.
-func cellCI(text string, v, lo, hi float64) Cell {
-	c := cellNum(text, v)
+func CellCI(text string, v, lo, hi float64) Cell {
+	c := CellNum(text, v)
 	if c.Num != nil {
 		c.Lo, c.Hi = &lo, &hi
 	}

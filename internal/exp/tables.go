@@ -24,7 +24,7 @@ func Table1() *Report {
 		},
 	}
 	for _, a := range all.Apps() {
-		r.Rows = append(r.Rows, []Cell{cellStr(a.Name()), cellStr(a.Title()), cellStr(a.FidelityName())})
+		r.Rows = append(r.Rows, []Cell{CellStr(a.Name()), CellStr(a.Title()), CellStr(a.FidelityName())})
 	}
 	return r
 }
@@ -77,11 +77,11 @@ func Table2(ctx context.Context, opt Options) (*Report, error) {
 			}
 			instr := b.On.Clean.Instret
 			r.Rows = append(r.Rows, []Cell{
-				cellStr(a.Name()),
-				cellInt(n),
-				cellNum(fmt.Sprintf("%dM", instr/1_000_000), float64(instr)),
-				cellCI(pct(on.FailPct), on.FailPct, on.FailLoPct, on.FailHiPct),
-				cellCI(pct(off.FailPct), off.FailPct, off.FailLoPct, off.FailHiPct),
+				CellStr(a.Name()),
+				CellInt(n),
+				CellNum(fmt.Sprintf("%dM", instr/1_000_000), float64(instr)),
+				CellCI(pct(on.FailPct), on.FailPct, on.FailLoPct, on.FailHiPct),
+				CellCI(pct(off.FailPct), off.FailPct, off.FailLoPct, off.FailHiPct),
 			})
 		}
 	}
@@ -123,11 +123,11 @@ func Table3(ctx context.Context, opt Options) (*Report, error) {
 		static := 100 * float64(st.TaggedStatic) / float64(st.TextInstrs)
 		arithPct := 100 * float64(arith) / float64(instret)
 		r.Rows = append(r.Rows, []Cell{
-			cellStr(a.Name()),
-			cellNum(fmt.Sprintf("%.1fM", float64(instret)/1e6), float64(instret)),
-			cellNum(pct(lowRel), lowRel),
-			cellNum(pct(static), static),
-			cellNum(pct(arithPct), arithPct),
+			CellStr(a.Name()),
+			CellNum(fmt.Sprintf("%.1fM", float64(instret)/1e6), float64(instret)),
+			CellNum(pct(lowRel), lowRel),
+			CellNum(pct(static), static),
+			CellNum(pct(arithPct), arithPct),
 		})
 	}
 	return r, nil
@@ -170,11 +170,11 @@ func PolicyAblation(ctx context.Context, opt Options) (*Report, error) {
 			}
 			lowRel := b.TaggedDynamicPct()
 			r.Rows = append(r.Rows, []Cell{
-				cellStr(name),
-				cellStr(pol.String()),
-				cellInt(errorsFor[name]),
-				cellNum(pct(lowRel), lowRel),
-				cellCI(pct(p.FailPct), p.FailPct, p.FailLoPct, p.FailHiPct),
+				CellStr(name),
+				CellStr(pol.String()),
+				CellInt(errorsFor[name]),
+				CellNum(pct(lowRel), lowRel),
+				CellCI(pct(p.FailPct), p.FailPct, p.FailLoPct, p.FailHiPct),
 			})
 		}
 	}

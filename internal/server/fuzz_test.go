@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzSubmitRequest fuzzes the JSON submission decoder: any body must
+// yield either a validated request or a structured *RequestError — never
+// a panic, and never a request that violates its own bounds (the
+// invariant that lets a later worker trust the spec it dequeues).
+func FuzzSubmitRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`null`,
+		`[]`,
+		`{}`,
+		`{nope`,
+		`{"experiment":"table1"}`,
+		`{"experiment":"table1"} trailing`,
+		`{"experiment":"table1","bogus":1}`,
+		`{"experiment":"table1","benchmark":"adpcm"}`,
+		`{"benchmark":"adpcm","policy":"control","trials":16,"seed":7,"workers":2}`,
+		`{"benchmark":"adpcm","errors":[1,2,4,8],"stop_ci":0.05}`,
+		`{"benchmark":"adpcm","harden":{"dup_compare":true,"signatures":true}}`,
+		`{"benchmark":"adpcm","harden":{}}`,
+		`{"source":"int main() { return 0; }","input":"abc"}`,
+		`{"source":"int main() { return 0; }","protected":false,"min_trials":8}`,
+		`{"source":"","trials":-1}`,
+		`{"source":"x","trials":1000001}`,
+		`{"source":"x","errors":[70000]}`,
+		`{"source":"x","workers":9999}`,
+		`{"source":"x","stop_ci":1.5}`,
+		`{"experiment":"table1","input":"x"}`,
+		`{"trials":4}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := ParseSubmitRequest(body)
+		if err != nil {
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("rejection is not a *RequestError: %T: %v", err, err)
+			}
+			if re.Code == "" || re.Message == "" {
+				t.Fatalf("rejection lacks code or message: %+v", re)
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("nil request with nil error")
+		}
+		// An accepted request satisfies its own validator...
+		if err := req.validate(); err != nil {
+			t.Fatalf("accepted request fails re-validation: %v", err)
+		}
+		// ...and is stable through its own wire form: marshal, re-parse,
+		// re-marshal must agree, so a persisted spec replays identically.
+		wire1, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not marshal: %v", err)
+		}
+		req2, err := ParseSubmitRequest(wire1)
+		if err != nil {
+			t.Fatalf("request's own wire form is rejected: %v\nwire: %s", err, wire1)
+		}
+		wire2, err := json.Marshal(req2)
+		if err != nil {
+			t.Fatalf("re-parsed request does not marshal: %v", err)
+		}
+		if !bytes.Equal(wire1, wire2) {
+			t.Fatalf("wire form is unstable:\n%s\nvs\n%s", wire1, wire2)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"etap/internal/exp"
+)
+
+// stubManager builds a Manager whose RunFunc blocks until release is
+// closed (or the job's context cancels), so queue mechanics can be
+// tested without real campaigns.
+func stubManager(t *testing.T, workers, depth int) (*Manager, chan struct{}) {
+	t.Helper()
+	release := make(chan struct{})
+	m, err := NewManager(Config{
+		Run: func(ctx context.Context, req *SubmitRequest, progress func(TrialEvent)) (*exp.Report, error) {
+			select {
+			case <-release:
+				return &exp.Report{ID: "stub"}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+		Workers:    workers,
+		QueueDepth: depth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, release
+}
+
+func waitState(t *testing.T, j *Job, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.snapshot().State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck in %s, want %s", j.ID, j.snapshot().State, want)
+}
+
+// TestCancelQueuedFreesSlot: cancelling a queued job releases its queue
+// slot immediately — it does not hold the queue full until a worker
+// happens to drain it.
+func TestCancelQueuedFreesSlot(t *testing.T) {
+	m, release := stubManager(t, 1, 1)
+
+	running, err := m.Submit(&SubmitRequest{Benchmark: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+
+	queued, err := m.Submit(&SubmitRequest{Benchmark: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(&SubmitRequest{Benchmark: "c"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submission: %v, want ErrQueueFull", err)
+	}
+
+	if ok, err := m.Cancel(queued.ID); err != nil || !ok {
+		t.Fatalf("cancel queued: %v %v", ok, err)
+	}
+	waitState(t, queued, StateCancelled)
+
+	// The slot the cancelled job held is free again, with the worker
+	// still busy.
+	replacement, err := m.Submit(&SubmitRequest{Benchmark: "d"})
+	if err != nil {
+		t.Fatalf("submission after cancel: %v (cancelled job still holds the slot)", err)
+	}
+
+	close(release)
+	waitState(t, running, StateDone)
+	waitState(t, replacement, StateDone)
+	if got := queued.snapshot().State; got != StateCancelled {
+		t.Fatalf("cancelled job resurrected as %s", got)
+	}
+}
+
+// TestLaggingSubscriberTerminalEvent: when a job publishes more events
+// than a subscriber's channel holds and the subscriber never drains in
+// time, the terminal state event is dropped from the channel — but
+// lastEvent still hands the SSE handler the terminal frame, with a seq
+// above everything the subscriber saw, so the stream can end with it.
+func TestLaggingSubscriberTerminalEvent(t *testing.T) {
+	subscribed := make(chan struct{})
+	m, err := NewManager(Config{
+		Run: func(ctx context.Context, req *SubmitRequest, progress func(TrialEvent)) (*exp.Report, error) {
+			<-subscribed
+			for i := 0; i < subChanCap+100; i++ {
+				progress(TrialEvent{Trial: i, Outcome: "completed"})
+			}
+			return &exp.Report{ID: "stub"}, nil
+		},
+		Workers:    1,
+		QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	j, err := m.Submit(&SubmitRequest{Benchmark: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ch, unsub := j.Subscribe()
+	defer unsub()
+	if ch == nil {
+		t.Fatal("job finished before it started")
+	}
+	close(subscribed)
+	waitState(t, j, StateDone)
+
+	var last Event
+	n := 0
+	for ev := range ch {
+		last = ev
+		n++
+	}
+	if n == 0 {
+		t.Fatal("subscriber channel delivered nothing")
+	}
+	if last.Name == "state" {
+		t.Fatalf("expected the lagging channel to drop the terminal event, got %s as last of %d", last.Data, n)
+	}
+	fin, ok := j.lastEvent()
+	if !ok || fin.Name != "state" || !bytes.Contains(fin.Data, []byte(`"done"`)) {
+		t.Fatalf("lastEvent is not the terminal state: %v %s", ok, fin.Data)
+	}
+	if fin.Seq <= last.Seq {
+		t.Fatalf("terminal seq %d not above last delivered %d", fin.Seq, last.Seq)
+	}
+}
+
+// TestCompleteRunBeatsLateCancel: a cancel that lands after the RunFunc
+// returned a full report must not relabel the finished job.
+func TestCompleteRunBeatsLateCancel(t *testing.T) {
+	returned := make(chan struct{})
+	proceed := make(chan struct{})
+	m, err := NewManager(Config{
+		Run: func(ctx context.Context, req *SubmitRequest, progress func(TrialEvent)) (*exp.Report, error) {
+			defer close(returned)
+			<-proceed
+			return &exp.Report{ID: "stub"}, nil
+		},
+		Workers:    1,
+		QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	j, err := m.Submit(&SubmitRequest{Benchmark: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	// Let the run complete, then fire the cancel in the window before
+	// (or while) runJob classifies the result.
+	close(proceed)
+	<-returned
+	m.Cancel(j.ID) //nolint:errcheck // racing the classification on purpose
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := j.snapshot(); s.State.terminal() {
+			if s.State != StateDone {
+				t.Fatalf("complete run relabeled %s (error %q)", s.State, s.Error)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job never reached a terminal state")
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Request size and shape bounds. They exist so one malformed or hostile
+// submission cannot wedge a job slot or exhaust the process: oversized
+// bodies, absurd trial budgets and runaway sweeps are rejected at the
+// door with a structured 4xx.
+const (
+	// MaxSourceBytes bounds the MiniC source of one submission.
+	MaxSourceBytes = 256 << 10
+	// MaxInputBytes bounds the explicit input of one submission.
+	MaxInputBytes = 1 << 20
+	// MaxTrials bounds the per-point trial budget.
+	MaxTrials = 100_000
+	// MaxErrorPoints bounds the length of the errors sweep.
+	MaxErrorPoints = 64
+	// MaxErrorsPerTrial bounds the bit flips injected per trial.
+	MaxErrorsPerTrial = 1 << 16
+	// MaxWorkers bounds the per-job campaign worker pool.
+	MaxWorkers = 64
+)
+
+// HardenSpec selects the protection transforms for a hardened job; it
+// mirrors etap.HardenOptions.
+type HardenSpec struct {
+	DupCompare bool `json:"dup_compare"`
+	Signatures bool `json:"signatures"`
+}
+
+// SubmitRequest is the wire form of one characterization job. Exactly
+// one of Experiment, Benchmark or Source selects the subject:
+//
+//   - Experiment runs one registered experiment from the paper's
+//     evaluation and reports its table or figure.
+//   - Benchmark characterizes one registered Table 1 application with
+//     its canonical input and fidelity scorer.
+//   - Source characterizes an ad-hoc MiniC program (validated — i.e.
+//     compiled and analyzed — at submit time) against Input, with
+//     bit-identical output as the acceptability measure.
+//
+// The remaining fields tune the campaign and default like the etap
+// options they mirror (trials 40, seed 1, sweep [1 2 4 8]).
+type SubmitRequest struct {
+	Experiment string `json:"experiment,omitempty"`
+	Benchmark  string `json:"benchmark,omitempty"`
+	Source     string `json:"source,omitempty"`
+
+	// Policy names the analysis policy ("control", "control+addr",
+	// "conservative"); empty selects control+addr.
+	Policy string `json:"policy,omitempty"`
+	// Protected selects the injection mask for benchmark/source jobs:
+	// true (the default) injects only into analysis-tagged instructions,
+	// false exposes every result-writing instruction.
+	Protected *bool `json:"protected,omitempty"`
+	// Harden, when set, rewrites the program with the selected transforms
+	// and runs the detection campaign against the protected sites.
+	Harden *HardenSpec `json:"harden,omitempty"`
+	// Input is the program input for source jobs (benchmark jobs use the
+	// registered input and ignore it).
+	Input string `json:"input,omitempty"`
+
+	// Errors lists the per-trial error counts to sweep for
+	// benchmark/source jobs; experiment jobs ignore it.
+	Errors []int `json:"errors,omitempty"`
+
+	Trials    int     `json:"trials,omitempty"`
+	MinTrials int     `json:"min_trials,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	StopCI    float64 `json:"stop_ci,omitempty"`
+}
+
+// Subject describes what the request runs, for status displays.
+func (r *SubmitRequest) Subject() string {
+	switch {
+	case r.Experiment != "":
+		return "experiment " + r.Experiment
+	case r.Benchmark != "":
+		return "benchmark " + r.Benchmark
+	default:
+		return fmt.Sprintf("source (%d bytes)", len(r.Source))
+	}
+}
+
+// RequestError is a submit-time rejection: a structured 4xx, never a
+// panic or a job slot.
+type RequestError struct {
+	// Code is a stable machine-readable slug ("bad_json",
+	// "invalid_job", ...).
+	Code string `json:"code"`
+	// Message is the human explanation.
+	Message string `json:"message"`
+}
+
+func (e *RequestError) Error() string { return e.Message }
+
+func badRequest(code, format string, args ...any) *RequestError {
+	return &RequestError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ParseSubmitRequest decodes and statically validates one submission
+// body. It is strict — unknown fields, trailing garbage and
+// out-of-bounds knobs are errors — and total: any input yields either a
+// validated request or a *RequestError, never a panic.
+func ParseSubmitRequest(body []byte) (*SubmitRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("bad_json", "decoding request body: %v", jsonErr(err))
+	}
+	// Reject trailing non-whitespace after the object.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, badRequest("bad_json", "request body holds more than one JSON value")
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// jsonErr strips the *json.SyntaxError offset jitter down to a stable
+// message while keeping type errors verbatim.
+func jsonErr(err error) string {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return fmt.Sprintf("invalid JSON at offset %d: %s", syn.Offset, syn.Error())
+	}
+	return err.Error()
+}
+
+func (r *SubmitRequest) validate() error {
+	subjects := 0
+	for _, set := range []bool{r.Experiment != "", r.Benchmark != "", r.Source != ""} {
+		if set {
+			subjects++
+		}
+	}
+	if subjects != 1 {
+		return badRequest("invalid_job", "exactly one of experiment, benchmark or source must be set (got %d)", subjects)
+	}
+	if len(r.Source) > MaxSourceBytes {
+		return badRequest("invalid_job", "source is %d bytes; the limit is %d", len(r.Source), MaxSourceBytes)
+	}
+	if len(r.Input) > MaxInputBytes {
+		return badRequest("invalid_job", "input is %d bytes; the limit is %d", len(r.Input), MaxInputBytes)
+	}
+	if r.Experiment != "" {
+		if r.Harden != nil || r.Protected != nil || len(r.Errors) > 0 || r.Input != "" ||
+			r.MinTrials != 0 || r.StopCI != 0 {
+			return badRequest("invalid_job", "experiment jobs take only policy, trials, seed and workers")
+		}
+	}
+	if r.Harden != nil && !r.Harden.DupCompare && !r.Harden.Signatures {
+		return badRequest("invalid_job", "harden must enable at least one transform")
+	}
+	if r.Harden != nil && r.Protected != nil {
+		return badRequest("invalid_job", "harden jobs run the detection campaign; protected does not apply")
+	}
+	if r.Trials < 0 || r.Trials > MaxTrials {
+		return badRequest("invalid_job", "trials %d out of range [0, %d]", r.Trials, MaxTrials)
+	}
+	if r.MinTrials < 0 || r.MinTrials > MaxTrials {
+		return badRequest("invalid_job", "min_trials %d out of range [0, %d]", r.MinTrials, MaxTrials)
+	}
+	if len(r.Errors) > MaxErrorPoints {
+		return badRequest("invalid_job", "errors sweeps at most %d points (got %d)", MaxErrorPoints, len(r.Errors))
+	}
+	for _, n := range r.Errors {
+		if n < 0 || n > MaxErrorsPerTrial {
+			return badRequest("invalid_job", "error count %d out of range [0, %d]", n, MaxErrorsPerTrial)
+		}
+	}
+	if r.Workers < 0 || r.Workers > MaxWorkers {
+		return badRequest("invalid_job", "workers %d out of range [0, %d]", r.Workers, MaxWorkers)
+	}
+	if r.StopCI < 0 || r.StopCI > 1 {
+		return badRequest("invalid_job", "stop_ci %v out of range [0, 1]", r.StopCI)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// sseWriter frames Events as text/event-stream messages:
+//
+//	id: <seq>
+//	event: <name>
+//	data: <one-line JSON payload>
+//	<blank line>
+//
+// Payloads are single-line JSON (json.Marshal emits no newlines), so
+// one data: line per event suffices and clients can json-decode each
+// data field directly.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+// newSSEWriter prepares the stream headers. It fails when the
+// underlying writer cannot flush incrementally — buffering an SSE
+// stream would defeat it.
+func newSSEWriter(w http.ResponseWriter) (*sseWriter, error) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, fmt.Errorf("server: response writer does not support streaming")
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return &sseWriter{w: w, f: f}, nil
+}
+
+// event writes one framed event and flushes it to the client.
+func (s *sseWriter) event(ev Event) error {
+	if _, err := fmt.Fprintf(s.w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Name, ev.Data); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}
+
+// comment writes an SSE comment line (a keep-alive that clients
+// ignore).
+func (s *sseWriter) comment(text string) error {
+	if _, err := fmt.Fprintf(s.w, ": %s\n\n", text); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// PersistedJob is the durable form of one job: everything needed to
+// answer status and report queries after a restart. The report is kept
+// as raw JSON (the exact object the report endpoint serves inside its
+// one-element array), so persistence cannot drift from the wire format.
+type PersistedJob struct {
+	ID         string          `json:"id"`
+	Spec       SubmitRequest   `json:"spec"`
+	State      State           `json:"state"`
+	Error      string          `json:"error,omitempty"`
+	Created    time.Time       `json:"created"`
+	Started    time.Time       `json:"started,omitempty"`
+	Finished   time.Time       `json:"finished,omitempty"`
+	TrialsDone int             `json:"trials_done"`
+	Report     json.RawMessage `json:"report,omitempty"`
+}
+
+// Store persists the job table. The manager keeps jobs in memory and
+// snapshots the whole table through the Store on every state change;
+// Load seeds the table on startup so a restarted server still answers
+// for finished jobs.
+//
+// Implementations must be safe for concurrent use by one manager
+// (Save calls are serialized by the manager, Load happens once).
+type Store interface {
+	Load() ([]PersistedJob, error)
+	Save([]PersistedJob) error
+}
+
+// MemStore is a Store that remembers the last snapshot in memory — the
+// default when no state file is configured, and the restart-simulation
+// vehicle for tests.
+type MemStore struct {
+	jobs []PersistedJob
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Load returns the last saved snapshot.
+func (m *MemStore) Load() ([]PersistedJob, error) { return m.jobs, nil }
+
+// Save replaces the snapshot.
+func (m *MemStore) Save(jobs []PersistedJob) error {
+	m.jobs = append([]PersistedJob(nil), jobs...)
+	return nil
+}
+
+// FileStore persists snapshots as one indented JSON file, written
+// atomically (temp file + rename) so a crash mid-save never corrupts
+// the previous snapshot.
+type FileStore struct {
+	path string
+}
+
+// NewFileStore creates a store writing to path. The file need not
+// exist yet; its directory must.
+func NewFileStore(path string) *FileStore { return &FileStore{path: path} }
+
+// fileSnapshot is the on-disk envelope, versioned so a future format
+// change can migrate instead of guessing.
+type fileSnapshot struct {
+	Version int            `json:"version"`
+	Saved   time.Time      `json:"saved"`
+	Jobs    []PersistedJob `json:"jobs"`
+}
+
+// Load reads the snapshot; a missing file is an empty store, not an
+// error.
+func (f *FileStore) Load() ([]PersistedJob, error) {
+	data, err := os.ReadFile(f.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: load job store: %w", err)
+	}
+	var snap fileSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("server: job store %s is corrupt: %w", f.path, err)
+	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("server: job store %s has unknown version %d", f.path, snap.Version)
+	}
+	return snap.Jobs, nil
+}
+
+// Save atomically replaces the snapshot file.
+func (f *FileStore) Save(jobs []PersistedJob) error {
+	data, err := json.MarshalIndent(fileSnapshot{Version: 1, Saved: time.Now().UTC(), Jobs: jobs}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: encode job store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(f.path), filepath.Base(f.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("server: save job store: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("server: save job store: %w", werr)
+		}
+		return fmt.Errorf("server: save job store: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), f.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: save job store: %w", err)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package etap
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 )
@@ -15,10 +16,22 @@ import (
 //
 // A Lab is safe for concurrent use. Concurrent requests for the same key
 // block on one build; requests for different keys build in parallel.
+//
+// The cache is bounded: once it holds Capacity distinct keys, inserting
+// a new one evicts the least-recently-used entry (failed builds are
+// cached and evicted the same way). Eviction never breaks callers
+// already waiting on an entry — they keep their result; the key is
+// simply rebuilt on its next miss.
 type Lab struct {
-	mu      sync.Mutex
-	entries map[labKey]*labEntry
+	mu       sync.Mutex
+	entries  map[labKey]*labEntry
+	order    *list.List // front = most recently used; values are labKey
+	capacity int
+	builds   int64
 }
+
+// DefaultLabCapacity is the entry bound NewLab applies.
+const DefaultLabCapacity = 128
 
 type labKey struct {
 	source   string
@@ -32,20 +45,43 @@ type labEntry struct {
 	sys  *System
 	hard *HardenedSystem
 	err  error
+	elem *list.Element
 }
 
-// NewLab creates an empty session cache.
-func NewLab() *Lab {
-	return &Lab{entries: make(map[labKey]*labEntry)}
+// NewLab creates an empty session cache bounded at DefaultLabCapacity
+// entries.
+func NewLab() *Lab { return NewLabCapacity(DefaultLabCapacity) }
+
+// NewLabCapacity creates an empty session cache holding at most capacity
+// (source, policy, harden) keys, evicting least-recently-used entries
+// beyond that. A capacity of zero or less means unbounded — the pre-LRU
+// behaviour, appropriate only when the key population is known and
+// finite.
+func NewLabCapacity(capacity int) *Lab {
+	return &Lab{
+		entries:  make(map[labKey]*labEntry),
+		order:    list.New(),
+		capacity: capacity,
+	}
 }
 
 func (l *Lab) entry(key labKey) *labEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	e, ok := l.entries[key]
-	if !ok {
-		e = &labEntry{}
-		l.entries[key] = e
+	if e, ok := l.entries[key]; ok {
+		l.order.MoveToFront(e.elem)
+		return e
+	}
+	e := &labEntry{}
+	e.elem = l.order.PushFront(key)
+	l.entries[key] = e
+	if l.capacity > 0 {
+		for len(l.entries) > l.capacity {
+			back := l.order.Back()
+			evict := back.Value.(labKey)
+			l.order.Remove(back)
+			delete(l.entries, evict)
+		}
 	}
 	return e
 }
@@ -55,6 +91,7 @@ func (l *Lab) entry(key labKey) *labEntry {
 func (l *Lab) Build(source string, policy Policy) (*System, error) {
 	e := l.entry(labKey{source: source, policy: policy})
 	e.once.Do(func() {
+		l.countBuild()
 		e.sys, e.err = Build(source, policy)
 	})
 	return e.sys, e.err
@@ -81,6 +118,7 @@ func (l *Lab) Harden(source string, policy Policy, opts HardenOptions) (*Hardene
 			e.err = err
 			return
 		}
+		l.countBuild()
 		e.hard, e.err = sys.Harden(opts)
 	})
 	return e.hard, e.err
@@ -92,4 +130,20 @@ func (l *Lab) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.entries)
+}
+
+// Builds reports how many cache misses the Lab has actually paid for —
+// compiles plus harden rewrites performed, not served from cache. In a
+// service sharing one Lab, N concurrent submissions of one key raise it
+// by exactly one.
+func (l *Lab) Builds() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.builds
+}
+
+func (l *Lab) countBuild() {
+	l.mu.Lock()
+	l.builds++
+	l.mu.Unlock()
 }

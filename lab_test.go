@@ -1,0 +1,105 @@
+package etap
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// labSources returns n distinct compilable programs, so each occupies
+// its own Lab key.
+func labSources(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf(`
+tolerant int scale(int x) { return x * %d; }
+int main() { outb(scale(inb())); return 0; }
+`, i+2)
+	}
+	return out
+}
+
+func TestLabLRUEviction(t *testing.T) {
+	lab := NewLabCapacity(2)
+	srcs := labSources(3)
+
+	if _, err := lab.Build(srcs[0], PolicyControlAddr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Build(srcs[1], PolicyControlAddr); err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Len(); got != 2 {
+		t.Fatalf("lab holds %d entries, want 2", got)
+	}
+	// Touch srcs[0] so srcs[1] is the LRU victim.
+	if _, err := lab.Build(srcs[0], PolicyControlAddr); err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Builds(); got != 2 {
+		t.Fatalf("cache hit recompiled: %d builds, want 2", got)
+	}
+	// Inserting a third key must evict exactly one entry.
+	if _, err := lab.Build(srcs[2], PolicyControlAddr); err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Len(); got != 2 {
+		t.Fatalf("lab holds %d entries after eviction, want 2", got)
+	}
+	// srcs[0] was recently used and must still be cached...
+	if _, err := lab.Build(srcs[0], PolicyControlAddr); err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Builds(); got != 3 {
+		t.Fatalf("recently-used entry was evicted: %d builds, want 3", got)
+	}
+	// ...while srcs[1] was evicted and recompiles on miss.
+	s, err := lab.Build(srcs[1], PolicyControlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("recompile on miss returned nil system")
+	}
+	if got := lab.Builds(); got != 4 {
+		t.Fatalf("evicted entry did not recompile: %d builds, want 4", got)
+	}
+}
+
+func TestLabUnboundedCapacity(t *testing.T) {
+	lab := NewLabCapacity(0)
+	for _, src := range labSources(5) {
+		if _, err := lab.Build(src, PolicyControl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := lab.Len(); got != 5 {
+		t.Fatalf("unbounded lab evicted: %d entries, want 5", got)
+	}
+}
+
+func TestLabBuildsCounter(t *testing.T) {
+	lab := NewLab()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := lab.Build(testSource, PolicyControlAddr); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := lab.Builds(); got != 1 {
+		t.Fatalf("concurrent identical submissions paid %d builds, want 1", got)
+	}
+	// Harden shares the cached base compile and counts one more build
+	// (the rewrite), not two.
+	if _, err := lab.Harden(testSource, PolicyControlAddr, DefaultHardenOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Builds(); got != 2 {
+		t.Fatalf("harden over a cached base paid %d builds, want 2", got)
+	}
+}

@@ -1,0 +1,59 @@
+package etap
+
+import (
+	"errors"
+	"testing"
+
+	"etap/internal/server"
+)
+
+// FuzzPrepareSource fuzzes the submit-time minic source validation
+// behind POST /api/v1/jobs: for any source/input pair, prepare must
+// either accept (the program compiles, hardens when asked, and its
+// clean run completes within the instruction budget) or reject with a
+// structured *RequestError — never panic, and never occupy a job slot,
+// since prepare runs before Submit enqueues anything.
+func FuzzPrepareSource(f *testing.F) {
+	s, err := NewServer(WithServeWorkers(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { s.Close() })
+
+	seeds := []struct{ source, input string }{
+		{"int main() { return 0; }", ""},
+		{"int main() { outb(inb()); return 0; }", "x"},
+		{"tolerant int scale(int x) { return x * 3; }\nint main() { outb(scale(inb())); return 0; }", "a"},
+		{"int main() { int a; a = 1 / 0; return a; }", ""},
+		{"int main() { return x; }", ""},
+		{"int main() {", ""},
+		{"", ""},
+		{"char buf[4]; int main() { buf[9999] = 1; return 0; }", ""},
+		{"{{{", "\x00\xff"},
+		{"/* comment only */", ""},
+	}
+	for _, sd := range seeds {
+		f.Add(sd.source, sd.input, false)
+	}
+	f.Fuzz(func(t *testing.T, source, input string, harden bool) {
+		// The HTTP path bounds sizes in validate() before prepare sees
+		// the request; mirror that so the fuzzer probes the compiler, not
+		// the byte limits.
+		if len(source) > server.MaxSourceBytes || len(input) > server.MaxInputBytes {
+			t.Skip()
+		}
+		req := &server.SubmitRequest{Source: source, Input: input}
+		if harden {
+			req.Harden = &server.HardenSpec{DupCompare: true, Signatures: true}
+		}
+		if err := s.prepare(req); err != nil {
+			var re *server.RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("rejection is not a *RequestError: %T: %v", err, err)
+			}
+			if re.Code == "" || re.Message == "" {
+				t.Fatalf("rejection lacks code or message: %+v", re)
+			}
+		}
+	})
+}
