@@ -1,0 +1,204 @@
+// Command etbench runs the repo's performance harness outside `go test`
+// and emits a schema'd BENCH_<rev>.json artifact, so every revision
+// leaves a comparable perf trajectory point: simulator speed
+// (ns/instruction), campaign throughput (trials/sec) and a fixed
+// campaign's wall-clock. CI runs it in -short mode on every push and
+// uploads the artifact; docs/OBSERVABILITY.md documents the schema.
+//
+// Usage:
+//
+//	etbench [-short] [-out dir] [-rev id]
+//
+// The artifact name uses the VCS revision stamped into the binary
+// (internal/version); -rev overrides it for unstamped builds (go run,
+// test binaries), where it would otherwise be "unknown".
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"etap/internal/apps"
+	"etap/internal/apps/all"
+	"etap/internal/campaign"
+	"etap/internal/core"
+	"etap/internal/minic"
+	"etap/internal/sim"
+	"etap/internal/version"
+)
+
+// benchSchema identifies the artifact layout; bump it when fields
+// change meaning.
+const benchSchema = "etap-bench/v1"
+
+// Metric is one measured figure.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// Artifact is the BENCH_<rev>.json payload.
+type Artifact struct {
+	Schema    string    `json:"schema"`
+	Revision  string    `json:"revision"`
+	Dirty     bool      `json:"dirty,omitempty"`
+	Go        string    `json:"go"`
+	Timestamp time.Time `json:"timestamp"`
+	Short     bool      `json:"short"`
+	Metrics   []Metric  `json:"metrics"`
+}
+
+func main() {
+	short := flag.Bool("short", false, "cheaper measurements (CI mode): smaller trial budgets, same shapes")
+	outDir := flag.String("out", ".", "directory the BENCH_<rev>.json artifact is written into")
+	revFlag := flag.String("rev", "", "revision id for the artifact name (default: the stamped VCS revision)")
+	showVersion := flag.Bool("version", false, "print build identity and exit")
+	flag.Parse()
+	if *showVersion {
+		version.Fprint(os.Stdout, "etbench")
+		return
+	}
+	if err := run(*short, *outDir, *revFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "etbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(short bool, outDir, revFlag string) error {
+	info := version.Get()
+	rev := info.Short()
+	if revFlag != "" {
+		rev = revFlag
+	}
+
+	metrics, err := measure(short)
+	if err != nil {
+		return err
+	}
+	art := Artifact{
+		Schema:    benchSchema,
+		Revision:  info.Revision,
+		Dirty:     info.Dirty,
+		Go:        info.Go,
+		Timestamp: time.Now().UTC().Truncate(time.Second),
+		Short:     short,
+		Metrics:   metrics,
+	}
+	if revFlag != "" {
+		art.Revision = revFlag
+	}
+
+	path := filepath.Join(outDir, "BENCH_"+rev+".json")
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	for _, m := range metrics {
+		fmt.Printf("  %-32s %14.4f %s\n", m.Name, m.Value, m.Unit)
+	}
+	return nil
+}
+
+// measure runs the three headline measurements. Each uses
+// testing.Benchmark, so iteration counts self-calibrate exactly as the
+// bench_test.go harness does.
+func measure(short bool) ([]Metric, error) {
+	simApp, _ := all.ByName("blowfish")
+	simProg, err := minic.Build(simApp.Source())
+	if err != nil {
+		return nil, fmt.Errorf("building blowfish: %w", err)
+	}
+	campApp, _ := all.ByName("adpcm")
+	campProg, err := minic.Build(campApp.Source())
+	if err != nil {
+		return nil, fmt.Errorf("building adpcm: %w", err)
+	}
+	rep, err := core.Analyze(campProg, core.PolicyControlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("analyzing adpcm: %w", err)
+	}
+
+	maxTrials := 64
+	points := 4
+	if short {
+		maxTrials = 16
+		points = 2
+	}
+
+	var metrics []Metric
+
+	// Simulator speed: clean blowfish runs, no fault accounting.
+	var benchErr error
+	simRes := testing.Benchmark(func(b *testing.B) {
+		var instret uint64
+		for i := 0; i < b.N; i++ {
+			res := sim.Run(simProg, sim.Config{Input: simApp.Input()})
+			if res.Outcome != sim.OK {
+				benchErr = fmt.Errorf("clean run outcome %s", res.Outcome)
+				return
+			}
+			instret += res.Instret
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instret), "ns/instr")
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	metrics = append(metrics, Metric{
+		Name:  "sim_ns_per_instruction",
+		Value: simRes.Extra["ns/instr"],
+		Unit:  "ns/instruction",
+	})
+
+	// Campaign throughput: sharded points on the checkpointing engine,
+	// the per-trial cost a characterization job pays.
+	eng, err := campaign.New(campProg, rep.Tagged, sim.Config{Input: campApp.Input()}, campaign.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("engine setup: %w", err)
+	}
+	eng.Score = apps.Scorer(campApp)
+	campRes := testing.Benchmark(func(b *testing.B) {
+		trials := 0
+		for i := 0; i < b.N; i++ {
+			r := eng.RunPoint(context.Background(), campaign.Point{
+				Errors: 5, HiBit: 31, MaxTrials: maxTrials, Seed: int64(i + 1),
+			}, nil)
+			trials += r.Trials
+		}
+		b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
+	})
+	metrics = append(metrics, Metric{
+		Name:  "campaign_trials_per_second",
+		Value: campRes.Extra["trials/s"],
+		Unit:  "trials/second",
+	})
+
+	// Fixed-campaign wall-clock: one deterministic sweep, timed once —
+	// the end-to-end figure a service job's latency tracks.
+	start := time.Now()
+	total := 0
+	for p := 0; p < points; p++ {
+		r := eng.RunPoint(context.Background(), campaign.Point{
+			Errors: 1 << p, HiBit: 31, MaxTrials: maxTrials, Seed: 1,
+		}, nil)
+		total += r.Trials
+	}
+	elapsed := time.Since(start)
+	metrics = append(metrics,
+		Metric{Name: "campaign_sweep_seconds", Value: elapsed.Seconds(), Unit: "seconds"},
+		Metric{Name: "campaign_sweep_trials", Value: float64(total), Unit: "trials"},
+	)
+	return metrics, nil
+}

@@ -39,6 +39,7 @@ import (
 	"etap/internal/sim"
 	"etap/internal/termprog"
 	"etap/internal/textplot"
+	"etap/internal/version"
 )
 
 func main() {
@@ -85,8 +86,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	policy := fs.String("policy", "control+addr", "analysis policy: control, control+addr, conservative")
 	format := fs.String("format", "text", "output format: text, json or csv")
 	outFile := fs.String("out", "", "write results to this file instead of stdout")
+	showVersion := fs.Bool("version", false, "print build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return usageError(err.Error())
+	}
+	if *showVersion {
+		version.Fprint(stdout, "etcamp")
+		return nil
 	}
 
 	opt := options{

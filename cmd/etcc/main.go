@@ -15,11 +15,17 @@ import (
 	"os"
 
 	"etap/internal/minic"
+	"etap/internal/version"
 )
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	showVersion := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+	if *showVersion {
+		version.Fprint(os.Stdout, "etcc")
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: etcc [-o out.s] prog.mc")
 		os.Exit(2)

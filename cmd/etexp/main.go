@@ -31,6 +31,7 @@ import (
 
 	"etap"
 	"etap/internal/termprog"
+	"etap/internal/version"
 )
 
 func main() {
@@ -59,8 +60,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	policy := fs.String("policy", "", "analysis policy: control, control+addr, conservative (default control+addr)")
 	format := fs.String("format", "text", "output format: text, json or csv")
 	outFile := fs.String("out", "", "also write results to this file")
+	showVersion := fs.Bool("version", false, "print build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return usageError(err.Error())
+	}
+	if *showVersion {
+		version.Fprint(stdout, "etexp")
+		return nil
 	}
 
 	switch *format {

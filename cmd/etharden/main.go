@@ -46,6 +46,7 @@ import (
 	"etap/internal/sim"
 	"etap/internal/termprog"
 	"etap/internal/textplot"
+	"etap/internal/version"
 )
 
 func main() {
@@ -87,8 +88,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "campaign seed")
 	format := fs.String("format", "text", "output format: text or csv")
 	outFile := fs.String("out", "", "write results to this file instead of stdout")
+	showVersion := fs.Bool("version", false, "print build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return usageError(err.Error())
+	}
+	if *showVersion {
+		version.Fprint(stdout, "etharden")
+		return nil
 	}
 
 	sel, err := all.Parse(*appFlag)

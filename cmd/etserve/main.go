@@ -24,11 +24,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"etap"
+	"etap/internal/version"
 )
 
 func main() {
@@ -55,9 +57,17 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	queue := fs.Int("queue", 0, "queued-job bound before submissions get 503 (0 = 64)")
 	state := fs.String("state", "", "persist the job table to this JSON file (restart-safe)")
 	labCapacity := fs.Int("lab-capacity", etap.DefaultLabCapacity, "compile-cache entries before LRU eviction (<= 0 = unbounded)")
+	maxJobs := fs.Int("max-jobs", 0, "job-table bound; oldest finished jobs evict past it (0 = 1024, < 0 = unbounded)")
+	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof/ (exposes internals; keep off on public deployments)")
+	jsonLog := fs.Bool("log-json", false, "emit structured JSON logs (slog) instead of plain lines")
 	quiet := fs.Bool("quiet", false, "suppress per-job log lines")
+	showVersion := fs.Bool("version", false, "print build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return usageError(err.Error())
+	}
+	if *showVersion {
+		version.Fprint(os.Stdout, "etserve")
+		return nil
 	}
 	if fs.NArg() > 0 {
 		return usageError(fmt.Sprintf("unexpected arguments: %v", fs.Args()))
@@ -72,7 +82,16 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		etap.WithServeLab(etap.NewLabCapacity(*labCapacity)),
 		etap.WithServeWorkers(*workers),
 		etap.WithServeQueueDepth(*queue),
-		etap.WithServeLog(logf),
+		etap.WithServeMaxJobs(*maxJobs),
+	}
+	switch {
+	case *jsonLog && !*quiet:
+		opts = append(opts, etap.WithServeLogger(slog.New(slog.NewJSONHandler(stderr, nil))))
+	default:
+		opts = append(opts, etap.WithServeLog(logf))
+	}
+	if *pprofFlag {
+		opts = append(opts, etap.WithServePprof())
 	}
 	if *state != "" {
 		opts = append(opts, etap.WithServeStateFile(*state))

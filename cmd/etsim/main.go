@@ -28,6 +28,7 @@ import (
 	"etap/internal/isa"
 	"etap/internal/minic"
 	"etap/internal/sim"
+	"etap/internal/version"
 )
 
 func main() {
@@ -37,7 +38,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "injection seed")
 	unprotected := flag.Bool("unprotected", false, "inject into all arithmetic instructions")
 	policy := flag.String("policy", "control+addr", "analysis policy: control, control+addr, conservative")
+	showVersion := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+	if *showVersion {
+		version.Fprint(os.Stdout, "etsim")
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: etsim [flags] prog.{mc,s}")
 		os.Exit(2)

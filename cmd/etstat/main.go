@@ -18,13 +18,19 @@ import (
 	"os"
 
 	"etap"
+	"etap/internal/version"
 )
 
 func main() {
 	appName := flag.String("app", "", "benchmark name (susan, mpeg, mcf, blowfish, gsm, art, adpcm)")
 	policy := flag.String("policy", "control+addr", "analysis policy: control, control+addr, conservative")
 	verbose := flag.Bool("v", false, "print the annotated disassembly")
+	showVersion := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+	if *showVersion {
+		version.Fprint(os.Stdout, "etstat")
+		return
+	}
 
 	pol, ok := etap.ParsePolicy(*policy)
 	if !ok {

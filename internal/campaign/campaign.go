@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"etap/internal/fault"
 	"etap/internal/isa"
@@ -248,6 +249,7 @@ func (e *Engine) RunPoint(ctx context.Context, pt Point, observe Observer) Point
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	campPoints.Inc()
 	// Clamp the lane the same way plan generation will, so reported
 	// lanes, shard seeds and the actual flips all agree.
 	lo, hi := pt.LoBit, pt.HiBit
@@ -378,6 +380,7 @@ func (e *Engine) RunPoint(ctx context.Context, pt Point, observe Observer) Point
 // RNG stream. A cancelled context stops the shard between trials and
 // returns the trials finished so far.
 func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi uint8, shard, count int) []Trial {
+	defer observeShard(time.Now())
 	rng := rand.New(rand.NewSource(shardSeed(seed, errors, lo, hi, shard)))
 	trials := make([]Trial, 0, count)
 	for i := 0; i < count; i++ {
@@ -399,6 +402,7 @@ func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi ui
 				tr.Acceptable = tr.Masked
 			}
 		}
+		countTrial(tr)
 		trials = append(trials, tr)
 	}
 	return trials

@@ -1,0 +1,52 @@
+package campaign
+
+import (
+	"time"
+
+	"etap/internal/obs"
+	"etap/internal/sim"
+)
+
+// Process-wide campaign metrics on the default obs registry. All
+// updates happen on worker or collector goroutines through lock-free
+// handles resolved here once; nothing reads them back, so shard RNG
+// streams, trial ordering and aggregation stay bit-identical with
+// metrics enabled or disabled (pinned by TestReportBytesIdentical at
+// the repo root).
+var (
+	campTrials = obs.Default().CounterVec("etap_campaign_trials_total",
+		"Fault-injection trials executed, by simulator outcome.",
+		"outcome")
+	// Index by sim.Outcome so the per-trial hot path is one array load
+	// plus one atomic add.
+	trialOutcome = [...]*obs.Counter{
+		sim.OK:       campTrials.With(sim.OK.String()),
+		sim.Crash:    campTrials.With(sim.Crash.String()),
+		sim.Timeout:  campTrials.With(sim.Timeout.String()),
+		sim.Detected: campTrials.With(sim.Detected.String()),
+	}
+
+	campPoints = obs.Default().Counter("etap_campaign_points_total",
+		"Measurement points (error-count sweeps) started.")
+	campShardSeconds = obs.Default().Histogram("etap_campaign_shard_seconds",
+		"Wall-clock seconds one worker spent executing one shard of trials.",
+		obs.ExpBuckets(0.0005, 4, 12))
+	campDetectLatency = obs.Default().Histogram("etap_campaign_detect_latency_instructions",
+		"Retired instructions between the first injected flip and the redundancy check that caught it (Detected trials only).",
+		obs.ExpBuckets(1, 4, 16))
+)
+
+// countTrial folds one executed trial into the process counters.
+func countTrial(tr Trial) {
+	if int(tr.Outcome) < len(trialOutcome) {
+		trialOutcome[tr.Outcome].Inc()
+	}
+	if tr.HasLatency {
+		campDetectLatency.Observe(float64(tr.DetectLatency))
+	}
+}
+
+// observeShard records one shard's wall-clock.
+func observeShard(start time.Time) {
+	campShardSeconds.Observe(time.Since(start).Seconds())
+}

@@ -1,0 +1,141 @@
+// Prometheus text exposition: the version-0.0.4 format every scraper
+// speaks. Families render sorted by name and children sorted by label
+// values, so output is deterministic and testable line-by-line.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry as text/plain exposition at any path —
+// mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // the scraper is gone; nothing to do
+	})
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	f.mu.Lock()
+	fn := f.fn
+	children := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		children = append(children, c)
+	}
+	f.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	if fn != nil {
+		fmt.Fprintf(w, "%s %s\n", f.name, fmtFloat(fn()))
+		return nil
+	}
+	sort.Slice(children, func(i, j int) bool {
+		return labelKey(children[i].labelVals) < labelKey(children[j].labelVals)
+	})
+	for _, c := range children {
+		if f.kind == KindHistogram {
+			c.writeHistogram(w)
+			continue
+		}
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, c.labelVals, ""), fmtFloat(math.Float64frombits(c.bits.Load())))
+	}
+	return nil
+}
+
+func (c *child) writeHistogram(w *bufio.Writer) {
+	f := c.fam
+	var cum uint64
+	for i, le := range f.buckets {
+		cum += c.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, c.labelVals, fmtFloat(le)), cum)
+	}
+	// The +Inf bucket equals the total count by definition.
+	count := c.count.Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, c.labelVals, "+Inf"), count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, c.labelVals, ""), fmtFloat(math.Float64frombits(c.sum.Load())))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, c.labelVals, ""), count)
+}
+
+// labelString renders {a="x",b="y"} (plus le when non-empty), or ""
+// when there are no labels at all.
+func labelString(names, vals []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fmtFloat renders values the way Prometheus clients conventionally do:
+// integers without an exponent or trailing zeros, everything else via
+// strconv's shortest representation.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,451 @@
+// Package obs is the zero-dependency observability plane: race-safe
+// Counter/Gauge/Histogram primitives with labels, a Registry, and a
+// Prometheus text-exposition encoder — stdlib only, matching the
+// module's empty dependency set.
+//
+// Metric updates are lock-free atomics on pre-resolved handles, so
+// instrumented hot paths (the simulator inner loop boundary, campaign
+// shards) pay one atomic add per event. Instrumentation is
+// observationally pure: it never touches RNG streams, trial ordering or
+// any value a campaign computes — a guard test at the repo root pins
+// report bytes identical with metrics enabled and disabled.
+//
+// Collection is process-global by default: packages register families
+// on Default() at init and the service exposes that registry at
+// GET /metrics. Tests that need isolation construct private registries
+// with NewRegistry. Registration is idempotent — asking for an existing
+// (name, kind, labels) family returns the same family, and Func metrics
+// re-registering under the same name replace their callback — so
+// constructing many servers against one process-global registry is
+// safe.
+//
+// docs/OBSERVABILITY.md holds the metric catalog and scrape examples.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric families.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Registry owns a set of metric families and renders them in Prometheus
+// text exposition format. It is safe for concurrent registration,
+// updates and collection. The zero value is not usable; call
+// NewRegistry (or use Default).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	enabled  atomic.Bool
+}
+
+// NewRegistry creates an empty, enabled registry.
+func NewRegistry() *Registry {
+	r := &Registry{families: make(map[string]*family)}
+	r.enabled.Store(true)
+	return r
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default is the process-global registry instrumented packages (sim,
+// campaign, server, the Lab) register into. It is enabled by default;
+// SetEnabled(false) turns every update on it into a no-op without
+// unregistering anything.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}
+
+// SetEnabled flips metric collection on this registry. Disabled
+// registries still expose their families (values frozen); updates
+// return without writing.
+func (r *Registry) SetEnabled(on bool) {
+	if r != nil {
+		r.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether updates are being collected.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// family is one named metric: fixed kind, help, label names, and a
+// child per label-value combination (one child with the empty key for
+// unlabelled metrics). Func families have fn set and no children.
+type family struct {
+	reg    *Registry
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*child
+	fn       func() float64 // Func families only
+	buckets  []float64      // histogram families only
+}
+
+// child is one metric instance. Counters and gauges use bits (a float64
+// as atomic bits); histograms use counts/sum/count.
+type child struct {
+	fam       *family
+	labelVals []string
+
+	bits atomic.Uint64 // counter/gauge value
+
+	counts []atomic.Uint64 // histogram: per-bucket, cumulative at render
+	sum    atomic.Uint64   // histogram: float64 bits
+	count  atomic.Uint64   // histogram: observation count
+}
+
+// validName reports whether s is a legal Prometheus metric or label
+// name: [a-zA-Z_][a-zA-Z0-9_]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_', 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z':
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the family for (name, kind, labels), creating it on
+// first use. Re-registering with a different kind or label set panics:
+// that is a programming error, caught at init time.
+func (r *Registry) lookup(name, help string, kind Kind, buckets []float64, labels []string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || strings.Join(f.labels, ",") != strings.Join(labels, ",") {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s%v, was %s%v",
+				name, kind, labels, f.kind, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		reg:      r,
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		children: make(map[string]*child),
+		buckets:  buckets,
+	}
+	r.families[name] = f
+	return f
+}
+
+// labelKey joins label values into the child-map key. Values are
+// length-prefixed so ("a,b") and ("a","b") cannot collide.
+func labelKey(vals []string) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		fmt.Fprintf(&b, "%d:%s,", len(v), v)
+	}
+	return b.String()
+}
+
+func (f *family) child(vals []string) *child {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s takes %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := labelKey(vals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := &child{fam: f, labelVals: append([]string(nil), vals...)}
+	if f.kind == KindHistogram {
+		c.counts = make([]atomic.Uint64, len(f.buckets))
+	}
+	f.children[key] = c
+	return c
+}
+
+// addFloat atomically adds delta to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ c *child }
+
+// Counter registers (or returns) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{r.lookup(name, help, KindCounter, nil, nil).child(nil)}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotonic by contract).
+func (c *Counter) Add(v float64) {
+	if c == nil || c.c == nil || v < 0 || !c.c.fam.reg.Enabled() {
+		return
+	}
+	addFloat(&c.c.bits, v)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() float64 {
+	if c == nil || c.c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.c.bits.Load())
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r.lookup(name, help, KindCounter, nil, labels)}
+}
+
+// With resolves the child for the given label values. Resolve once and
+// reuse the handle on hot paths.
+func (v *CounterVec) With(vals ...string) *Counter {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Counter{v.f.child(vals)}
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ c *child }
+
+// Gauge registers (or returns) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{r.lookup(name, help, KindGauge, nil, nil).child(nil)}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.c == nil || !g.c.fam.reg.Enabled() {
+		return
+	}
+	g.c.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta (negative allowed).
+func (g *Gauge) Add(delta float64) {
+	if g == nil || g.c == nil || !g.c.fam.reg.Enabled() {
+		return
+	}
+	addFloat(&g.c.bits, delta)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil || g.c == nil {
+		return 0
+	}
+	return math.Float64frombits(g.c.bits.Load())
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r.lookup(name, help, KindGauge, nil, labels)}
+}
+
+// With resolves the child for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Gauge{v.f.child(vals)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// collection time — for sources that already keep their own monotonic
+// totals (Lab build counts, runtime stats). Re-registering the same
+// name replaces the callback, so per-instance sources (a new Lab per
+// server) can re-bind across constructions.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, KindCounter, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge read from fn at collection time, with the
+// same replace-on-re-register semantics as CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, KindGauge, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// DefBuckets are general-purpose duration buckets in seconds, following
+// the conventional Prometheus defaults.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExpBuckets returns n buckets starting at start, each factor times the
+// previous — the shape used for detection-latency (instructions) and
+// shard wall-clock histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets requires start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// Histogram observes a distribution over fixed buckets.
+type Histogram struct{ c *child }
+
+// Histogram registers (or returns) an unlabelled histogram with the
+// given ascending bucket upper bounds (the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return &Histogram{r.histFamily(name, help, buckets).child(nil)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{r.histFamily(name, help, buckets, labels...)}
+}
+
+// With resolves the child for the given label values.
+func (v *HistogramVec) With(vals ...string) *Histogram {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Histogram{v.f.child(vals)}
+}
+
+func (r *Registry) histFamily(name, help string, buckets []float64, labels ...string) *family {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: histogram %s buckets are not ascending", name))
+	}
+	return r.lookup(name, help, KindHistogram, buckets, labels)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.c == nil || !h.c.fam.reg.Enabled() {
+		return
+	}
+	c := h.c
+	// Buckets store non-cumulative counts; the encoder accumulates, so
+	// one atomic add suffices per observation.
+	i := sort.SearchFloat64s(c.fam.buckets, v)
+	if i < len(c.counts) {
+		c.counts[i].Add(1)
+	}
+	addFloat(&c.sum, v)
+	c.count.Add(1)
+}
+
+// Count reads the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil || h.c == nil {
+		return 0
+	}
+	return h.c.count.Load()
+}
+
+// Sum reads the total of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil || h.c == nil {
+		return 0
+	}
+	return math.Float64frombits(h.c.sum.Load())
+}

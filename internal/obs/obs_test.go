@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_counter_total", "a counter")
+	v := r.CounterVec("test_labelled_total", "a labelled counter", "who")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			who := v.With(fmt.Sprintf("g%d", g%4))
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				who.Add(2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter = %v, want %d", got, goroutines*perG)
+	}
+	var total float64
+	for g := 0; g < 4; g++ {
+		total += v.With(fmt.Sprintf("g%d", g)).Value()
+	}
+	if total != goroutines*perG*2 {
+		t.Errorf("labelled total = %v, want %d", total, goroutines*perG*2)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "a histogram", []float64{1, 10, 100})
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("count = %d, want %d", got, goroutines*perG)
+	}
+	var wantSum float64
+	for i := 0; i < perG; i++ {
+		wantSum += float64(i % 200)
+	}
+	wantSum *= goroutines
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %v, want 7", got)
+	}
+}
+
+func TestDisabledRegistryDropsUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "t")
+	g := r.Gauge("test_g", "t")
+	h := r.Histogram("test_h", "t", []float64{1})
+	c.Inc()
+	r.SetEnabled(false)
+	c.Inc()
+	g.Set(5)
+	h.Observe(1)
+	if c.Value() != 1 || g.Value() != 0 || h.Count() != 0 {
+		t.Errorf("disabled registry collected: c=%v g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 2 {
+		t.Errorf("re-enabled counter = %v, want 2", c.Value())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "x")
+	c.Inc()
+	c.Add(1)
+	r.CounterVec("x", "x", "l").With("v").Inc()
+	r.Gauge("x", "x").Set(1)
+	r.GaugeVec("x", "x", "l").With("v").Add(1)
+	r.Histogram("x", "x", nil).Observe(1)
+	r.HistogramVec("x", "x", nil, "l").With("v").Observe(1)
+	r.CounterFunc("x", "x", func() float64 { return 1 })
+	r.GaugeFunc("x", "x", func() float64 { return 1 })
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Set(1)
+	var nh *Histogram
+	nh.Observe(1)
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "help")
+	b := r.Counter("same_total", "help")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 2 {
+		t.Errorf("re-registered counters diverged: %v vs %v", a.Value(), b.Value())
+	}
+	calls := 0
+	r.GaugeFunc("fn_gauge", "h", func() float64 { calls++; return 1 })
+	r.GaugeFunc("fn_gauge", "h", func() float64 { calls += 100; return 2 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 100 {
+		t.Errorf("replaced func called %d times, want the replacement once (100)", calls)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("clash", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lead", "has-dash", "has space", "ünïcode"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "h")
+		}()
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestExpositionFormat validates the rendered text line by line: every
+// line is a comment or a well-formed sample, HELP/TYPE precede samples,
+// families are sorted, histogram buckets are cumulative and end at
+// +Inf, and the values match what was recorded.
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("app_requests_total", "requests served", "route", "code")
+	c.With("/jobs", "200").Add(3)
+	c.With("/jobs", "404").Inc()
+	r.Gauge("app_queue_depth", "queued jobs").Set(2)
+	h := r.Histogram("app_latency_seconds", "request latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("app_uptime_seconds", "seconds since start", func() float64 { return 42.5 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	var (
+		lastFamily string
+		sawHelp    = map[string]bool{}
+		sawType    = map[string]bool{}
+		samples    = map[string]string{}
+	)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			if parts[0] < lastFamily {
+				t.Errorf("line %d: family %q out of sort order (after %q)", ln+1, parts[0], lastFamily)
+			}
+			lastFamily = parts[0]
+			sawHelp[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line[len("# TYPE "):])
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("line %d: unknown TYPE %q", ln+1, parts[1])
+			}
+			sawType[parts[0]] = true
+			continue
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator: %q", ln+1, line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("line %d: value %q is not a float: %v", ln+1, val, err)
+			}
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			name = key[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !sawHelp[base] && !sawHelp[name] {
+			t.Errorf("line %d: sample %q before its HELP", ln+1, name)
+		}
+		samples[key] = val
+	}
+	for fam := range sawHelp {
+		if !sawType[fam] {
+			t.Errorf("family %q has HELP but no TYPE", fam)
+		}
+	}
+
+	expect := map[string]string{
+		`app_requests_total{route="/jobs",code="200"}`: "3",
+		`app_requests_total{route="/jobs",code="404"}`: "1",
+		`app_queue_depth`:                       "2",
+		`app_latency_seconds_bucket{le="0.1"}`:  "1",
+		`app_latency_seconds_bucket{le="1"}`:    "2",
+		`app_latency_seconds_bucket{le="+Inf"}`: "3",
+		`app_latency_seconds_count`:             "3",
+		`app_uptime_seconds`:                    "42.5",
+	}
+	for k, want := range expect {
+		if got, ok := samples[k]; !ok {
+			t.Errorf("missing sample %s", k)
+		} else if got != want {
+			t.Errorf("sample %s = %s, want %s", k, got, want)
+		}
+	}
+	if got, err := strconv.ParseFloat(samples["app_latency_seconds_sum"], 64); err != nil || math.Abs(got-5.55) > 1e-9 {
+		t.Errorf("histogram sum = %q, want 5.55", samples["app_latency_seconds_sum"])
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "h", "v").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, sb.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_total", "h").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "handler_total 1") {
+		t.Errorf("body missing sample:\n%s", body)
+	}
+}
+
+func TestLabelKeyCollision(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("coll_total", "h", "a", "b")
+	v.With("x,y", "z").Inc()
+	v.With("x", "y,z").Inc()
+	if v.With("x,y", "z").Value() != 1 || v.With("x", "y,z").Value() != 1 {
+		t.Error("distinct label tuples collided")
+	}
+}

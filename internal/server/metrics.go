@@ -1,0 +1,97 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+
+	"etap/internal/obs"
+)
+
+// serverMetrics is the service's metric set, resolved once per Manager
+// against the configured registry. Families are registered idempotently,
+// so many managers (tests, embedded servers) may share one registry —
+// counters then aggregate process-wide, which is what a scraper wants.
+type serverMetrics struct {
+	httpRequests *obs.CounterVec   // route, code
+	httpDuration *obs.HistogramVec // route
+	queueDepth   *obs.Gauge
+	workersBusy  *obs.Gauge
+	sseSubs      *obs.Gauge
+	jobsTotal    *obs.CounterVec // state transitions
+	jobsStored   *obs.Gauge
+	jobsEvicted  *obs.Counter
+}
+
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		httpRequests: r.CounterVec("etap_http_requests_total",
+			"HTTP requests served, by route pattern and status code.",
+			"route", "code"),
+		httpDuration: r.HistogramVec("etap_http_request_seconds",
+			"HTTP request duration in seconds, by route pattern.",
+			obs.DefBuckets, "route"),
+		queueDepth: r.Gauge("etap_server_queue_depth",
+			"Jobs waiting for a worker slot."),
+		workersBusy: r.Gauge("etap_server_workers_busy",
+			"Workers currently executing a job."),
+		sseSubs: r.Gauge("etap_server_sse_subscribers",
+			"Live SSE event-stream subscriptions."),
+		jobsTotal: r.CounterVec("etap_server_jobs_total",
+			"Job lifecycle transitions, by state entered.",
+			"state"),
+		jobsStored: r.Gauge("etap_server_jobs_stored",
+			"Jobs held in the in-memory job table."),
+		jobsEvicted: r.Counter("etap_server_jobs_evicted_total",
+			"Finished jobs pruned from the job table by the max-jobs bound."),
+	}
+}
+
+// enteredState counts one lifecycle transition.
+func (sm *serverMetrics) enteredState(s State) {
+	if sm == nil {
+		return
+	}
+	sm.jobsTotal.With(string(s)).Inc()
+}
+
+// discardHandler drops every record; the default logger when neither
+// Logger nor Logf is configured. (slog.DiscardHandler exists from Go
+// 1.24; this keeps the module buildable with its declared go 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// logfHandler adapts a printf-style sink (the legacy Config.Logf /
+// etap.WithServeLog surface) into a slog.Handler: one line per record,
+// message first, attrs appended as key=value.
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+func (h logfHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= slog.LevelInfo
+}
+
+func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
+	line := r.Message
+	emit := func(a slog.Attr) {
+		line += " " + a.Key + "=" + a.Value.String()
+	}
+	for _, a := range h.attrs {
+		emit(a)
+	}
+	r.Attrs(func(a slog.Attr) bool { emit(a); return true })
+	h.logf("%s", line)
+	return nil
+}
+
+func (h logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return h
+}
+
+func (h logfHandler) WithGroup(string) slog.Handler { return h }

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter records the response status for metrics and logs while
+// forwarding everything else. It exposes the wrapped writer through
+// Unwrap so streaming handlers can still find http.Flusher underneath.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// status is the recorded code; a handler that never wrote anything
+// implicitly answered 200.
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+func newRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "r" + hex.EncodeToString(b[:])
+}
+
+// instrument wraps a handler with the service's HTTP observability:
+// request counter and duration histogram labeled by route name (the
+// pattern is not read off the request — http.Request.Pattern needs Go
+// 1.23 and the module declares 1.22), an X-Request-Id response header,
+// and one structured log line per request.
+func (s *Server) instrument(route string, next http.Handler) http.Handler {
+	dur := s.m.metrics.httpDuration.With(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := newRequestID()
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		code := sw.status()
+		s.m.metrics.httpRequests.With(route, strconv.Itoa(code)).Inc()
+		dur.Observe(elapsed.Seconds())
+		s.m.log.Info("http request",
+			"request", id, "route", route, "method", r.Method,
+			"path", r.URL.Path, "code", code, "elapsed", elapsed)
+	})
+}

@@ -1,0 +1,242 @@
+// Observability-plane tests: the /metrics exposition during live jobs,
+// concurrent scrapes under -race, max-jobs pruning, and the enriched
+// healthz payload.
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etap"
+	"etap/internal/server"
+)
+
+// scrapeMetrics fetches /metrics and returns the raw exposition text.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, data := doJSON(t, http.MethodGet, base+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	return string(data)
+}
+
+// metricSum sums every sample of the named family across label sets.
+func metricSum(t *testing.T, text, name string) float64 {
+	t.Helper()
+	var sum float64
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		// Exact family only: the next byte must open labels or be the
+		// value separator, not extend the name (_bucket, _sum, ...).
+		if !strings.HasPrefix(rest, "{") && !strings.HasPrefix(rest, " ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("unparsable sample %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	if !found {
+		t.Fatalf("family %s absent from exposition:\n%s", name, text)
+	}
+	return sum
+}
+
+// TestMetricsScrapeDuringRunningJob: /metrics answers while a campaign
+// executes, survives 8 concurrent scrapers (the -race run guards the
+// registry), and the trial counters move while the job is live.
+func TestMetricsScrapeDuringRunningJob(t *testing.T) {
+	_, hs := newTestServer(t)
+	body := fmt.Sprintf(`{"source":%s,"input":%s,"errors":[1],"trials":4000,"seed":7}`,
+		jsonStr(slowSource), jsonStr(slowInput()))
+	id := submitJob(t, hs.URL, body)
+	waitForState(t, hs.URL, id, server.StateRunning, server.StateDone)
+
+	// Poll the exposition until the live campaign has visibly retired
+	// trials. (The registry is process-global, so `before` may already
+	// be nonzero from earlier tests; require movement or completion.)
+	before := metricSum(t, scrapeMetrics(t, hs.URL), "etap_campaign_trials_total")
+	deadline := time.Now().Add(60 * time.Second)
+	after := before
+	for time.Now().Before(deadline) {
+		after = metricSum(t, scrapeMetrics(t, hs.URL), "etap_campaign_trials_total")
+		if after > before {
+			break
+		}
+		st := jobStatus(t, hs.URL, id)
+		if terminal(server.State(st["state"].(string))) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := http.Get(hs.URL + "/metrics")
+			if resp != nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Don't wait out the full 4000-trial budget (a -race run is ~10x
+	// slower); cancelling keeps the partial aggregates and the counters.
+	doJSON(t, http.MethodDelete, hs.URL+"/api/v1/jobs/"+id, "")
+	waitForState(t, hs.URL, id, server.StateDone, server.StateCancelled)
+	text := scrapeMetrics(t, hs.URL)
+	final := metricSum(t, text, "etap_campaign_trials_total")
+	if final <= 0 {
+		t.Fatalf("etap_campaign_trials_total = %v after a campaign ran", final)
+	}
+	if final < after {
+		t.Fatalf("trial counter went backwards: %v then %v", after, final)
+	}
+	for _, fam := range []string{
+		"etap_sim_instructions_total",
+		"etap_sim_runs_total",
+		"etap_campaign_points_total",
+		"etap_http_requests_total",
+		"etap_server_jobs_total",
+		"etap_lab_builds_total",
+	} {
+		if metricSum(t, text, fam) <= 0 {
+			t.Errorf("family %s scraped as zero after a completed job", fam)
+		}
+	}
+	// Gauges exist even at rest.
+	metricSum(t, text, "etap_server_queue_depth")
+	metricSum(t, text, "etap_server_jobs_stored")
+}
+
+// TestRequestIDHeader: every response carries the X-Request-Id the
+// structured request log references.
+func TestRequestIDHeader(t *testing.T) {
+	_, hs := newTestServer(t)
+	resp, _ := doJSON(t, http.MethodGet, hs.URL+"/api/v1/healthz", "")
+	id := resp.Header.Get("X-Request-Id")
+	if len(id) != 13 || id[0] != 'r' {
+		t.Fatalf("X-Request-Id = %q, want r + 12 hex chars", id)
+	}
+}
+
+// TestMaxJobsPruning: the job table stays bounded — submitting past the
+// bound evicts the oldest finished job, which then 404s.
+func TestMaxJobsPruning(t *testing.T) {
+	_, hs := newTestServer(t, etap.WithServeMaxJobs(2))
+	body := fmt.Sprintf(`{"source":%s,"input":%s,"errors":[1],"trials":2,"seed":3}`,
+		jsonStr(fastSource), jsonStr(fastInput()))
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id := submitJob(t, hs.URL, body)
+		waitForState(t, hs.URL, id, server.StateDone)
+		ids = append(ids, id)
+	}
+
+	resp, data := doJSON(t, http.MethodGet, hs.URL+"/api/v1/jobs/"+ids[0], "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job still answers: %d: %s", resp.StatusCode, data)
+	}
+	for _, id := range ids[1:] {
+		resp, data := doJSON(t, http.MethodGet, hs.URL+"/api/v1/jobs/"+id, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("retained job %s: %d: %s", id, resp.StatusCode, data)
+		}
+	}
+	hz := healthz(t, hs.URL)
+	if got := hz["jobs_stored"].(float64); got != 2 {
+		t.Fatalf("jobs_stored = %v, want 2", got)
+	}
+	if got := hz["evicted_jobs"].(float64); got != 1 {
+		t.Fatalf("evicted_jobs = %v, want 1", got)
+	}
+	if got := hz["max_jobs"].(float64); got != 2 {
+		t.Fatalf("max_jobs = %v, want 2", got)
+	}
+}
+
+// healthz fetches and parses the health payload.
+func healthz(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, data := doJSON(t, http.MethodGet, base+"/api/v1/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d: %s", resp.StatusCode, data)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("healthz does not parse: %v: %s", err, data)
+	}
+	return out
+}
+
+// TestHealthzEnriched: the health payload reports build identity,
+// uptime and live worker/queue/table stats alongside the Lab counters.
+func TestHealthzEnriched(t *testing.T) {
+	_, hs := newTestServer(t)
+	hz := healthz(t, hs.URL)
+	if hz["status"] != "ok" {
+		t.Fatalf("status = %v", hz["status"])
+	}
+	v, ok := hz["version"].(map[string]any)
+	if !ok {
+		t.Fatalf("version missing: %v", hz)
+	}
+	for _, k := range []string{"module", "revision", "go"} {
+		if s, _ := v[k].(string); s == "" {
+			t.Errorf("version.%s empty", k)
+		}
+	}
+	if up, ok := hz["uptime_seconds"].(float64); !ok || up < 0 {
+		t.Errorf("uptime_seconds = %v", hz["uptime_seconds"])
+	}
+	for _, k := range []string{"workers", "workers_busy", "queue", "queue_depth", "jobs_stored", "max_jobs", "evicted_jobs"} {
+		if _, ok := hz[k].(float64); !ok {
+			t.Errorf("healthz lacks numeric %s: %v", k, hz[k])
+		}
+	}
+	lab, ok := hz["lab"].(map[string]any)
+	if !ok {
+		t.Fatalf("lab stats missing: %v", hz)
+	}
+	for _, k := range []string{"entries", "builds", "hits", "evictions"} {
+		if _, ok := lab[k].(float64); !ok {
+			t.Errorf("lab stats lack %s: %v", k, lab)
+		}
+	}
+}
+
+// TestPprofOptIn: /debug/pprof/ exists only behind WithServePprof.
+func TestPprofOptIn(t *testing.T) {
+	_, off := newTestServer(t)
+	resp, _ := doJSON(t, http.MethodGet, off.URL+"/debug/pprof/", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof mounted without opt-in: %d", resp.StatusCode)
+	}
+	_, on := newTestServer(t, etap.WithServePprof())
+	resp, data := doJSON(t, http.MethodGet, on.URL+"/debug/pprof/", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %d: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "goroutine") {
+		t.Fatalf("pprof index lacks profile links: %s", data)
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"etap/internal/apps/all"
 	"etap/internal/exp"
+	"etap/internal/version"
 )
 
 // Server binds a Manager to its HTTP surface. Construct it with New,
@@ -27,16 +29,29 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{m: m, cfg: m.cfg}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
-	mux.HandleFunc("GET /api/v1/benchmarks", s.handleBenchmarks)
-	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
-	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(name, h))
+	}
+	route("GET /api/v1/healthz", "healthz", s.handleHealthz)
+	route("GET /api/v1/experiments", "experiments", s.handleExperiments)
+	route("GET /api/v1/benchmarks", "benchmarks", s.handleBenchmarks)
+	route("POST /api/v1/jobs", "submit", s.handleSubmit)
+	route("GET /api/v1/jobs", "jobs", s.handleList)
+	route("GET /api/v1/jobs/{id}", "job", s.handleStatus)
+	route("DELETE /api/v1/jobs/{id}", "cancel", s.handleCancel)
+	route("GET /api/v1/jobs/{id}/report", "report", s.handleReport)
+	route("GET /api/v1/jobs/{id}/events", "events", s.handleEvents)
+	route("GET /metrics", "metrics", m.cfg.Metrics.Handler().ServeHTTP)
+	if m.cfg.EnablePprof {
+		// Explicit mounts — importing net/http/pprof also registers on
+		// http.DefaultServeMux, but this mux never exposes that.
+		route("GET /debug/pprof/", "pprof", pprof.Index)
+		route("GET /debug/pprof/cmdline", "pprof", pprof.Cmdline)
+		route("GET /debug/pprof/profile", "pprof", pprof.Profile)
+		route("GET /debug/pprof/symbol", "pprof", pprof.Symbol)
+		route("GET /debug/pprof/trace", "pprof", pprof.Trace)
+	}
+	route("/", "notfound", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "no such endpoint: %s %s", r.Method, r.URL.Path)
 	})
 	s.mux = mux
@@ -73,10 +88,17 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	payload := map[string]any{
-		"status":  "ok",
-		"workers": s.cfg.Workers,
-		"queue":   s.cfg.QueueDepth,
-		"jobs":    s.m.Counts(),
+		"status":         "ok",
+		"version":        version.Get(),
+		"uptime_seconds": s.m.Uptime().Seconds(),
+		"workers":        s.cfg.Workers,
+		"workers_busy":   s.m.BusyWorkers(),
+		"queue":          s.cfg.QueueDepth,
+		"queue_depth":    s.m.QueueLen(),
+		"jobs":           s.m.Counts(),
+		"jobs_stored":    s.m.StoredJobs(),
+		"max_jobs":       s.cfg.MaxJobs,
+		"evicted_jobs":   s.m.EvictedJobs(),
 	}
 	if s.cfg.Stats != nil {
 		for k, v := range s.cfg.Stats() {

@@ -18,12 +18,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"etap/internal/exp"
+	"etap/internal/obs"
 )
 
 // State is one job's lifecycle position.
@@ -102,12 +105,37 @@ type Config struct {
 	// be reachable after JSON escaping, so oversized fields get their
 	// structured invalid_job error instead of a blanket 413.
 	MaxBodyBytes int64
+	// MaxJobs bounds the in-memory job table: once it holds this many
+	// jobs, submitting a new one prunes the oldest finished
+	// (done/failed/cancelled) jobs first. Live jobs are never pruned, so
+	// the table can transiently exceed the bound when everything stored
+	// is still queued or running. 0 means DefaultMaxJobs; negative means
+	// unbounded (the pre-bound behaviour).
+	MaxJobs int
 	// Stats, when set, contributes extra fields (e.g. Lab cache
 	// counters) to the healthz payload.
 	Stats func() map[string]any
-	// Logf, when set, receives one line per job state change.
+	// Metrics is the registry the service instruments (HTTP, queue,
+	// worker and job-lifecycle families) and serves at GET /metrics.
+	// nil means obs.Default().
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in,
+	// because profiles expose internals no public deployment should.
+	EnablePprof bool
+	// Logger receives structured logs (job lifecycle with job IDs, HTTP
+	// requests with request IDs). nil falls back to an adapter over
+	// Logf, or to a discard logger when that is nil too.
+	Logger *slog.Logger
+	// Logf, when set (and Logger is not), receives one line per job
+	// state change. Deprecated in favour of Logger; kept so existing
+	// callers keep their logs.
 	Logf func(format string, args ...any)
 }
+
+// DefaultMaxJobs bounds the job table when Config.MaxJobs is zero: old
+// finished jobs (and their report JSON) must not accumulate in memory
+// forever.
+const DefaultMaxJobs = 1024
 
 func (c Config) withDefaults() (Config, error) {
 	if c.Run == nil {
@@ -125,8 +153,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = DefaultMaxJobs
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	if c.Logger == nil {
+		if c.Logf != nil {
+			c.Logger = slog.New(logfHandler{logf: c.Logf})
+		} else {
+			c.Logger = slog.New(discardHandler{})
+		}
 	}
 	return c, nil
 }
@@ -176,6 +214,10 @@ type Job struct {
 	ID      string
 	Spec    *SubmitRequest
 	Created time.Time
+
+	// metrics is the owning manager's metric set (shared, never nil for
+	// manager-created jobs); the job updates the SSE subscriber gauge.
+	metrics *serverMetrics
 
 	mu         sync.Mutex
 	state      State
@@ -282,12 +324,18 @@ func (j *Job) Subscribe() (replay []Event, ch <-chan Event, cancel func()) {
 	}
 	c := make(chan Event, subChanCap)
 	j.subs[c] = struct{}{}
+	if j.metrics != nil {
+		j.metrics.sseSubs.Inc()
+	}
 	return replay, c, func() {
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		if _, ok := j.subs[c]; ok {
 			delete(j.subs, c)
 			close(c)
+			if j.metrics != nil {
+				j.metrics.sseSubs.Dec()
+			}
 		}
 	}
 }
@@ -310,12 +358,21 @@ func (j *Job) closeSubsLocked() {
 	for ch := range j.subs {
 		delete(j.subs, ch)
 		close(ch)
+		if j.metrics != nil {
+			j.metrics.sseSubs.Dec()
+		}
 	}
 }
 
 // Manager owns the job table, the bounded worker pool and persistence.
 type Manager struct {
-	cfg Config
+	cfg     Config
+	log     *slog.Logger
+	metrics *serverMetrics
+	started time.Time
+
+	busy    atomic.Int64 // workers currently executing a job
+	evicted atomic.Int64 // finished jobs pruned by the MaxJobs bound
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -349,6 +406,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
+		log:     cfg.Logger,
+		metrics: newServerMetrics(cfg.Metrics),
+		started: time.Now().UTC(),
 		baseCtx: ctx,
 		stop:    stop,
 		jobs:    make(map[string]*Job),
@@ -366,6 +426,7 @@ func NewManager(cfg Config) (*Manager, error) {
 			ID:      p.ID,
 			Spec:    &p.Spec,
 			Created: p.Created,
+			metrics: m.metrics,
 			state:   p.State,
 			err:     p.Error,
 			started: p.Started, finished: p.Finished,
@@ -399,6 +460,11 @@ func NewManager(cfg Config) (*Manager, error) {
 	sort.SliceStable(m.order, func(a, b int) bool {
 		return m.jobs[m.order[a]].Created.Before(m.jobs[m.order[b]].Created)
 	})
+	// A reloaded table may exceed the bound the previous process ran
+	// without (or a lowered one); prune before serving.
+	m.mu.Lock()
+	m.pruneLocked()
+	m.mu.Unlock()
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go func() {
@@ -414,6 +480,7 @@ func NewManager(cfg Config) (*Manager, error) {
 				}
 				j := m.pending[0]
 				m.pending = m.pending[1:]
+				m.metrics.queueDepth.Dec()
 				m.mu.Unlock()
 				m.runJob(j)
 			}
@@ -456,6 +523,7 @@ func (m *Manager) Submit(req *SubmitRequest) (*Job, error) {
 		ID:      newJobID(),
 		Spec:    req,
 		Created: time.Now().UTC(),
+		metrics: m.metrics,
 		state:   StateQueued,
 		subs:    make(map[chan Event]struct{}),
 	}
@@ -475,12 +543,48 @@ func (m *Manager) Submit(req *SubmitRequest) (*Job, error) {
 	m.pending = append(m.pending, j)
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
+	m.metrics.queueDepth.Inc()
+	m.pruneLocked()
 	m.cond.Signal()
 	m.mu.Unlock()
 
-	m.cfg.Logf("job %s queued: %s", j.ID, req.Subject())
+	m.metrics.enteredState(StateQueued)
+	m.log.Info("job queued", "job", j.ID, "subject", req.Subject())
 	m.persist()
 	return j, nil
+}
+
+// pruneLocked evicts the oldest finished jobs while the table exceeds
+// cfg.MaxJobs. Queued and running jobs are never evicted — the table
+// may transiently exceed the bound when everything stored is live.
+// Callers hold m.mu.
+func (m *Manager) pruneLocked() {
+	if m.cfg.MaxJobs < 0 {
+		return
+	}
+	for len(m.jobs) > m.cfg.MaxJobs {
+		victim := -1
+		for i, id := range m.order {
+			j := m.jobs[id]
+			j.mu.Lock()
+			terminal := j.state.terminal()
+			j.mu.Unlock()
+			if terminal {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break // every stored job is live; nothing prunable
+		}
+		id := m.order[victim]
+		m.order = append(m.order[:victim], m.order[victim+1:]...)
+		delete(m.jobs, id)
+		m.evicted.Add(1)
+		m.metrics.jobsEvicted.Inc()
+		m.log.Info("job evicted", "job", id, "stored", len(m.jobs), "max_jobs", m.cfg.MaxJobs)
+	}
+	m.metrics.jobsStored.Set(float64(len(m.jobs)))
 }
 
 // Get resolves one job.
@@ -516,6 +620,30 @@ func (m *Manager) Counts() map[State]int {
 	return out
 }
 
+// Uptime is the time since the manager started.
+func (m *Manager) Uptime() time.Duration { return time.Since(m.started) }
+
+// BusyWorkers counts workers currently executing a job.
+func (m *Manager) BusyWorkers() int { return int(m.busy.Load()) }
+
+// QueueLen counts jobs waiting for a worker slot.
+func (m *Manager) QueueLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// StoredJobs counts jobs held in the in-memory table.
+func (m *Manager) StoredJobs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// EvictedJobs counts finished jobs pruned by the MaxJobs bound over the
+// manager's lifetime.
+func (m *Manager) EvictedJobs() int64 { return m.evicted.Load() }
+
 // Cancel stops a job: queued jobs finish immediately as cancelled,
 // running jobs get their context cancelled (the campaign stops between
 // trials and keeps its partial aggregates). Cancelling a finished job
@@ -537,7 +665,8 @@ func (m *Manager) Cancel(id string) (bool, error) {
 		// Free the queue slot now — a cancelled job must not hold the
 		// queue full until a worker happens to drain it.
 		m.dropPending(j)
-		m.cfg.Logf("job %s cancelled while queued", j.ID)
+		m.metrics.enteredState(StateCancelled)
+		m.log.Info("job cancelled while queued", "job", j.ID)
 		m.persist()
 		return true, nil
 	case StateRunning:
@@ -562,6 +691,7 @@ func (m *Manager) dropPending(j *Job) {
 	for i, q := range m.pending {
 		if q == j {
 			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			m.metrics.queueDepth.Dec()
 			return
 		}
 	}
@@ -582,7 +712,14 @@ func (m *Manager) runJob(j *Job) {
 	j.cancel = cancel
 	j.publishState()
 	j.mu.Unlock()
-	m.cfg.Logf("job %s running", j.ID)
+	m.busy.Add(1)
+	m.metrics.workersBusy.Inc()
+	defer func() {
+		m.busy.Add(-1)
+		m.metrics.workersBusy.Dec()
+	}()
+	m.metrics.enteredState(StateRunning)
+	m.log.Info("job running", "job", j.ID)
 	m.persist()
 
 	progress := func(ev TrialEvent) {
@@ -625,12 +762,14 @@ func (m *Manager) runJob(j *Job) {
 	}
 	j.publishState()
 	j.closeSubsLocked()
-	state, errText := j.state, j.err
+	state, errText, trials := j.state, j.err, j.trialsDone
+	elapsed := j.finished.Sub(j.started)
 	j.mu.Unlock()
+	m.metrics.enteredState(state)
 	if errText != "" {
-		m.cfg.Logf("job %s %s: %s", j.ID, state, errText)
+		m.log.Info("job finished", "job", j.ID, "state", state, "trials", trials, "elapsed", elapsed, "error", errText)
 	} else {
-		m.cfg.Logf("job %s %s", j.ID, state)
+		m.log.Info("job finished", "job", j.ID, "state", state, "trials", trials, "elapsed", elapsed)
 	}
 	m.persist()
 }
@@ -675,7 +814,7 @@ func (m *Manager) persist() {
 		j.mu.Unlock()
 	}
 	if err := m.cfg.Store.Save(out); err != nil {
-		m.cfg.Logf("persisting job table: %v", err)
+		m.log.Error("persisting job table failed", "error", err)
 	}
 }
 

@@ -69,8 +69,8 @@ int main() {
 }
 `
 
-func fastInput() string  { return strings.Repeat("abcdefgh", 8) }
-func slowInput() string  { return strings.Repeat("abcdefgh", 16) }
+func fastInput() string { return strings.Repeat("abcdefgh", 8) }
+func slowInput() string { return strings.Repeat("abcdefgh", 16) }
 func jsonStr(s string) string {
 	b, _ := json.Marshal(s)
 	return string(b)
@@ -363,10 +363,10 @@ func TestSSEMonotonicTrials(t *testing.T) {
 		switch ev.name {
 		case "trial":
 			var tr struct {
-				Seq    int    `json:"seq"`
-				Point  int    `json:"point"`
-				Errors int    `json:"errors"`
-				Trial  int    `json:"trial"`
+				Seq     int    `json:"seq"`
+				Point   int    `json:"point"`
+				Errors  int    `json:"errors"`
+				Trial   int    `json:"trial"`
 				Outcome string `json:"outcome"`
 			}
 			if err := json.Unmarshal([]byte(ev.data), &tr); err != nil {

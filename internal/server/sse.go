@@ -24,8 +24,8 @@ type sseWriter struct {
 // underlying writer cannot flush incrementally — buffering an SSE
 // stream would defeat it.
 func newSSEWriter(w http.ResponseWriter) (*sseWriter, error) {
-	f, ok := w.(http.Flusher)
-	if !ok {
+	f := findFlusher(w)
+	if f == nil {
 		return nil, fmt.Errorf("server: response writer does not support streaming")
 	}
 	h := w.Header()
@@ -36,6 +36,22 @@ func newSSEWriter(w http.ResponseWriter) (*sseWriter, error) {
 	w.WriteHeader(http.StatusOK)
 	f.Flush()
 	return &sseWriter{w: w, f: f}, nil
+}
+
+// findFlusher resolves http.Flusher through any chain of middleware
+// wrappers that expose Unwrap (the instrumentation's statusWriter
+// does), the same convention http.ResponseController uses.
+func findFlusher(w http.ResponseWriter) http.Flusher {
+	for {
+		if f, ok := w.(http.Flusher); ok {
+			return f
+		}
+		u, ok := w.(interface{ Unwrap() http.ResponseWriter })
+		if !ok {
+			return nil
+		}
+		w = u.Unwrap()
+	}
 }
 
 // event writes one framed event and flushes it to the client.

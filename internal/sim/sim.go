@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"etap/internal/isa"
 )
@@ -229,7 +230,9 @@ func Run(p *isa.Program, cfg Config) Result {
 		m.eligible = cfg.Plan.Eligible
 		m.injections = cfg.Plan.Injections
 	}
+	start := time.Now()
 	m.run()
+	recordRunMetrics(simRunsScratch, m.instret, time.Since(start))
 	return m.result()
 }
 

@@ -18,6 +18,7 @@ package sim
 import (
 	"fmt"
 	mathbits "math/bits"
+	"time"
 
 	"etap/internal/isa"
 )
@@ -204,7 +205,10 @@ func Record(p *isa.Program, cfg Config, opt RecordOptions) (*Recording, error) {
 		elig = cfg.Plan.Eligible
 		m.eligible = elig
 	}
+	start := time.Now()
 	m.run()
+	recordRunMetrics(simRunsRecord, m.instret, time.Since(start))
+	simCheckpoints.Add(float64(len(rec.snaps)))
 
 	res := m.result()
 	for _, s := range rec.snaps {
@@ -311,6 +315,10 @@ func (r *Recording) RunFrom(idx int, plan *FaultPlan, maxInstr uint64) Result {
 		m.eligible = plan.Eligible
 		m.injections = plan.Injections
 	}
+	start := time.Now()
 	m.run()
+	// The machine resumed at s.Instret; only the instructions actually
+	// re-executed count toward the process totals.
+	recordRunMetrics(simRunsRestore, m.instret-s.Instret, time.Since(start))
 	return m.result()
 }

@@ -23,11 +23,13 @@ import (
 // already waiting on an entry — they keep their result; the key is
 // simply rebuilt on its next miss.
 type Lab struct {
-	mu       sync.Mutex
-	entries  map[labKey]*labEntry
-	order    *list.List // front = most recently used; values are labKey
-	capacity int
-	builds   int64
+	mu        sync.Mutex
+	entries   map[labKey]*labEntry
+	order     *list.List // front = most recently used; values are labKey
+	capacity  int
+	builds    int64
+	hits      int64
+	evictions int64
 }
 
 // DefaultLabCapacity is the entry bound NewLab applies.
@@ -69,6 +71,7 @@ func (l *Lab) entry(key labKey) *labEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if e, ok := l.entries[key]; ok {
+		l.hits++
 		l.order.MoveToFront(e.elem)
 		return e
 	}
@@ -81,6 +84,7 @@ func (l *Lab) entry(key labKey) *labEntry {
 			evict := back.Value.(labKey)
 			l.order.Remove(back)
 			delete(l.entries, evict)
+			l.evictions++
 		}
 	}
 	return e
@@ -140,6 +144,22 @@ func (l *Lab) Builds() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.builds
+}
+
+// Hits reports how many entry lookups were served from cache (the
+// complement of Builds over the Lab's lifetime). A Harden call that
+// reuses an already-built base System counts one hit for the base key.
+func (l *Lab) Hits() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits
+}
+
+// Evictions reports how many entries the LRU bound has discarded.
+func (l *Lab) Evictions() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evictions
 }
 
 func (l *Lab) countBuild() {

@@ -66,6 +66,34 @@ func TestLabLRUEviction(t *testing.T) {
 	}
 }
 
+func TestLabHitAndEvictionCounters(t *testing.T) {
+	lab := NewLabCapacity(2)
+	srcs := labSources(3)
+	for _, src := range srcs[:2] {
+		if _, err := lab.Build(src, PolicyControlAddr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := lab.Hits(); got != 0 {
+		t.Fatalf("cold cache reported %d hits, want 0", got)
+	}
+	if _, err := lab.Build(srcs[0], PolicyControlAddr); err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Hits(); got != 1 {
+		t.Fatalf("cache hit count = %d, want 1", got)
+	}
+	if got := lab.Evictions(); got != 0 {
+		t.Fatalf("evictions before overflow = %d, want 0", got)
+	}
+	if _, err := lab.Build(srcs[2], PolicyControlAddr); err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Evictions(); got != 1 {
+		t.Fatalf("evictions after overflow = %d, want 1", got)
+	}
+}
+
 func TestLabUnboundedCapacity(t *testing.T) {
 	lab := NewLabCapacity(0)
 	for _, src := range labSources(5) {

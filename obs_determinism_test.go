@@ -1,0 +1,47 @@
+package etap
+
+import (
+	"fmt"
+	"testing"
+
+	"etap/internal/obs"
+)
+
+// TestMetricsDoNotPerturbResults is the observability plane's core
+// guarantee: instrumentation observes campaigns, it never feeds back
+// into them. The same campaign run with metric collection disabled and
+// enabled must produce byte-identical rendered results — same trial
+// outcomes, same aggregates, same ordering. (The rendering is %+v of
+// the point stats rather than JSON: several rate fields are NaN at low
+// error counts, which JSON cannot encode.)
+func TestMetricsDoNotPerturbResults(t *testing.T) {
+	runOnce := func(t *testing.T) string {
+		t.Helper()
+		sys, err := Build(testSource, PolicyControlAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		camp, err := sys.NewCampaign(testInput(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var points []PointStats
+		for _, n := range []int{1, 4} {
+			points = append(points, camp.RunPoint(bgctx, n,
+				WithTrials(24), WithSeed(11), WithWorkers(4)))
+		}
+		return fmt.Sprintf("%+v", points)
+	}
+
+	reg := obs.Default()
+	reg.SetEnabled(false)
+	disabled := runOnce(t)
+	reg.SetEnabled(true)
+	defer reg.SetEnabled(true)
+	enabled := runOnce(t)
+
+	if disabled != enabled {
+		t.Fatalf("campaign results depend on metric collection:\ndisabled: %s\nenabled:  %s",
+			disabled, enabled)
+	}
+}

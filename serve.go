@@ -3,11 +3,13 @@ package etap
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"time"
 
 	"etap/internal/exp"
+	"etap/internal/obs"
 	"etap/internal/server"
 )
 
@@ -34,7 +36,10 @@ type serveConfig struct {
 	queueDepth int
 	stateFile  string
 	maxBody    int64
+	maxJobs    int
+	pprof      bool
 	logf       func(format string, args ...any)
+	logger     *slog.Logger
 }
 
 // ServeOption configures NewServer and Serve.
@@ -77,6 +82,28 @@ func WithServeMaxBody(n int64) ServeOption {
 	return func(c *serveConfig) { c.maxBody = n }
 }
 
+// WithServeMaxJobs bounds the in-memory job table: once it holds n
+// jobs, new submissions prune the oldest finished jobs (their reports
+// included) first. Live jobs are never pruned. 0 means the default
+// bound (1024); negative means unbounded.
+func WithServeMaxJobs(n int) ServeOption {
+	return func(c *serveConfig) { c.maxJobs = n }
+}
+
+// WithServePprof mounts net/http/pprof under /debug/pprof/ on the
+// service's handler. Opt-in: profiles expose internals no public
+// deployment should.
+func WithServePprof() ServeOption {
+	return func(c *serveConfig) { c.pprof = true }
+}
+
+// WithServeLogger routes structured logs (job lifecycle with job IDs,
+// HTTP requests with request IDs) to l. Takes precedence over
+// WithServeLog when both are set.
+func WithServeLogger(l *slog.Logger) ServeOption {
+	return func(c *serveConfig) { c.logger = l }
+}
+
 // NewServer assembles the characterization service. Close it when done;
 // Serve does both around one HTTP listener.
 func NewServer(opts ...ServeOption) (*Server, error) {
@@ -92,6 +119,7 @@ func NewServer(opts ...ServeOption) (*Server, error) {
 	if cfg.stateFile != "" {
 		store = server.NewFileStore(cfg.stateFile)
 	}
+	registerLabMetrics(s.lab)
 	inner, err := server.New(server.Config{
 		Run:          s.runJob,
 		Prepare:      s.prepare,
@@ -99,10 +127,18 @@ func NewServer(opts ...ServeOption) (*Server, error) {
 		QueueDepth:   cfg.queueDepth,
 		Store:        store,
 		MaxBodyBytes: cfg.maxBody,
+		MaxJobs:      cfg.maxJobs,
+		EnablePprof:  cfg.pprof,
+		Logger:       cfg.logger,
 		Logf:         cfg.logf,
 		Stats: func() map[string]any {
 			return map[string]any{
-				"lab": map[string]any{"entries": s.lab.Len(), "builds": s.lab.Builds()},
+				"lab": map[string]any{
+					"entries":   s.lab.Len(),
+					"builds":    s.lab.Builds(),
+					"hits":      s.lab.Hits(),
+					"evictions": s.lab.Evictions(),
+				},
 			}
 		},
 	})
@@ -111,6 +147,27 @@ func NewServer(opts ...ServeOption) (*Server, error) {
 	}
 	s.inner = inner
 	return s, nil
+}
+
+// registerLabMetrics exposes the server's shared Lab on the default
+// registry. Func metrics replace on re-registration, so the newest
+// server's Lab is the one scraped — the common deployments (one server
+// per process, or tests constructing servers serially) both read the
+// Lab that is actually serving.
+func registerLabMetrics(l *Lab) {
+	r := obs.Default()
+	r.GaugeFunc("etap_lab_entries",
+		"Distinct (source, policy, harden) keys cached in the serving Lab.",
+		func() float64 { return float64(l.Len()) })
+	r.CounterFunc("etap_lab_builds_total",
+		"Cache misses the serving Lab paid for: compiles plus harden rewrites.",
+		func() float64 { return float64(l.Builds()) })
+	r.CounterFunc("etap_lab_hits_total",
+		"Lab lookups served from cache.",
+		func() float64 { return float64(l.Hits()) })
+	r.CounterFunc("etap_lab_evictions_total",
+		"Lab entries discarded by the LRU bound.",
+		func() float64 { return float64(l.Evictions()) })
 }
 
 // Handler is the service's HTTP surface, mountable under any mux.
