@@ -17,6 +17,7 @@ import (
 	"etap/internal/exp"
 	"etap/internal/fault"
 	"etap/internal/harden"
+	"etap/internal/isa"
 	"etap/internal/minic"
 	"etap/internal/sim"
 )
@@ -316,6 +317,74 @@ func BenchmarkHardenOverhead(b *testing.B) {
 	}
 	b.ReportMetric(res.StaticOverhead(), "static-x")
 	b.ReportMetric(float64(hardInstret)/float64(base.Instret), "dynamic-x")
+}
+
+// BenchmarkEngineScratch compares the predecoded engine against the
+// reference interpreter on identical from-scratch runs and reports raw
+// ns/instruction for each — the engine's headline per-step cost
+// (docs/PERF.md tracks this number across revisions).
+func BenchmarkEngineScratch(b *testing.B) {
+	a, _ := all.ByName("blowfish")
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := a.Input()
+	run := func(b *testing.B, exec func(*isa.Program, sim.Config) sim.Result) {
+		b.Helper()
+		var instret uint64
+		for i := 0; i < b.N; i++ {
+			res := exec(prog, sim.Config{Input: input})
+			if res.Outcome != sim.OK {
+				b.Fatalf("outcome %s", res.Outcome)
+			}
+			instret += res.Instret
+		}
+		b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(instret), "ns/instruction")
+	}
+	b.Run("engine", func(b *testing.B) { run(b, sim.Run) })
+	b.Run("reference", func(b *testing.B) { run(b, sim.ReferenceRun) })
+}
+
+// BenchmarkEngineRestore measures a checkpoint-resumed trial on the pooled
+// Runner: one late injection, machine state restored copy-on-write, cost
+// reported per re-executed instruction.
+func BenchmarkEngineRestore(b *testing.B) {
+	a, _ := all.ByName("blowfish")
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := core.Analyze(prog, core.PolicyControlAddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := &sim.FaultPlan{Eligible: rep.Tagged}
+	rec, err := sim.Record(prog, sim.Config{Input: a.Input(), Plan: plan}, sim.RecordOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := rec.Result.EligibleExec
+	rn := rec.NewRunner()
+	defer rn.Close()
+	b.ResetTimer()
+	var replayed uint64
+	for i := 0; i < b.N; i++ {
+		at := stream - stream/16 + uint64(i)%(stream/16)
+		trial := &sim.FaultPlan{
+			Eligible:   rep.Tagged,
+			Injections: []sim.Injection{{At: at, Bit: uint8(i % 32)}},
+		}
+		idx := rec.SnapshotBefore(at)
+		res := rn.RunFrom(idx, trial, rec.Result.Instret*2)
+		delta := res.Instret
+		if idx >= 0 {
+			delta -= rec.Snapshots()[idx].Instret
+		}
+		replayed += delta
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(replayed), "ns/instruction")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/s")
 }
 
 func BenchmarkMaskingDistribution(b *testing.B) {

@@ -7,11 +7,14 @@
 //
 // Usage:
 //
-//	etbench [-short] [-out dir] [-rev id]
+//	etbench [-short] [-out dir] [-rev id] [-baseline BENCH_prev.json]
 //
 // The artifact name uses the VCS revision stamped into the binary
 // (internal/version); -rev overrides it for unstamped builds (go run,
-// test binaries), where it would otherwise be "unknown".
+// test binaries), where it would otherwise be "unknown". With -baseline,
+// a previous revision's artifact is loaded and per-metric deltas are
+// printed after the run; a missing or malformed baseline only warns, so
+// CI can pass the previous push's artifact opportunistically.
 package main
 
 import (
@@ -59,19 +62,20 @@ func main() {
 	short := flag.Bool("short", false, "cheaper measurements (CI mode): smaller trial budgets, same shapes")
 	outDir := flag.String("out", ".", "directory the BENCH_<rev>.json artifact is written into")
 	revFlag := flag.String("rev", "", "revision id for the artifact name (default: the stamped VCS revision)")
+	baseline := flag.String("baseline", "", "previous BENCH_<rev>.json to print per-metric deltas against (warn-only)")
 	showVersion := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 	if *showVersion {
 		version.Fprint(os.Stdout, "etbench")
 		return
 	}
-	if err := run(*short, *outDir, *revFlag); err != nil {
+	if err := run(*short, *outDir, *revFlag, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "etbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(short bool, outDir, revFlag string) error {
+func run(short bool, outDir, revFlag, baseline string) error {
 	info := version.Get()
 	rev := info.Short()
 	if revFlag != "" {
@@ -108,7 +112,61 @@ func run(short bool, outDir, revFlag string) error {
 	for _, m := range metrics {
 		fmt.Printf("  %-32s %14.4f %s\n", m.Name, m.Value, m.Unit)
 	}
+	if baseline != "" {
+		printDeltas(baseline, metrics)
+	}
 	return nil
+}
+
+// lowerIsBetter flags metrics where a negative delta is an improvement
+// (per-step costs and wall-clocks, as opposed to throughputs).
+var lowerIsBetter = map[string]bool{
+	"sim_ns_per_instruction": true,
+	"campaign_sweep_seconds": true,
+}
+
+// printDeltas compares the run's metrics against a previous artifact.
+// Every failure mode is a warning, never an error: the perf trajectory is
+// informational, and CI must stay green when the previous artifact has
+// expired or the schema moved.
+func printDeltas(path string, metrics []Metric) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etbench: baseline unavailable: %v\n", err)
+		return
+	}
+	var prev Artifact
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "etbench: baseline %s unreadable: %v\n", path, err)
+		return
+	}
+	if prev.Schema != benchSchema {
+		fmt.Fprintf(os.Stderr, "etbench: baseline schema %q != %q; skipping deltas\n", prev.Schema, benchSchema)
+		return
+	}
+	base := make(map[string]Metric, len(prev.Metrics))
+	for _, m := range prev.Metrics {
+		base[m.Name] = m
+	}
+	fmt.Printf("vs baseline %s (revision %s):\n", path, prev.Revision)
+	for _, m := range metrics {
+		b, ok := base[m.Name]
+		if !ok || b.Value == 0 {
+			fmt.Printf("  %-32s %14.4f %s (no baseline value)\n", m.Name, m.Value, m.Unit)
+			continue
+		}
+		pct := (m.Value - b.Value) / b.Value * 100
+		marker := ""
+		switch improved := pct < 0 == lowerIsBetter[m.Name]; {
+		case pct == 0:
+		case improved:
+			marker = "  (improved)"
+		default:
+			marker = "  (regressed)"
+		}
+		fmt.Printf("  %-32s %14.4f -> %14.4f %s  %+7.1f%%%s\n",
+			m.Name, b.Value, m.Value, m.Unit, pct, marker)
+	}
 }
 
 // measure runs the three headline measurements. Each uses

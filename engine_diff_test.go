@@ -1,0 +1,137 @@
+package etap
+
+// The top-level differential harness for the predecoded execution engine:
+// every benchmark application — original and hardened — must produce
+// bit-identical sim.Results on the fast engine and on the reference
+// interpreter, clean and under injection plans spread across the eligible
+// stream. This is the acceptance gate that lets the engine replace the
+// interpreter in every campaign path (docs/PERF.md).
+
+import (
+	"reflect"
+	"testing"
+
+	"etap/internal/apps/all"
+	"etap/internal/core"
+	"etap/internal/sim"
+)
+
+// diffApp runs prog under cfg on both engines and requires equal Results.
+func diffApp(t *testing.T, name string, s *System, cfg sim.Config) sim.Result {
+	t.Helper()
+	got := sim.Run(s.prog, cfg)
+	want := sim.ReferenceRun(s.prog, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: engine diverges from reference:\nengine:    %+v\nreference: %+v", name, got, want)
+	}
+	return got
+}
+
+// injectionOrdinals picks first, interior and last positions of an
+// eligible stream of length n.
+func injectionOrdinals(n uint64) []uint64 {
+	ats := []uint64{1, n / 3, n / 2, n}
+	out := ats[:0]
+	for _, at := range ats {
+		if at >= 1 && at <= n {
+			out = append(out, at)
+		}
+	}
+	return out
+}
+
+func TestEngineMatchesReferenceOnApps(t *testing.T) {
+	appsList := all.Apps()
+	if testing.Short() {
+		appsList = appsList[:2]
+	}
+	for _, app := range appsList {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) {
+			t.Parallel()
+			sys, err := Build(app.Source(), PolicyControlAddr)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			input := app.Input()
+
+			clean := diffApp(t, "clean", sys, sim.Config{Input: input})
+			if clean.Outcome != sim.OK {
+				t.Fatalf("clean run: %s (trap %s)", clean.Outcome, clean.Trap)
+			}
+			budget := clean.Instret * 2
+
+			// Injections under the protected mask (tagged low-reliability
+			// instructions) and the unprotected everything-mask.
+			masks := map[string][]bool{
+				"tagged": sys.report.Tagged,
+				"all":    core.EligibleAll(sys.prog),
+			}
+			for maskName, mask := range masks {
+				probe := diffApp(t, maskName+"/probe", sys,
+					sim.Config{Input: input, Plan: &sim.FaultPlan{Eligible: mask}})
+				if probe.EligibleExec == 0 {
+					t.Fatalf("mask %s: no eligible executions", maskName)
+				}
+				for _, at := range injectionOrdinals(probe.EligibleExec) {
+					for _, bit := range []uint8{0, 31} {
+						plan := &sim.FaultPlan{
+							Eligible:   mask,
+							Injections: []sim.Injection{{At: at, Bit: bit}},
+						}
+						diffApp(t, maskName+"/injected", sys,
+							sim.Config{Input: input, Plan: plan, MaxInstr: budget})
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEngineMatchesReferenceOnHardenedApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hardened differential sweep skipped in -short")
+	}
+	for _, app := range all.Apps() {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) {
+			t.Parallel()
+			sys, err := Build(app.Source(), PolicyControlAddr)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			h, err := sys.Harden(DefaultHardenOptions())
+			if err != nil {
+				t.Fatalf("harden: %v", err)
+			}
+			input := app.Input()
+			clean := diffApp(t, "clean", h.System, sim.Config{Input: input})
+			if clean.Outcome != sim.OK {
+				t.Fatalf("hardened clean run: %s (trap %s)", clean.Outcome, clean.Trap)
+			}
+
+			// Unprotected mask over the hardened program: flips can land in
+			// the duplicated slice, so some trials end Detected — both
+			// engines must agree on the detection point too.
+			mask := core.EligibleAll(h.prog)
+			probe := diffApp(t, "probe", h.System,
+				sim.Config{Input: input, Plan: &sim.FaultPlan{Eligible: mask}})
+			detected := 0
+			for _, at := range injectionOrdinals(probe.EligibleExec) {
+				for _, bit := range []uint8{0, 31} {
+					plan := &sim.FaultPlan{
+						Eligible:   mask,
+						Injections: []sim.Injection{{At: at, Bit: bit}},
+					}
+					res := diffApp(t, "injected", h.System,
+						sim.Config{Input: input, Plan: plan, MaxInstr: clean.Instret * 2})
+					if res.Outcome == sim.Detected {
+						detected++
+					}
+				}
+			}
+			t.Logf("%s hardened: %d/%d injected trials detected", app.Name(), detected,
+				len(injectionOrdinals(probe.EligibleExec))*2)
+		})
+	}
+}

@@ -152,11 +152,15 @@ func (e *Engine) EligibleFraction() float64 {
 // injections, from the final checkpoint). The plan's eligibility mask must
 // be the engine's.
 func (e *Engine) RunPlan(plan *sim.FaultPlan) sim.Result {
-	idx := len(e.rec.Snapshots()) - 1
+	return e.rec.RunFrom(e.planIdx(plan), plan, e.Budget)
+}
+
+// planIdx picks the checkpoint a trial plan resumes from.
+func (e *Engine) planIdx(plan *sim.FaultPlan) int {
 	if len(plan.Injections) > 0 {
-		idx = e.rec.SnapshotBefore(plan.Injections[0].At)
+		return e.rec.SnapshotBefore(plan.Injections[0].At)
 	}
-	return e.rec.RunFrom(idx, plan, e.Budget)
+	return len(e.rec.Snapshots()) - 1
 }
 
 // Run executes one faulty trial with n errors, deterministic in seed.
@@ -378,10 +382,15 @@ func (e *Engine) RunPoint(ctx context.Context, pt Point, observe Observer) Point
 
 // runShard executes one shard's trials sequentially off the shard's own
 // RNG stream. A cancelled context stops the shard between trials and
-// returns the trials finished so far.
+// returns the trials finished so far. The whole shard runs on one
+// sim.Runner, so machine state, page tables and sparse maps are built once
+// and reused across its trials (batched trial scheduling); results stay
+// bit-identical to per-trial construction.
 func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi uint8, shard, count int) []Trial {
 	defer observeShard(time.Now())
 	rng := rand.New(rand.NewSource(shardSeed(seed, errors, lo, hi, shard)))
+	rn := e.rec.NewRunner()
+	defer rn.Close()
 	trials := make([]Trial, 0, count)
 	for i := 0; i < count; i++ {
 		if ctx.Err() != nil {
@@ -391,7 +400,7 @@ func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi ui
 		if err != nil {
 			panic(err) // unreachable: New rejects empty eligible streams
 		}
-		res := e.RunPlan(plan)
+		res := rn.RunFrom(e.planIdx(plan), plan, e.Budget)
 		tr := Trial{Outcome: res.Outcome, Value: math.NaN(), Instret: res.Instret, Injected: res.Injected, Shard: shard}
 		tr.DetectLatency, tr.HasLatency = res.DetectLatency()
 		if res.Outcome == sim.OK {

@@ -375,6 +375,19 @@ func (i Instr) Uses(buf []Reg) []Reg {
 // program counter to something other than pc+1.
 func (i Instr) IsBranchOrJump() bool { return i.Class() == ClassControl }
 
+// BranchTarget returns the statically known control-transfer target (an
+// absolute text index, valid after label resolution) for direct branches
+// and jumps. Register-indirect transfers (JR, JALR) and non-control
+// instructions report ok == false. Predecoding uses this to pre-convert
+// targets once per build instead of once per taken branch.
+func (i Instr) BranchTarget() (target int, ok bool) {
+	switch i.Op {
+	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, J, JAL:
+		return int(i.Imm), true
+	}
+	return 0, false
+}
+
 // IsInjectable reports whether the instruction is a legal fault-injection
 // site under the paper's model: a result-writing arithmetic instruction.
 // Writes to the zero register are excluded (flipping a discarded result is

@@ -170,6 +170,32 @@ func TestMemHelpers(t *testing.T) {
 	}
 }
 
+func TestBranchTarget(t *testing.T) {
+	// Every direct branch and jump resolves its Imm as an absolute text
+	// index; register-indirect and non-control ops resolve nothing.
+	direct := []Op{BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, J, JAL}
+	for _, op := range direct {
+		if tgt, ok := (Instr{Op: op, Imm: 17}).BranchTarget(); !ok || tgt != 17 {
+			t.Errorf("%s BranchTarget = %v,%v, want 17,true", op, tgt, ok)
+		}
+	}
+	for _, op := range []Op{JR, JALR, ADD, ADDI, LW, SW, SYSCALL, TRAPDET, NOP} {
+		if _, ok := (Instr{Op: op, Imm: 17}).BranchTarget(); ok {
+			t.Errorf("%s has a BranchTarget", op)
+		}
+	}
+	// BranchTarget covers exactly the direct-transfer subset of the
+	// control class: everything except register-indirect jumps and the
+	// fall-through trapdet check.
+	for op := Op(0); int(op) < NumOps; op++ {
+		_, ok := (Instr{Op: op}).BranchTarget()
+		noTarget := op == JR || op == JALR || op == TRAPDET
+		if ok != ((Instr{Op: op}).IsBranchOrJump() && !noTarget) {
+			t.Errorf("%s: BranchTarget ok=%v inconsistent with IsBranchOrJump", op, ok)
+		}
+	}
+}
+
 func TestValidate(t *testing.T) {
 	good := &Program{
 		Text:  []Instr{{Op: ADDI, Rd: 2}, {Op: BEQ, Imm: 0}, {Op: JR, Rs: RegRA}},

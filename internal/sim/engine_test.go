@@ -1,0 +1,287 @@
+package sim
+
+// Differential tests for the predecoded engine: every program here runs on
+// both the fast engine (Run) and the reference interpreter (ReferenceRun)
+// and the two Results must be bit-identical — outcome, trap, exit code,
+// instruction and class counts, eligible-stream position, injection
+// bookkeeping and output bytes. The programs are chosen to hit each
+// superinstruction pattern, the mid-pair budget and trap edges, jumps that
+// land on the second slot of a fused pair, and injections that retire on
+// fused slots.
+
+import (
+	"reflect"
+	"testing"
+
+	"etap/internal/asm"
+	"etap/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+// diffRun executes p under cfg on both engines and fails unless the
+// Results match exactly.
+func diffRun(t *testing.T, p *isa.Program, cfg Config) Result {
+	t.Helper()
+	got := Run(p, cfg)
+	want := ReferenceRun(p, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("engine diverges from reference:\nengine:    %+v\nreference: %+v", got, want)
+	}
+	return got
+}
+
+// Each source ends by exiting with a value derived from the computation so
+// a wrong fused result changes the exit code, not just internal state.
+var enginePrograms = []struct {
+	name string
+	src  string
+}{
+	{"lui+ori constants", exitWith(`
+	li $t0, 0x12345678
+	li $t1, 0xDEADBEEF
+	xor $t2, $t0, $t1
+	li $t3, 0xCAFE0001
+	xor $v1, $t2, $t3`)},
+	{"addi+lw addi+sw", exitWith(`
+	li $t0, 0x2000
+	li $t1, 0x0BADF00D
+	addi $t2, $t0, 8
+	sw $t1, 0($t2)
+	addi $t3, $t0, 4
+	sw $t1, 4($t3)
+	addi $t4, $t0, 8
+	lw $v1, 0($t4)`)},
+	{"slt+bne loop", exitWith(`
+	li $t0, 0
+	li $t1, 10
+	li $v1, 0
+loop:
+	add $v1, $v1, $t0
+	addi $t0, $t0, 1
+	slt $t2, $t0, $t1
+	bne $t2, $zero, loop`)},
+	{"sltu+beq loop", exitWith(`
+	li $t0, 10
+	li $v1, 0
+loop:
+	add $v1, $v1, $t0
+	addi $t0, $t0, -1
+	sltu $t2, $zero, $t0
+	beq $t2, $zero, done
+	j loop
+done:`)},
+	{"branch into pair middle", exitWith(`
+	li $s0, 0
+	lui $t0, 0x1234
+mid:
+	ori $t1, $t0, 0x5678
+	addi $s0, $s0, 1
+	li $t3, 3
+	bne $s0, $t3, mid
+	move $v1, $t1`)},
+	{"jal jr around pairs", `
+.text
+.func __start
+	li $a0, 0x00AB0000
+	jal helper
+	move $a0, $v0
+	li $v0, 1
+	syscall
+.endfunc
+.func helper
+	li $t0, 0x0000CD00
+	or $v0, $a0, $t0
+	jr $ra
+.endfunc
+`},
+	{"div by zero", exitWith(`
+	li $t0, 5
+	li $t1, 0
+	div $v1, $t0, $t1`)},
+	{"misaligned fused lw", exitWith(`
+	li $t0, 0x2001
+	addi $t2, $t0, 0
+	lw $v1, 0($t2)`)},
+	{"misaligned fused sw", exitWith(`
+	li $t0, 0x2002
+	li $t1, 7
+	addi $t2, $t0, 0
+	sw $t1, 0($t2)`)},
+	{"wild jr", exitWith(`
+	li $t0, 0x00700000
+	jr $t0`)},
+	{"bad syscall", exitWith(`
+	li $v0, 99
+	syscall`)},
+	{"sparse region load store", exitWith(`
+	li $t0, 0x00900000
+	li $t1, 0x13572468
+	addi $t2, $t0, 16
+	sw $t1, 0($t2)
+	addi $t3, $t0, 16
+	lw $v1, 0($t3)`)},
+	{"syscall echo", `
+.text
+.func __start
+	li $a0, 0x2000
+	li $a1, 8
+	li $v0, 5
+	syscall
+	move $t5, $v0
+	li $a0, 0x2000
+	move $a1, $t5
+	li $v0, 4
+	syscall
+	move $a0, $t5
+	li $v0, 1
+	syscall
+.endfunc
+`},
+	{"byte and half memory", exitWith(`
+	li $t0, 0x2000
+	li $t1, 0x8081
+	sh $t1, 0($t0)
+	sb $t1, 3($t0)
+	lh $t2, 0($t0)
+	lb $t3, 3($t0)
+	lbu $t4, 3($t0)
+	add $t5, $t2, $t3
+	add $v1, $t5, $t4`)},
+}
+
+// engineMasks builds eligibility masks that exercise the fusion guard from
+// both sides: everything eligible (nothing fuses), alternating slots (some
+// pairs fuse with an eligible B half), and a sparse every-third pattern.
+func engineMasks(n int) map[string][]bool {
+	all := make([]bool, n)
+	even := make([]bool, n)
+	odd := make([]bool, n)
+	third := make([]bool, n)
+	for i := 0; i < n; i++ {
+		all[i] = true
+		even[i] = i%2 == 0
+		odd[i] = i%2 == 1
+		third[i] = i%3 == 2
+	}
+	return map[string][]bool{
+		"none": nil, "all": all, "even": even, "odd": odd, "third": third,
+	}
+}
+
+func TestEngineMatchesReference(t *testing.T) {
+	for _, tc := range enginePrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mustAssemble(t, tc.src)
+			cfg := Config{Input: []byte("hello, engine")}
+			diffRun(t, p, cfg)
+			for name, mask := range engineMasks(len(p.Text)) {
+				cfg := cfg
+				if mask != nil {
+					cfg.Plan = &FaultPlan{Eligible: mask}
+				}
+				res := diffRun(t, p, cfg)
+				if mask != nil && res.EligibleExec == 0 && res.Instret > 1 {
+					// Not fatal — some masks can legitimately miss the
+					// dynamic path — but "all" must always count.
+					if name == "all" {
+						t.Errorf("mask %q counted no eligible executions over %d instructions", name, res.Instret)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineBudgetEquivalence sweeps the instruction budget across every
+// small value so the Timeout edge lands on each slot in turn — including
+// between the two halves of a fused pair, where the engine must stop with
+// only the first half retired.
+func TestEngineBudgetEquivalence(t *testing.T) {
+	for _, tc := range enginePrograms {
+		p := mustAssemble(t, tc.src)
+		full := Run(p, Config{Input: []byte("hello, engine")})
+		limit := full.Instret + 2
+		if limit > 64 {
+			limit = 64
+		}
+		for max := uint64(1); max <= limit; max++ {
+			res := diffRun(t, p, Config{Input: []byte("hello, engine"), MaxInstr: max})
+			if max < full.Instret && res.Outcome != Timeout {
+				t.Fatalf("%s: budget %d of %d did not time out (%s)", tc.name, max, full.Instret, res.Outcome)
+			}
+		}
+	}
+}
+
+// TestEngineInjectionEquivalence sweeps single-bit flips across the whole
+// eligible stream of each program under each mask, so injections retire on
+// plain slots and on the B halves of fused pairs alike. At values past the
+// stream's end check the never-fires path.
+func TestEngineInjectionEquivalence(t *testing.T) {
+	for _, tc := range enginePrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mustAssemble(t, tc.src)
+			for name, mask := range engineMasks(len(p.Text)) {
+				if mask == nil {
+					continue
+				}
+				clean := Run(p, Config{Input: []byte("hello, engine"), Plan: &FaultPlan{Eligible: mask}})
+				sweep := clean.EligibleExec + 2
+				if sweep > 48 {
+					sweep = 48
+				}
+				for at := uint64(1); at <= sweep; at++ {
+					for _, bit := range []uint8{0, 13, 31} {
+						plan := &FaultPlan{
+							Eligible:   mask,
+							Injections: []Injection{{At: at, Bit: bit}},
+						}
+						// Budget the faulty run: a flipped loop counter can
+						// legitimately run away, and both engines must agree
+						// on exactly when it times out.
+						cfg := Config{
+							Input:    []byte("hello, engine"),
+							Plan:     plan,
+							MaxInstr: clean.Instret*4 + 64,
+						}
+						res := diffRun(t, p, cfg)
+						if at <= clean.EligibleExec && res.Injected == 0 && res.Instret >= clean.Instret {
+							t.Fatalf("mask %q at=%d bit=%d: full-length run but injection never fired", name, at, bit)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineDoubleInjection drives two flips through one run, the second
+// scheduled while the machine is already corrupted.
+func TestEngineDoubleInjection(t *testing.T) {
+	p := mustAssemble(t, enginePrograms[2].src) // slt+bne loop
+	mask := make([]bool, len(p.Text))
+	for i := range mask {
+		mask[i] = true
+	}
+	clean := Run(p, Config{Plan: &FaultPlan{Eligible: mask}})
+	for at1 := uint64(1); at1 < clean.EligibleExec; at1 += 3 {
+		for at2 := at1 + 1; at2 <= clean.EligibleExec+1; at2 += 5 {
+			plan := &FaultPlan{
+				Eligible: mask,
+				Injections: []Injection{
+					{At: at1, Bit: 3},
+					{At: at2, Bit: 30},
+				},
+			}
+			diffRun(t, p, Config{Plan: plan, MaxInstr: clean.Instret*4 + 64})
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"time"
 
 	"etap/internal/isa"
@@ -129,6 +130,10 @@ type Injection struct {
 // position; Injections must be sorted by ascending At. A plan with only
 // Eligible set (no injections) is useful for counting the dynamic eligible
 // stream length of a clean run.
+//
+// The Eligible mask must not be mutated once a plan carrying it has been
+// run: the predecoded engine folds the mask into its compiled instruction
+// stream and caches that stream by the mask's identity.
 type FaultPlan struct {
 	Eligible   []bool
 	Injections []Injection
@@ -201,28 +206,85 @@ func (r Result) DetectLatency() (lat uint64, ok bool) {
 const pageShift = 12
 const pageSize = 1 << pageShift
 
+// normalize fills Config defaults. Run, ReferenceRun, Record and Runner
+// trials all go through it, so the defaulting cannot drift between entry
+// points.
+func (c Config) normalize() Config {
+	if c.MemSize == 0 {
+		c.MemSize = 8 << 20
+	}
+	if c.MaxInstr == 0 {
+		c.MaxInstr = 1 << 32
+	}
+	if c.MaxOutput == 0 {
+		c.MaxOutput = 8 << 20
+	}
+	if c.MaxPages == 0 {
+		c.MaxPages = 2048
+	}
+	return c
+}
+
 // Run executes the program to completion under cfg.
+//
+// Execution happens on the predecoded engine (predecode.go, engine.go):
+// the text segment is compiled once per (program, eligibility mask) pair
+// into a dense superinstruction stream and the hot loop dispatches over
+// that. Tracing runs fall back to the reference interpreter. The two paths
+// produce bit-identical Results — TestEngineMatchesReference and
+// FuzzEngineEquivalence enforce it.
 func Run(p *isa.Program, cfg Config) Result {
-	if cfg.MemSize == 0 {
-		cfg.MemSize = 8 << 20
+	cfg = cfg.normalize()
+	if cfg.Trace != nil {
+		return referenceRun(p, cfg)
 	}
-	if cfg.MaxInstr == 0 {
-		cfg.MaxInstr = 1 << 32
-	}
-	if cfg.MaxOutput == 0 {
-		cfg.MaxOutput = 8 << 20
-	}
-	if cfg.MaxPages == 0 {
-		cfg.MaxPages = 2048
-	}
+	code := codeFor(p, cfg.Plan)
+	m, buf := newScratch(p, cfg)
+	start := time.Now()
+	m.runEngine(code)
+	recordRunMetrics(simRunsScratch, m.instret, time.Since(start))
+	res := m.result()
+	buf.release()
+	return res
+}
+
+// ReferenceRun executes the program on the reference decode-dispatch
+// interpreter: the per-step switch over isa opcodes that predates the
+// predecoded engine. It stays in-tree as the semantic baseline — the
+// differential harness asserts bit-identical Results between both engines
+// for every app, hardened variant and injection plan — and it carries the
+// instrumented paths (tracing, checkpoint recording) the fast loop does
+// not implement.
+func ReferenceRun(p *isa.Program, cfg Config) Result {
+	return referenceRun(p, cfg.normalize())
+}
+
+// referenceRun expects a normalized cfg.
+func referenceRun(p *isa.Program, cfg Config) Result {
+	m, buf := newScratch(p, cfg)
+	start := time.Now()
+	m.run()
+	recordRunMetrics(simRunsScratch, m.instret, time.Since(start))
+	res := m.result()
+	buf.release()
+	return res
+}
+
+// newScratch assembles a from-scratch machine over pooled flat memory.
+// cfg must be normalized. The caller releases buf once the machine's
+// Result has been taken.
+func newScratch(p *isa.Program, cfg Config) (*machine, *scratchBuf) {
+	buf := acquireScratch(cfg.MemSize)
 	m := &machine{
 		text:    p.Text,
-		mem:     make([]byte, cfg.MemSize),
+		mem:     buf.mem,
+		dirty:   buf.dirty,
 		memSize: cfg.MemSize,
 		input:   cfg.Input,
 		cfg:     cfg,
 	}
-	copy(m.mem[isa.DataBase:], p.Data)
+	n := copy(m.mem[isa.DataBase:], p.Data)
+	buf.markRange(isa.DataBase, uint32(n))
 	m.regs[isa.RegSP] = cfg.MemSize - 16
 	m.pc = p.Entry
 
@@ -230,10 +292,7 @@ func Run(p *isa.Program, cfg Config) Result {
 		m.eligible = cfg.Plan.Eligible
 		m.injections = cfg.Plan.Injections
 	}
-	start := time.Now()
-	m.run()
-	recordRunMetrics(simRunsScratch, m.instret, time.Since(start))
-	return m.result()
+	return m, buf
 }
 
 // result snapshots the machine's architecturally visible end state; Run,
@@ -272,22 +331,36 @@ func (m *machine) detectInstret() uint64 {
 }
 
 type machine struct {
-	text    []isa.Instr
-	regs    [isa.NumRegs]uint32
+	text []isa.Instr
+	// regs is the register file, oversized on purpose. Index isa.NumRegs is
+	// a write sink: the predecoded engine redirects $zero destinations
+	// there, so its writeback is a straight store with no "is this $zero"
+	// branch. The array is 256 long so any uint8 register index from a
+	// dinstr is provably in range and the compiler drops every bounds
+	// check in the hot loop. Only regs[:isa.NumRegs] is architectural; the
+	// sink and the slack are never read.
+	regs    [256]uint32
 	mem     []byte
 	memSize uint32
 	pages   map[uint32]*[pageSize]byte
 	pc      int
 
+	// dirty, when non-nil, is a per-page bitmap over mem maintained by the
+	// flat store path so the pool can reset only written pages (pool.go).
+	dirty []uint64
+
 	// Paged mode replaces the flat mem array with a page table over the
 	// fast region, so a machine can be restored from a Snapshot without
 	// copying memory: restored pages are shared read-only and copied on
-	// first write. pageTab and priv are indexed by page number; roSparse
-	// holds snapshot pages beyond the fast region that have not been
-	// written yet (they migrate into pages on first store).
+	// first write. pageTab and wrTab are indexed by page number — wrTab
+	// holds only this machine's private (writable) copies, so a store fast
+	// path is a single lookup; a page present in pageTab but not wrTab is
+	// shared read-only. roSparse holds snapshot pages beyond the fast
+	// region that have not been written yet (they migrate into pages on
+	// first store).
 	paged    bool
 	pageTab  []*[pageSize]byte
-	priv     []bool
+	wrTab    []*[pageSize]byte
 	roSparse map[uint32]*[pageSize]byte
 
 	// rec, when non-nil, records snapshots of machine state every
@@ -376,8 +449,12 @@ func (m *machine) store(addr, size, val uint32) bool {
 		}
 	} else if addr+size <= m.memSize && addr+size > addr {
 		buf = m.mem[addr:]
+		pn := addr >> pageShift
+		if m.dirty != nil {
+			m.dirty[pn>>6] |= 1 << (pn & 63)
+		}
 		if m.rec != nil {
-			m.rec.dirtyFast(addr >> pageShift)
+			m.rec.dirtyFast(pn)
 		}
 	} else {
 		pn := addr >> pageShift
@@ -415,15 +492,14 @@ func (m *machine) store(addr, size, val uint32) bool {
 func (m *machine) storeSlot(addr uint32) []byte {
 	pn := addr >> pageShift
 	if addr < m.memSize {
-		pg := m.pageTab[pn]
-		if pg == nil || !m.priv[pn] {
-			np := new([pageSize]byte)
-			if pg != nil {
-				*np = *pg
+		pg := m.wrTab[pn]
+		if pg == nil {
+			pg = new([pageSize]byte)
+			if ro := m.pageTab[pn]; ro != nil {
+				*pg = *ro
 			}
-			m.pageTab[pn] = np
-			m.priv[pn] = true
-			pg = np
+			m.pageTab[pn] = pg
+			m.wrTab[pn] = pg
 		}
 		return pg[addr&(pageSize-1):]
 	}
@@ -747,9 +823,13 @@ func (m *machine) syscall() bool {
 			m.fault(TrapOutputLimit, addr)
 			return false
 		}
-		buf := make([]byte, n)
-		m.readBytes(buf, addr)
-		m.out = append(m.out, buf...)
+		// Reserve in place and copy straight into the output buffer: no
+		// per-syscall scratch allocation. slices.Grow always reallocates
+		// when capacity is short, so a restored machine sharing a golden
+		// prefix (len==cap) never scribbles over the recording's bytes.
+		old := len(m.out)
+		m.out = slices.Grow(m.out, int(n))[:old+int(n)]
+		m.readBytes(m.out[old:], addr)
 		m.setReg(isa.RegV0, n)
 	case SysRead:
 		addr, n := r[isa.RegA0], r[isa.RegA1]
@@ -793,4 +873,11 @@ func f2i(f float32) int32 {
 		return math.MinInt32
 	}
 	return int32(f)
+}
+
+// faultAt is fault with an explicit faulting pc, for the engine loop which
+// keeps the program counter in a local.
+func (m *machine) faultAt(kind TrapKind, pc int, addr uint32) {
+	m.pc = pc
+	m.fault(kind, addr)
 }

@@ -81,6 +81,7 @@ type Recording struct {
 	snaps []*Snapshot
 	base  []*[pageSize]byte // initial fast-region image (data segment)
 	elig  []bool            // eligibility mask the golden pass counted with
+	code  []dinstr          // predecoded stream with elig folded in
 }
 
 // recorder holds the capture state threaded through the machine during a
@@ -133,7 +134,7 @@ func (r *recorder) capture(m *machine) {
 		Instret:     m.instret,
 		EligCount:   m.eligCount,
 		PC:          m.pc,
-		regs:        m.regs,
+		regs:        [isa.NumRegs]uint32(m.regs[:isa.NumRegs]),
 		classCounts: m.classCounts,
 		inPos:       m.inPos,
 		outLen:      len(m.out),
@@ -160,20 +161,9 @@ func (r *recorder) capture(m *machine) {
 // coincides with a page boundary.
 func Record(p *isa.Program, cfg Config, opt RecordOptions) (*Recording, error) {
 	opt = opt.withDefaults()
-	if cfg.MemSize == 0 {
-		cfg.MemSize = 8 << 20
-	}
+	cfg = cfg.normalize()
 	if cfg.MemSize%pageSize != 0 {
 		return nil, fmt.Errorf("sim: MemSize %d is not a multiple of the %d-byte page", cfg.MemSize, pageSize)
-	}
-	if cfg.MaxInstr == 0 {
-		cfg.MaxInstr = 1 << 32
-	}
-	if cfg.MaxOutput == 0 {
-		cfg.MaxOutput = 8 << 20
-	}
-	if cfg.MaxPages == 0 {
-		cfg.MaxPages = 2048
 	}
 	if cfg.Plan != nil && len(cfg.Plan.Injections) > 0 {
 		return nil, fmt.Errorf("sim: cannot record a golden pass with injections scheduled")
@@ -189,21 +179,14 @@ func Record(p *isa.Program, cfg Config, opt RecordOptions) (*Recording, error) {
 		sparseDirty: make(map[uint32]struct{}),
 		cum:         make(map[uint32]*[pageSize]byte),
 	}
-	m := &machine{
-		text:    p.Text,
-		mem:     make([]byte, cfg.MemSize),
-		memSize: cfg.MemSize,
-		input:   cfg.Input,
-		cfg:     cfg,
-		rec:     rec,
-	}
-	copy(m.mem[isa.DataBase:], p.Data)
-	m.regs[isa.RegSP] = cfg.MemSize - 16
-	m.pc = p.Entry
+	// The golden pass runs on the reference interpreter: it is the engine
+	// that carries the recorder hook, and recording is rare enough that
+	// raw speed does not matter.
+	m, buf := newScratch(p, cfg)
+	m.rec = rec
 	var elig []bool
 	if cfg.Plan != nil {
 		elig = cfg.Plan.Eligible
-		m.eligible = elig
 	}
 	start := time.Now()
 	m.run()
@@ -211,6 +194,7 @@ func Record(p *isa.Program, cfg Config, opt RecordOptions) (*Recording, error) {
 	simCheckpoints.Add(float64(len(rec.snaps)))
 
 	res := m.result()
+	buf.release()
 	for _, s := range rec.snaps {
 		s.out = res.Output[:s.outLen:s.outLen]
 	}
@@ -246,6 +230,7 @@ func Record(p *isa.Program, cfg Config, opt RecordOptions) (*Recording, error) {
 		snaps:  rec.snaps,
 		base:   base,
 		elig:   elig,
+		code:   compile(p.Text, elig),
 	}, nil
 }
 
@@ -273,52 +258,12 @@ func (r *Recording) SnapshotBefore(at uint64) int {
 // instruction budget; idx -1 runs from scratch. The plan's eligibility
 // mask must be the one the golden pass was recorded with — checkpoint
 // eligible-stream positions are meaningless under any other mask.
+//
+// Each call builds and discards the per-trial machine state; callers
+// running many trials against one recording should hold a Runner
+// (NewRunner) instead, which reuses that state across trials.
 func (r *Recording) RunFrom(idx int, plan *FaultPlan, maxInstr uint64) Result {
-	cfg := r.cfg
-	cfg.Plan = plan
-	if maxInstr != 0 {
-		cfg.MaxInstr = maxInstr
-	}
-	if idx < 0 {
-		return Run(r.prog, cfg)
-	}
-	s := r.snaps[idx]
-	fastPages := cfg.MemSize >> pageShift
-	m := &machine{
-		text:        r.prog.Text,
-		memSize:     cfg.MemSize,
-		paged:       true,
-		pageTab:     make([]*[pageSize]byte, fastPages),
-		priv:        make([]bool, fastPages),
-		input:       cfg.Input,
-		cfg:         cfg,
-		pc:          s.PC,
-		regs:        s.regs,
-		classCounts: s.classCounts,
-		instret:     s.Instret,
-		eligCount:   s.EligCount,
-		inPos:       s.inPos,
-		out:         s.out,
-	}
-	copy(m.pageTab, r.base)
-	for pn, pg := range s.pages {
-		if pn < fastPages {
-			m.pageTab[pn] = pg
-		} else {
-			if m.roSparse == nil {
-				m.roSparse = make(map[uint32]*[pageSize]byte, len(s.pages))
-			}
-			m.roSparse[pn] = pg
-		}
-	}
-	if plan != nil {
-		m.eligible = plan.Eligible
-		m.injections = plan.Injections
-	}
-	start := time.Now()
-	m.run()
-	// The machine resumed at s.Instret; only the instructions actually
-	// re-executed count toward the process totals.
-	recordRunMetrics(simRunsRestore, m.instret-s.Instret, time.Since(start))
-	return m.result()
+	rn := r.NewRunner()
+	defer rn.Close()
+	return rn.RunFrom(idx, plan, maxInstr)
 }
