@@ -160,6 +160,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("%s (%s): %w", a.Name(), pol, err)
 			}
+			eng.DetectClass = func(pc int) string { return res.CheckKindAt(pc).String() }
 
 			// Differential gate: the hardened program must be a faithful
 			// compile of the original before its coverage means anything.

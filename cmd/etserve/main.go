@@ -11,6 +11,7 @@
 //
 //	etserve [-addr :8372] [-workers N] [-queue N]
 //	        [-state jobs.json] [-lab-capacity N] [-quiet]
+//	        [-otlp http://collector:4318] [-trace-sample 0.1]
 //
 // SIGINT/SIGTERM shuts down gracefully: running campaigns stop between
 // trials, their partial aggregates persist as cancelled, and -state
@@ -59,6 +60,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	labCapacity := fs.Int("lab-capacity", etap.DefaultLabCapacity, "compile-cache entries before LRU eviction (<= 0 = unbounded)")
 	maxJobs := fs.Int("max-jobs", 0, "job-table bound; oldest finished jobs evict past it (0 = 1024, < 0 = unbounded)")
 	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof/ (exposes internals; keep off on public deployments)")
+	otlp := fs.String("otlp", "", "push sampled traces to this OTLP/HTTP JSON collector (e.g. http://collector:4318)")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of traces exported over OTLP (0 = all, < 0 = none); GET /traces always works")
 	jsonLog := fs.Bool("log-json", false, "emit structured JSON logs (slog) instead of plain lines")
 	quiet := fs.Bool("quiet", false, "suppress per-job log lines")
 	showVersion := fs.Bool("version", false, "print build identity and exit")
@@ -95,6 +98,12 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 	if *state != "" {
 		opts = append(opts, etap.WithServeStateFile(*state))
+	}
+	if *otlp != "" {
+		opts = append(opts, etap.WithServeOTLP(*otlp))
+	}
+	if *traceSample != 0 {
+		opts = append(opts, etap.WithServeTraceSample(*traceSample))
 	}
 	logf("listening on %s (state: %s)", *addr, orNone(*state))
 	return etap.Serve(ctx, *addr, opts...)

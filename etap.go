@@ -370,6 +370,10 @@ func (h *HardenedSystem) NewDetectionCampaign(input []byte) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Attribute each detection to the transform whose trapdet fired, so
+	// latency histograms and trial events split by dup vs cfs.
+	res := h.res
+	c.DetectClass = func(pc int) string { return res.CheckKindAt(pc).String() }
 	return &Campaign{c: c}, nil
 }
 

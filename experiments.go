@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"etap/internal/exp"
+	obstrace "etap/internal/obs/trace"
 )
 
 // Report is the structured result of one experiment: named, unit-tagged
@@ -44,7 +45,15 @@ func (e Experiment) Run(ctx context.Context, opts ...Option) (*Report, error) {
 	if e.run == nil {
 		return nil, exp.UnknownExperimentError(e.ID)
 	}
-	return e.run(ctx, applyOptions(opts).expOptions())
+	// Child span of whatever the caller carries (a served job span, or
+	// nothing for library use); campaign points nest beneath it.
+	ctx, span := obstrace.Start(ctx, "experiment.run", obstrace.String("experiment", e.ID))
+	defer span.End()
+	r, err := e.run(ctx, applyOptions(opts).expOptions())
+	if err != nil {
+		span.SetStatus(obstrace.StatusError, err.Error())
+	}
+	return r, err
 }
 
 // Experiments lists every registered experiment in canonical order.

@@ -36,6 +36,7 @@ import (
 
 	"etap/internal/fault"
 	"etap/internal/isa"
+	obstrace "etap/internal/obs/trace"
 	"etap/internal/sim"
 )
 
@@ -91,6 +92,13 @@ type Engine struct {
 	// completed trial counts as acceptable only when its output is
 	// bit-identical to the clean output.
 	Score ScoreFunc
+	// DetectClass, when non-nil, classifies a Detected trial's
+	// sim.Result.DetectPC into the transform kind that caught it
+	// ("dup", "cfs"); hardened subjects wire it to
+	// harden.Result.CheckKindAt. It labels the detection-latency
+	// histogram and trial records; it never influences trial execution
+	// or aggregation.
+	DetectClass func(pc int) string
 
 	rec *sim.Recording
 	cfg Config
@@ -230,6 +238,10 @@ type Trial struct {
 	// a measurable window (see sim.Result.DetectLatency).
 	DetectLatency uint64
 	HasLatency    bool
+	// DetectKind is the transform class ("dup", "cfs") of the trapdet
+	// that ended a Detected trial, from the engine's DetectClass;
+	// "unknown" for Detected trials without a classifier, "" otherwise.
+	DetectKind string
 }
 
 // Observer receives every aggregated trial of a point in deterministic
@@ -254,6 +266,14 @@ func (e *Engine) RunPoint(ctx context.Context, pt Point, observe Observer) Point
 		ctx = context.Background()
 	}
 	campPoints.Inc()
+	// Tracing is observational only: spans nest via ctx (HTTP → job →
+	// point → shard) and record what ran, never influencing RNG streams,
+	// scheduling or aggregation (pinned by the root determinism guard).
+	// With no tracer on ctx every span call is a nil no-op.
+	ctx, pointSpan := obstrace.Start(ctx, "campaign.point",
+		obstrace.Int("errors", int64(pt.Errors)),
+		obstrace.Int("max_trials", int64(pt.MaxTrials)))
+	defer pointSpan.End()
 	// Clamp the lane the same way plan generation will, so reported
 	// lanes, shard seeds and the actual flips all agree.
 	lo, hi := pt.LoBit, pt.HiBit
@@ -377,7 +397,12 @@ func (e *Engine) RunPoint(ctx context.Context, pt Point, observe Observer) Point
 			}
 		}
 	}
-	return a.result(pt.Errors, lo, hi, stopped, curtailed.Load())
+	r := a.result(pt.Errors, lo, hi, stopped, curtailed.Load())
+	pointSpan.SetAttr(
+		obstrace.Int("trials_run", int64(r.Trials)),
+		obstrace.Bool("stopped_early", r.EarlyStopped),
+		obstrace.Bool("cancelled", r.Cancelled))
+	return r
 }
 
 // runShard executes one shard's trials sequentially off the shard's own
@@ -388,6 +413,13 @@ func (e *Engine) RunPoint(ctx context.Context, pt Point, observe Observer) Point
 // bit-identical to per-trial construction.
 func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi uint8, shard, count int) []Trial {
 	defer observeShard(time.Now())
+	// One span per shard, never per trial: span creation stays off the
+	// trial path, and per-trial data rides as bounded span events
+	// recorded between trials (outside the engine step loop).
+	_, span := obstrace.Start(ctx, "campaign.shard",
+		obstrace.Int("shard", int64(shard)),
+		obstrace.Int("trials", int64(count)))
+	defer span.End()
 	rng := rand.New(rand.NewSource(shardSeed(seed, errors, lo, hi, shard)))
 	rn := e.rec.NewRunner()
 	defer rn.Close()
@@ -403,6 +435,14 @@ func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi ui
 		res := rn.RunFrom(e.planIdx(plan), plan, e.Budget)
 		tr := Trial{Outcome: res.Outcome, Value: math.NaN(), Instret: res.Instret, Injected: res.Injected, Shard: shard}
 		tr.DetectLatency, tr.HasLatency = res.DetectLatency()
+		if res.Outcome == sim.Detected {
+			tr.DetectKind = "unknown"
+			if e.DetectClass != nil {
+				if k := e.DetectClass(res.DetectPC); k != "" {
+					tr.DetectKind = k
+				}
+			}
+		}
 		if res.Outcome == sim.OK {
 			tr.Masked = bytes.Equal(res.Output, e.Clean.Output)
 			if e.Score != nil {
@@ -412,6 +452,18 @@ func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi ui
 			}
 		}
 		countTrial(tr)
+		if span != nil && span.EventRoom() > 0 {
+			attrs := []obstrace.Attr{
+				obstrace.Int("trial", int64(i)),
+				obstrace.String("outcome", tr.Outcome.String()),
+				obstrace.Int("instret", int64(tr.Instret)),
+				obstrace.Int("inject_instret", int64(res.FirstInjectInstret)),
+			}
+			if tr.DetectKind != "" {
+				attrs = append(attrs, obstrace.String("transform", tr.DetectKind))
+			}
+			span.Event("trial", attrs...)
+		}
 		trials = append(trials, tr)
 	}
 	return trials

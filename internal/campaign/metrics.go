@@ -31,10 +31,26 @@ var (
 	campShardSeconds = obs.Default().Histogram("etap_campaign_shard_seconds",
 		"Wall-clock seconds one worker spent executing one shard of trials.",
 		obs.ExpBuckets(0.0005, 4, 12))
-	campDetectLatency = obs.Default().Histogram("etap_campaign_detect_latency_instructions",
-		"Retired instructions between the first injected flip and the redundancy check that caught it (Detected trials only).",
-		obs.ExpBuckets(1, 4, 16))
+	campDetectLatency = obs.Default().HistogramVec("etap_campaign_detect_latency_instructions",
+		"Retired instructions between the first injected flip and the redundancy check that caught it (Detected trials only), by transform class.",
+		obs.ExpBuckets(1, 4, 16), "transform")
+	// Pre-resolved latency children, same reasoning as trialOutcome: the
+	// per-trial path never pays a label lookup.
+	latencyDup     = campDetectLatency.With("dup")
+	latencyCFS     = campDetectLatency.With("cfs")
+	latencyUnknown = campDetectLatency.With("unknown")
 )
+
+// latencyFor maps a trial's DetectKind to its pre-resolved histogram.
+func latencyFor(kind string) *obs.Histogram {
+	switch kind {
+	case "dup":
+		return latencyDup
+	case "cfs":
+		return latencyCFS
+	}
+	return latencyUnknown
+}
 
 // countTrial folds one executed trial into the process counters.
 func countTrial(tr Trial) {
@@ -42,7 +58,7 @@ func countTrial(tr Trial) {
 		trialOutcome[tr.Outcome].Inc()
 	}
 	if tr.HasLatency {
-		campDetectLatency.Observe(float64(tr.DetectLatency))
+		latencyFor(tr.DetectKind).Observe(float64(tr.DetectLatency))
 	}
 }
 

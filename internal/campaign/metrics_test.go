@@ -1,0 +1,60 @@
+package campaign
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"etap/internal/obs"
+	"etap/internal/sim"
+)
+
+// TestDetectLatencyExposition pins the transform-labelled
+// detection-latency family: one histogram child per transform class,
+// exposed under the documented name with a `transform` label. Dashboards
+// and the OBSERVABILITY.md catalog depend on these exact line shapes.
+func TestDetectLatencyExposition(t *testing.T) {
+	for _, kind := range []string{"dup", "cfs", ""} {
+		countTrial(Trial{Outcome: sim.Detected, HasLatency: true, DetectLatency: 3, DetectKind: kind})
+	}
+
+	var buf bytes.Buffer
+	if err := obs.Default().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	if !strings.Contains(out, "# TYPE etap_campaign_detect_latency_instructions histogram\n") {
+		t.Fatal("detect-latency family missing or no longer a histogram")
+	}
+	// The empty kind folds into "unknown"; all three classes must expose
+	// cumulative buckets and a count.
+	for _, transform := range []string{"dup", "cfs", "unknown"} {
+		bucket := `etap_campaign_detect_latency_instructions_bucket{transform="` + transform + `",le="4"} `
+		if !strings.Contains(out, bucket) {
+			t.Errorf("missing bucket line %q", bucket)
+		}
+		re := regexp.MustCompile(`etap_campaign_detect_latency_instructions_count\{transform="` + transform + `"\} (\d+)`)
+		m := re.FindStringSubmatch(out)
+		if m == nil {
+			t.Errorf("missing count line for transform=%q", transform)
+			continue
+		}
+		if n, _ := strconv.Atoi(m[1]); n < 1 {
+			t.Errorf("transform=%q count = %d, want >= 1", transform, n)
+		}
+	}
+}
+
+// TestLatencyForMapping pins the DetectKind → child mapping, including
+// the fold of unclassified detections into "unknown".
+func TestLatencyForMapping(t *testing.T) {
+	if latencyFor("dup") != latencyDup || latencyFor("cfs") != latencyCFS {
+		t.Fatal("known kinds not mapped to their children")
+	}
+	if latencyFor("") != latencyUnknown || latencyFor("anything-else") != latencyUnknown {
+		t.Fatal("unclassified kinds must fold into unknown")
+	}
+}

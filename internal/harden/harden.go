@@ -127,6 +127,43 @@ type Result struct {
 	// SigBlocks is the number of basic blocks that received signature
 	// code.
 	SigBlocks int
+
+	// TrapKinds classifies every inserted trapdet by the transform that
+	// emitted it, keyed by hardened text index. Query via CheckKindAt
+	// with a Detected trial's sim.Result.DetectPC to attribute a
+	// detection to its transform.
+	TrapKinds map[int]CheckKind
+}
+
+// CheckKind names the transform class behind one trapdet site.
+type CheckKind uint8
+
+const (
+	// CheckUnknown means the queried pc is not a trapdet of this
+	// rewrite.
+	CheckUnknown CheckKind = iota
+	// CheckDup is a duplicate-and-compare shadow-register check.
+	CheckDup
+	// CheckCFS is a control-flow signature check.
+	CheckCFS
+)
+
+func (k CheckKind) String() string {
+	switch k {
+	case CheckDup:
+		return "dup"
+	case CheckCFS:
+		return "cfs"
+	}
+	return "unknown"
+}
+
+// CheckKindAt classifies the trapdet at hardened text index pc —
+// CheckDup for a duplicate-and-compare check, CheckCFS for a
+// control-flow signature check, CheckUnknown for anything else
+// (including pc < 0, the "no detection" DetectPC sentinel).
+func (r *Result) CheckKindAt(pc int) CheckKind {
+	return r.TrapKinds[pc]
 }
 
 // StaticOverhead is the hardened/original static instruction-count ratio.

@@ -29,6 +29,8 @@ type rewriter struct {
 	dupSites  int
 	checks    int
 	sigBlocks int
+
+	trapKinds map[int]CheckKind // hardened trapdet idx -> transform class
 }
 
 func (w *rewriter) rewrite() (*Result, error) {
@@ -37,6 +39,7 @@ func (w *rewriter) rewrite() (*Result, error) {
 	w.newOf = make([]int, len(p.Text))
 	w.expStart = make([]int, len(p.Text))
 	w.blockAt = make(map[int]int)
+	w.trapKinds = make(map[int]CheckKind)
 	newFuncs := make([]isa.FuncInfo, len(p.Funcs))
 
 	if w.opts.Signatures {
@@ -124,6 +127,7 @@ func (w *rewriter) rewrite() (*Result, error) {
 		DupSites:         w.dupSites,
 		Checks:           w.checks,
 		SigBlocks:        w.sigBlocks,
+		TrapKinds:        w.trapKinds,
 	}
 	for origIdx, prot := range w.protected {
 		if prot {
@@ -172,6 +176,7 @@ func (w *rewriter) check(r isa.Reg) {
 	}
 	w.loadShadow(isa.RegK0, r)
 	w.emit(isa.Instr{Op: isa.BEQ, Rs: isa.RegK0, Rt: r, Imm: int32(len(w.out) + 2)}, -1)
+	w.trapKinds[len(w.out)] = CheckDup
 	w.emit(isa.Instr{Op: isa.TRAPDET}, -1)
 	w.checks++
 }
@@ -341,6 +346,7 @@ func (w *rewriter) sigPrologue(fi, bi int, preds []int, callCont bool) {
 		w.emit(isa.Instr{Op: isa.ADDI, Rd: isa.RegK1, Rs: isa.RegZero, Imm: sigOf(fi, p)}, -1)
 		w.emit(isa.Instr{Op: isa.BEQ, Rs: isa.RegK0, Rt: isa.RegK1, Imm: int32(ok)}, -1)
 	}
+	w.trapKinds[len(w.out)] = CheckCFS
 	w.emit(isa.Instr{Op: isa.TRAPDET}, -1)
 	w.emit(isa.Instr{Op: isa.ADDI, Rd: isa.RegK0, Rs: isa.RegZero, Imm: sigOf(fi, bi)}, -1)
 	w.emit(isa.Instr{Op: isa.SW, Rt: isa.RegK0, Rs: isa.RegZero, Imm: int32(SigAddr)}, -1)

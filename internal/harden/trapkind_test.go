@@ -1,0 +1,68 @@
+package harden
+
+import (
+	"testing"
+
+	"etap/internal/core"
+	"etap/internal/isa"
+)
+
+// TestTrapKindsClassifyEveryTrapdet pins that every trapdet emitted by
+// the rewrite is classified, that the classes match the transform that
+// emitted them, and that non-trapdet indices classify as unknown —
+// DetectPC attribution depends on exactly this map.
+func TestTrapKindsClassifyEveryTrapdet(t *testing.T) {
+	cases := []struct {
+		opts     Options
+		wantKind map[CheckKind]bool // kinds that must appear
+	}{
+		{Options{DupCompare: true}, map[CheckKind]bool{CheckDup: true}},
+		{Options{Signatures: true}, map[CheckKind]bool{CheckCFS: true}},
+		{DefaultOptions(), map[CheckKind]bool{CheckDup: true, CheckCFS: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.opts.String(), func(t *testing.T) {
+			_, rep := build(t, callProgram, core.PolicyControlAddr)
+			res, err := Harden(rep, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[CheckKind]bool{}
+			traps := 0
+			for idx, in := range res.Prog.Text {
+				kind := res.CheckKindAt(idx)
+				if in.Op == isa.TRAPDET {
+					traps++
+					if kind == CheckUnknown {
+						t.Fatalf("trapdet at %d unclassified", idx)
+					}
+					seen[kind] = true
+				} else if kind != CheckUnknown {
+					t.Fatalf("non-trapdet at %d classified as %s", idx, kind)
+				}
+			}
+			if traps == 0 {
+				t.Fatal("rewrite emitted no trapdets")
+			}
+			for k := range tc.wantKind {
+				if !seen[k] {
+					t.Fatalf("transform %s emitted no %s trapdet (saw %v)", tc.opts, k, seen)
+				}
+			}
+			for k := range seen {
+				if !tc.wantKind[k] {
+					t.Fatalf("transform %s emitted unexpected %s trapdet", tc.opts, k)
+				}
+			}
+			if res.CheckKindAt(-1) != CheckUnknown || res.CheckKindAt(len(res.Prog.Text)+7) != CheckUnknown {
+				t.Fatal("out-of-range pc not CheckUnknown")
+			}
+		})
+	}
+}
+
+func TestCheckKindString(t *testing.T) {
+	if CheckDup.String() != "dup" || CheckCFS.String() != "cfs" || CheckUnknown.String() != "unknown" {
+		t.Fatalf("CheckKind strings drifted: %s %s %s", CheckDup, CheckCFS, CheckUnknown)
+	}
+}

@@ -35,10 +35,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Handler serves the registry as text/plain exposition at any path —
-// mount it at GET /metrics.
+// Handler serves the registry as text exposition at any path — mount
+// it at GET /metrics. Scrapers that send
+// `Accept: application/openmetrics-text` get OpenMetrics 1.0 with
+// exemplars; everyone else gets Prometheus 0.0.4.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+			r.WriteOpenMetrics(w) //nolint:errcheck // the scraper is gone; nothing to do
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w) //nolint:errcheck // the scraper is gone; nothing to do
 	})

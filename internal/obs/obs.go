@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind discriminates metric families.
@@ -122,6 +123,21 @@ type child struct {
 	counts []atomic.Uint64 // histogram: per-bucket, cumulative at render
 	sum    atomic.Uint64   // histogram: float64 bits
 	count  atomic.Uint64   // histogram: observation count
+
+	// exemplars holds one traced observation per bucket (last write
+	// wins; index len(buckets) is the +Inf bucket). Only the
+	// OpenMetrics encoder renders them; the 0.0.4 exposition is
+	// byte-stable with or without exemplars.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one histogram observation to the trace that produced
+// it — the OpenMetrics mechanism connecting latency buckets to trace
+// IDs.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      time.Time
 }
 
 // validName reports whether s is a legal Prometheus metric or label
@@ -204,6 +220,7 @@ func (f *family) child(vals []string) *child {
 	c := &child{fam: f, labelVals: append([]string(nil), vals...)}
 	if f.kind == KindHistogram {
 		c.counts = make([]atomic.Uint64, len(f.buckets))
+		c.exemplars = make([]atomic.Pointer[exemplar], len(f.buckets)+1)
 	}
 	f.children[key] = c
 	return c
@@ -432,6 +449,22 @@ func (h *Histogram) Observe(v float64) {
 	}
 	addFloat(&c.sum, v)
 	c.count.Add(1)
+}
+
+// ObserveExemplar records v like Observe and additionally attaches the
+// trace ID to the bucket v falls in as its exemplar (last write wins).
+// The OpenMetrics exposition renders it as
+// `... # {trace_id="..."} value timestamp`, letting a latency bucket be
+// joined to the trace that produced it. An empty traceID degrades to a
+// plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if h == nil || h.c == nil || !h.c.fam.reg.Enabled() || traceID == "" {
+		return
+	}
+	c := h.c
+	i := sort.SearchFloat64s(c.fam.buckets, v) // len(buckets) == +Inf slot
+	c.exemplars[i].Store(&exemplar{traceID: traceID, value: v, ts: time.Now()})
 }
 
 // Count reads the number of observations.

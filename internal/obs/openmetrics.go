@@ -1,0 +1,104 @@
+// OpenMetrics 1.0 text exposition — the second wire format the
+// registry speaks, alongside Prometheus 0.0.4 (expose.go). The formats
+// differ in exactly three ways this encoder implements: counter
+// families declare HELP/TYPE under the name with the `_total` suffix
+// stripped, histogram bucket lines may carry exemplars
+// (`# {trace_id="..."} value timestamp`), and the stream ends with
+// `# EOF`. The 0.0.4 output is pinned byte-stable by tests, so
+// exemplars render only here.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentTypeOpenMetrics is the media type WriteOpenMetrics produces;
+// Handler switches to it when the scraper's Accept header asks for
+// OpenMetrics.
+const ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics renders every family in OpenMetrics 1.0 text format,
+// including histogram exemplars recorded via ObserveExemplar.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.writeOpen(bw)
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+func (f *family) writeOpen(w *bufio.Writer) {
+	f.mu.Lock()
+	fn := f.fn
+	children := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		children = append(children, c)
+	}
+	f.mu.Unlock()
+
+	// OpenMetrics names counter families without the _total suffix; the
+	// sample lines keep it. Every counter in this repo follows the
+	// _total convention, so base+"_total" round-trips to f.name.
+	base, sample := f.name, f.name
+	if f.kind == KindCounter {
+		base = strings.TrimSuffix(f.name, "_total")
+		sample = base + "_total"
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", base, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", base, f.kind)
+	if fn != nil {
+		fmt.Fprintf(w, "%s %s\n", sample, fmtFloat(fn()))
+		return
+	}
+	sort.Slice(children, func(i, j int) bool {
+		return labelKey(children[i].labelVals) < labelKey(children[j].labelVals)
+	})
+	for _, c := range children {
+		if f.kind == KindHistogram {
+			c.writeOpenHistogram(w)
+			continue
+		}
+		fmt.Fprintf(w, "%s%s %s\n", sample, labelString(f.labels, c.labelVals, ""), fmtFloat(math.Float64frombits(c.bits.Load())))
+	}
+}
+
+func (c *child) writeOpenHistogram(w *bufio.Writer) {
+	f := c.fam
+	var cum uint64
+	for i, le := range f.buckets {
+		cum += c.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, c.labelVals, fmtFloat(le)), cum, c.exemplarSuffix(i))
+	}
+	count := c.count.Load()
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, c.labelVals, "+Inf"), count, c.exemplarSuffix(len(f.buckets)))
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, c.labelVals, ""), fmtFloat(math.Float64frombits(c.sum.Load())))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, c.labelVals, ""), count)
+}
+
+// exemplarSuffix renders ` # {trace_id="..."} value timestamp` for the
+// bucket's exemplar, or "" when none was recorded.
+func (c *child) exemplarSuffix(i int) string {
+	e := c.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	ts := strconv.FormatFloat(float64(e.ts.UnixNano())/1e9, 'f', 3, 64)
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %s", escapeLabel(e.traceID), fmtFloat(e.value), ts)
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestOpenMetricsFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("om_requests_total", "Requests.").Add(3)
+	r.Gauge("om_depth", "Depth.").Set(2)
+	h := r.Histogram("om_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.Observe(0.5)
+	h.ObserveExemplar(10, "00f067aa0ba902b700f067aa0ba902b7")
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Counter family declared without _total, sampled with it; exemplars
+	// on the buckets that got them; gauge untouched.
+	checks := []string{
+		"# HELP om_requests Requests.\n",
+		"# TYPE om_requests counter\n",
+		"om_requests_total 3\n",
+		"# TYPE om_depth gauge\n",
+		"om_depth 2\n",
+		"# TYPE om_latency_seconds histogram\n",
+		`om_latency_seconds_bucket{le="0.1"} 1 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05 `,
+		`om_latency_seconds_bucket{le="+Inf"} 3 # {trace_id="00f067aa0ba902b700f067aa0ba902b7"} 10 `,
+		"om_latency_seconds_count 3\n",
+	}
+	for _, want := range checks {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics output missing %q\n---\n%s", want, out)
+		}
+	}
+	// Bucket without an exemplar has no suffix.
+	if !strings.Contains(out, "om_latency_seconds_bucket{le=\"1\"} 2\n") {
+		t.Errorf("exemplar leaked onto unexemplared bucket:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("missing # EOF terminator")
+	}
+}
+
+// TestPrometheusUnchangedByExemplars pins that the 0.0.4 exposition
+// ignores exemplars entirely.
+func TestPrometheusUnchangedByExemplars(t *testing.T) {
+	render := func(withExemplar bool) string {
+		r := NewRegistry()
+		h := r.Histogram("pin_seconds", "Pinned.", []float64{1})
+		if withExemplar {
+			h.ObserveExemplar(0.5, "4bf92f3577b34da6a3ce929d0e0e4736")
+		} else {
+			h.Observe(0.5)
+		}
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		return buf.String()
+	}
+	if with, without := render(true), render(false); with != without {
+		t.Fatalf("exemplars changed 0.0.4 output:\nwith:\n%s\nwithout:\n%s", with, without)
+	}
+}
+
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("neg_total", "Neg.").Inc()
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("default content type = %q", ct)
+	}
+	if strings.Contains(rec.Body.String(), "# EOF") {
+		t.Fatal("0.0.4 response carries OpenMetrics terminator")
+	}
+
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != ContentTypeOpenMetrics {
+		t.Fatalf("negotiated content type = %q", ct)
+	}
+	if !strings.HasSuffix(rec.Body.String(), "# EOF\n") {
+		t.Fatal("OpenMetrics response missing # EOF")
+	}
+}
+
+func TestObserveExemplarDisabledRegistry(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dis_seconds", "Disabled.", []float64{1})
+	r.SetEnabled(false)
+	h.ObserveExemplar(0.5, "4bf92f3577b34da6a3ce929d0e0e4736")
+	r.SetEnabled(true)
+	var buf bytes.Buffer
+	r.WriteOpenMetrics(&buf)
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Fatal("disabled registry recorded an exemplar")
+	}
+	if !strings.Contains(buf.String(), "dis_seconds_count 0\n") {
+		t.Fatal("disabled registry recorded an observation")
+	}
+}

@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"etap/internal/obs"
+)
+
+// OTLP/HTTP JSON export, hand-rolled against the OTLP 1.x JSON mapping
+// (resourceSpans → scopeSpans → spans; IDs lowercase hex; timestamps as
+// decimal-string unix nanos; attribute values tagged by kind). No SDK,
+// no generated code — the subset below is what collectors actually
+// require to ingest spans.
+
+// otlpPath is appended to the configured endpoint when the URL carries
+// no path, per the OTLP/HTTP spec.
+const otlpPath = "/v1/traces"
+
+type otlpValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"` // int64 as string, per mapping
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+}
+
+type otlpAttr struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpEvent struct {
+	TimeUnixNano string     `json:"timeUnixNano"`
+	Name         string     `json:"name"`
+	Attributes   []otlpAttr `json:"attributes,omitempty"`
+}
+
+type otlpStatus struct {
+	Code    int    `json:"code,omitempty"` // 0 unset, 1 ok, 2 error
+	Message string `json:"message,omitempty"`
+}
+
+type otlpSpan struct {
+	TraceID           string      `json:"traceId"`
+	SpanID            string      `json:"spanId"`
+	ParentSpanID      string      `json:"parentSpanId,omitempty"`
+	Name              string      `json:"name"`
+	Kind              int         `json:"kind"` // 1 = SPAN_KIND_INTERNAL
+	StartTimeUnixNano string      `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string      `json:"endTimeUnixNano"`
+	Attributes        []otlpAttr  `json:"attributes,omitempty"`
+	Events            []otlpEvent `json:"events,omitempty"`
+	Status            *otlpStatus `json:"status,omitempty"`
+	DroppedEventsCnt  int         `json:"droppedEventsCount,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope struct {
+		Name string `json:"name"`
+	} `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpResourceSpans struct {
+	Resource struct {
+		Attributes []otlpAttr `json:"attributes"`
+	} `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpPayload struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+func otlpAttrs(attrs []AttrData) []otlpAttr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]otlpAttr, 0, len(attrs))
+	for _, a := range attrs {
+		oa := otlpAttr{Key: a.Key}
+		switch v := a.Value.(type) {
+		case string:
+			oa.Value.StringValue = &v
+		case bool:
+			oa.Value.BoolValue = &v
+		case int64:
+			s := fmt.Sprintf("%d", v)
+			oa.Value.IntValue = &s
+		case float64:
+			oa.Value.DoubleValue = &v
+		default:
+			s := fmt.Sprintf("%v", v)
+			oa.Value.StringValue = &s
+		}
+		out = append(out, oa)
+	}
+	return out
+}
+
+func unixNano(t time.Time) string { return fmt.Sprintf("%d", t.UnixNano()) }
+
+// encodeOTLP renders one batch of traces as an OTLP/HTTP JSON
+// ExportTraceServiceRequest body.
+func encodeOTLP(service string, traces []*TraceData) ([]byte, error) {
+	var spans []otlpSpan
+	for _, td := range traces {
+		for _, s := range td.Spans {
+			os := otlpSpan{
+				TraceID:           td.TraceID,
+				SpanID:            s.SpanID,
+				ParentSpanID:      s.ParentID,
+				Name:              s.Name,
+				Kind:              1,
+				StartTimeUnixNano: unixNano(s.Start),
+				EndTimeUnixNano:   unixNano(s.End),
+				Attributes:        otlpAttrs(s.Attrs),
+				DroppedEventsCnt:  s.DroppedEvents,
+			}
+			for _, e := range s.Events {
+				os.Events = append(os.Events, otlpEvent{
+					TimeUnixNano: unixNano(e.Time),
+					Name:         e.Name,
+					Attributes:   otlpAttrs(e.Attrs),
+				})
+			}
+			switch s.Status {
+			case "ok":
+				os.Status = &otlpStatus{Code: 1}
+			case "error":
+				os.Status = &otlpStatus{Code: 2, Message: s.StatusMessage}
+			}
+			spans = append(spans, os)
+		}
+	}
+	var rs otlpResourceSpans
+	svc := service
+	rs.Resource.Attributes = []otlpAttr{{Key: "service.name", Value: otlpValue{StringValue: &svc}}}
+	var ss otlpScopeSpans
+	ss.Scope.Name = "etap/internal/obs/trace"
+	ss.Spans = spans
+	rs.ScopeSpans = []otlpScopeSpans{ss}
+	return json.Marshal(otlpPayload{ResourceSpans: []otlpResourceSpans{rs}})
+}
+
+// exporter pushes completed sampled traces to an OTLP/HTTP collector
+// from a single background goroutine. The queue is bounded: when the
+// collector is slow or down, traces are dropped and counted rather
+// than ever blocking span End paths.
+type exporter struct {
+	url     string
+	service string
+	client  *http.Client
+
+	queue chan *TraceData
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	exported *obs.Counter
+	dropped  *obs.Counter
+	errors   *obs.Counter
+
+	// test seams
+	backoff func(attempt int) time.Duration
+}
+
+const exporterQueueDepth = 64
+
+func newExporter(url string, reg *obs.Registry) *exporter {
+	if !strings.Contains(strings.TrimPrefix(strings.TrimPrefix(url, "https://"), "http://"), "/") {
+		url += otlpPath
+	}
+	e := &exporter{
+		url:     url,
+		service: "etap",
+		client:  &http.Client{Timeout: 5 * time.Second},
+		queue:   make(chan *TraceData, exporterQueueDepth),
+		done:    make(chan struct{}),
+		exported: reg.Counter("etap_trace_otlp_exported_total",
+			"Traces successfully delivered to the OTLP endpoint."),
+		dropped: reg.Counter("etap_trace_otlp_dropped_total",
+			"Sampled traces dropped because the OTLP queue was full or delivery failed."),
+		errors: reg.Counter("etap_trace_otlp_errors_total",
+			"OTLP delivery attempts that failed (before retries exhaust)."),
+		backoff: func(attempt int) time.Duration {
+			return time.Duration(100*(1<<attempt)) * time.Millisecond
+		},
+	}
+	e.wg.Add(1)
+	go e.run()
+	return e
+}
+
+// enqueue hands a completed trace to the background sender; drops (and
+// counts) when the queue is full.
+func (e *exporter) enqueue(td *TraceData) {
+	select {
+	case e.queue <- td:
+	default:
+		e.dropped.Inc()
+	}
+}
+
+func (e *exporter) run() {
+	defer e.wg.Done()
+	for {
+		select {
+		case td := <-e.queue:
+			e.send(td)
+		case <-e.done:
+			// Drain whatever is queued, then exit.
+			for {
+				select {
+				case td := <-e.queue:
+					e.send(td)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// send delivers one trace with up to 3 attempts and exponential
+// backoff; on exhaustion the trace is dropped and counted.
+func (e *exporter) send(td *TraceData) {
+	body, err := encodeOTLP(e.service, []*TraceData{td})
+	if err != nil {
+		e.dropped.Inc()
+		return
+	}
+	const attempts = 3
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(e.backoff(i - 1)):
+			case <-e.done:
+				// Shutting down: one final immediate attempt, no wait.
+			}
+		}
+		resp, err := e.client.Post(e.url, "application/json", bytes.NewReader(body))
+		if err == nil {
+			ok := resp.StatusCode >= 200 && resp.StatusCode < 300
+			resp.Body.Close()
+			if ok {
+				e.exported.Inc()
+				return
+			}
+			// 4xx is permanent: retrying identical bytes cannot help.
+			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+				e.errors.Inc()
+				e.dropped.Inc()
+				return
+			}
+		}
+		e.errors.Inc()
+	}
+	e.dropped.Inc()
+}
+
+// close stops the exporter after flushing queued traces.
+func (e *exporter) close() {
+	close(e.done)
+	e.wg.Wait()
+}

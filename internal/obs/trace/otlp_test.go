@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etap/internal/obs"
+)
+
+// TestOTLPEncodeGolden pins the OTLP/HTTP JSON mapping byte for byte:
+// hex IDs, string-encoded unix nanos, tagged attribute values, status
+// codes. Collectors parse exactly this shape.
+func TestOTLPEncodeGolden(t *testing.T) {
+	t0 := time.Unix(1700000000, 0).UTC()
+	td := &TraceData{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		Spans: []SpanData{
+			{
+				SpanID: "00f067aa0ba902b7",
+				Name:   "root",
+				Start:  t0,
+				End:    t0.Add(time.Millisecond),
+				Status: "error", StatusMessage: "boom",
+				Attrs: []AttrData{
+					{Key: "s", Value: "str"},
+					{Key: "i", Value: int64(-7)},
+					{Key: "f", Value: 1.5},
+					{Key: "b", Value: true},
+				},
+				Events: []EventData{
+					{Name: "trial", Time: t0.Add(time.Microsecond), Attrs: []AttrData{{Key: "n", Value: int64(3)}}},
+				},
+				DroppedEvents: 2,
+			},
+			{
+				SpanID:   "0102030405060708",
+				ParentID: "00f067aa0ba902b7",
+				Name:     "child",
+				Start:    t0,
+				End:      t0,
+				Status:   "ok",
+			},
+		},
+	}
+	got, err := encodeOTLP("etap", []*TraceData{td})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"resourceSpans":[{"resource":{"attributes":[{"key":"service.name","value":{"stringValue":"etap"}}]},"scopeSpans":[{"scope":{"name":"etap/internal/obs/trace"},"spans":[{"traceId":"4bf92f3577b34da6a3ce929d0e0e4736","spanId":"00f067aa0ba902b7","name":"root","kind":1,"startTimeUnixNano":"1700000000000000000","endTimeUnixNano":"1700000000001000000","attributes":[{"key":"s","value":{"stringValue":"str"}},{"key":"i","value":{"intValue":"-7"}},{"key":"f","value":{"doubleValue":1.5}},{"key":"b","value":{"boolValue":true}}],"events":[{"timeUnixNano":"1700000000000001000","name":"trial","attributes":[{"key":"n","value":{"intValue":"3"}}]}],"status":{"code":2,"message":"boom"},"droppedEventsCount":2},{"traceId":"4bf92f3577b34da6a3ce929d0e0e4736","spanId":"0102030405060708","parentSpanId":"00f067aa0ba902b7","name":"child","kind":1,"startTimeUnixNano":"1700000000000000000","endTimeUnixNano":"1700000000000000000","status":{"code":1}}]}]}]}`
+	if string(got) != want {
+		t.Fatalf("OTLP encoding drifted:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// otlpSink is an httptest collector that records request bodies.
+type otlpSink struct {
+	mu     sync.Mutex
+	bodies [][]byte
+	fail   int // fail the first N requests with 503
+	paths  []string
+}
+
+func (s *otlpSink) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.paths = append(s.paths, r.URL.Path)
+		if s.fail > 0 {
+			s.fail--
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		s.bodies = append(s.bodies, body)
+	}
+}
+
+func (s *otlpSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.bodies)
+}
+
+func TestOTLPExportEndToEnd(t *testing.T) {
+	sink := &otlpSink{}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	tr := New(Config{OTLPURL: srv.URL, Registry: reg})
+	ctx, root := tr.Start(context.Background(), "req")
+	_, child := tr.Start(ctx, "work")
+	child.End()
+	root.End()
+	if err := tr.Close(); err != nil { // flushes the queue
+		t.Fatal(err)
+	}
+
+	if sink.count() != 1 {
+		t.Fatalf("collector received %d batches, want 1", sink.count())
+	}
+	sink.mu.Lock()
+	path, body := sink.paths[0], sink.bodies[0]
+	sink.mu.Unlock()
+	if path != "/v1/traces" {
+		t.Fatalf("posted to %q, want /v1/traces", path)
+	}
+	var payload struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID string `json:"traceId"`
+					Name    string `json:"name"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("collector body not JSON: %v", err)
+	}
+	spans := payload.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) != 2 || spans[0].TraceID != root.TraceID() {
+		t.Fatalf("exported spans = %+v", spans)
+	}
+}
+
+func TestOTLPRetryThenSuccess(t *testing.T) {
+	sink := &otlpSink{fail: 2}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	tr := New(Config{OTLPURL: srv.URL, Registry: reg})
+	tr.exporter.backoff = func(int) time.Duration { return time.Millisecond }
+	_, s := tr.Start(context.Background(), "flaky")
+	s.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() != 1 {
+		t.Fatalf("delivered %d, want 1 after retries", sink.count())
+	}
+}
+
+func TestOTLPPermanentFailureDrops(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	tr := New(Config{OTLPURL: srv.URL, Registry: reg})
+	tr.exporter.backoff = func(int) time.Duration { return time.Millisecond }
+	_, s := tr.Start(context.Background(), "rejected")
+	s.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v := counterValue(t, reg, "etap_trace_otlp_dropped_total"); v != 1 {
+		t.Fatalf("dropped = %v, want 1", v)
+	}
+}
+
+func TestOTLPUnsampledNotExported(t *testing.T) {
+	sink := &otlpSink{}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	tr := New(Config{OTLPURL: srv.URL, SampleRatio: -1, Registry: reg})
+	_, s := tr.Start(context.Background(), "quiet")
+	s.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() != 0 {
+		t.Fatalf("unsampled trace exported %d times", sink.count())
+	}
+	if tr.Get(s.TraceID()) == nil {
+		t.Fatal("unsampled trace missing from flight recorder")
+	}
+}
+
+func TestOTLPURLPathPreserved(t *testing.T) {
+	e := newExporter("http://collector:4318", obs.NewRegistry())
+	e.close()
+	if e.url != "http://collector:4318/v1/traces" {
+		t.Fatalf("bare URL: %q", e.url)
+	}
+	e = newExporter("http://collector:4318/custom/path", obs.NewRegistry())
+	e.close()
+	if e.url != "http://collector:4318/custom/path" {
+		t.Fatalf("explicit path rewritten: %q", e.url)
+	}
+}
+
+// counterValue scrapes one unlabelled counter out of the registry's
+// text exposition.
+func counterValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("counter %s not found in exposition", name)
+	return 0
+}

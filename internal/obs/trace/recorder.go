@@ -1,0 +1,198 @@
+package trace
+
+import "time"
+
+// TraceData is an immutable snapshot of one completed trace — what the
+// flight recorder stores and GET /traces/{id} serves. JSON field names
+// are the wire contract for the /traces API and the CI smoke.
+type TraceData struct {
+	TraceID string     `json:"trace_id"`
+	Sampled bool       `json:"sampled"`
+	Start   time.Time  `json:"start"`
+	End     time.Time  `json:"end"`
+	// Depth is the longest root-to-leaf chain in the span tree; the CI
+	// smoke asserts a submitted job's trace reaches depth >= 3.
+	Depth        int        `json:"depth"`
+	DroppedSpans int        `json:"dropped_spans,omitempty"`
+	Spans        []SpanData `json:"spans"`
+}
+
+// SpanData is one finished span inside a TraceData.
+type SpanData struct {
+	SpanID        string      `json:"span_id"`
+	ParentID      string      `json:"parent_id,omitempty"`
+	Name          string      `json:"name"`
+	Start         time.Time   `json:"start"`
+	End           time.Time   `json:"end"`
+	DurationMS    float64     `json:"duration_ms"`
+	Status        string      `json:"status,omitempty"`
+	StatusMessage string      `json:"status_message,omitempty"`
+	Attrs         []AttrData  `json:"attrs,omitempty"`
+	Events        []EventData `json:"events,omitempty"`
+	DroppedEvents int         `json:"dropped_events,omitempty"`
+}
+
+// AttrData is one attribute in JSON form.
+type AttrData struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// EventData is one span event in JSON form.
+type EventData struct {
+	Name  string     `json:"name"`
+	Time  time.Time  `json:"time"`
+	Attrs []AttrData `json:"attrs,omitempty"`
+}
+
+// Summary is the listing row GET /traces serves, newest first.
+type Summary struct {
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	Depth      int       `json:"depth"`
+	Sampled    bool      `json:"sampled"`
+	Status     string    `json:"status,omitempty"`
+}
+
+func attrData(attrs []Attr) []AttrData {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]AttrData, len(attrs))
+	for i, a := range attrs {
+		out[i] = AttrData{Key: a.Key, Value: a.Value}
+	}
+	return out
+}
+
+// snapshotTrace freezes a completed liveTrace into TraceData. Called
+// exactly once per trace, after done is set, so span lists are stable;
+// individual span fields are still read under each span's lock.
+func snapshotTrace(lt *liveTrace) *TraceData {
+	lt.mu.Lock()
+	spans := lt.spans
+	dropped := lt.droppedSpans
+	lt.mu.Unlock()
+
+	td := &TraceData{
+		TraceID:      lt.id.String(),
+		Sampled:      lt.sampled,
+		Start:        lt.start,
+		End:          lt.start,
+		DroppedSpans: dropped,
+		Spans:        make([]SpanData, 0, len(spans)),
+	}
+	for _, s := range spans {
+		s.mu.Lock()
+		sd := SpanData{
+			SpanID:        s.sc.SpanID.String(),
+			Name:          s.name,
+			Start:         s.start,
+			End:           s.end,
+			Status:        "",
+			StatusMessage: s.statusMsg,
+			Attrs:         attrData(s.attrs),
+			DroppedEvents: s.droppedEvents,
+		}
+		if s.status != StatusUnset {
+			sd.Status = s.status.String()
+		}
+		if !s.parent.IsZero() {
+			sd.ParentID = s.parent.String()
+		}
+		if len(s.events) > 0 {
+			sd.Events = make([]EventData, len(s.events))
+			for i, e := range s.events {
+				sd.Events[i] = EventData{Name: e.Name, Time: e.Time, Attrs: attrData(e.Attrs)}
+			}
+		}
+		s.mu.Unlock()
+		if sd.End.After(td.End) {
+			td.End = sd.End
+		}
+		sd.DurationMS = float64(sd.End.Sub(sd.Start)) / float64(time.Millisecond)
+		td.Spans = append(td.Spans, sd)
+	}
+	td.Depth = treeDepth(td.Spans)
+	return td
+}
+
+// treeDepth computes the longest chain in the span forest. Spans whose
+// parent is outside the snapshot (remote parents, dropped spans) count
+// as roots.
+func treeDepth(spans []SpanData) int {
+	present := make(map[string]int, len(spans))
+	for i, s := range spans {
+		present[s.SpanID] = i
+	}
+	memo := make([]int, len(spans))
+	var depth func(i int) int
+	depth = func(i int) int {
+		if memo[i] != 0 {
+			return memo[i]
+		}
+		memo[i] = 1 // cycle guard; real trees never cycle
+		d := 1
+		if p, ok := present[spans[i].ParentID]; ok && p != i {
+			d = depth(p) + 1
+		}
+		memo[i] = d
+		return d
+	}
+	max := 0
+	for i := range spans {
+		if d := depth(i); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Traces lists flight-recorded traces, newest first.
+func (t *Tracer) Traces() []Summary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Summary, 0, len(t.ring))
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		td := t.ring[i]
+		s := Summary{
+			TraceID:    td.TraceID,
+			Start:      td.Start,
+			DurationMS: float64(td.End.Sub(td.Start)) / float64(time.Millisecond),
+			Spans:      len(td.Spans),
+			Depth:      td.Depth,
+			Sampled:    td.Sampled,
+		}
+		for _, sp := range td.Spans {
+			if sp.ParentID == "" {
+				s.Root = sp.Name
+				if sp.Status == "error" {
+					s.Status = "error"
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Get returns one flight-recorded trace by hex ID, or nil.
+func (t *Tracer) Get(id string) *TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		if t.ring[i].TraceID == id {
+			return t.ring[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"etap/internal/obs"
+)
+
+func newTestTracer(t *testing.T, cfg Config) *Tracer {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	tr := New(cfg)
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func TestSpanTreeAndCompletion(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	ctx, root := tr.Start(context.Background(), "root", String("k", "v"))
+	if root == nil {
+		t.Fatal("nil root span")
+	}
+	ctx2, child := tr.Start(ctx, "child")
+	_, grand := tr.Start(ctx2, "grandchild")
+	grand.SetStatus(StatusError, "boom")
+	grand.End()
+	child.End()
+
+	if got := tr.Traces(); len(got) != 0 {
+		t.Fatalf("trace completed before root ended: %d recorded", len(got))
+	}
+	root.SetStatus(StatusOK, "")
+	root.End()
+	root.End() // idempotent
+
+	sums := tr.Traces()
+	if len(sums) != 1 {
+		t.Fatalf("recorded traces = %d, want 1", len(sums))
+	}
+	if sums[0].Spans != 3 || sums[0].Depth != 3 || sums[0].Root != "root" {
+		t.Fatalf("summary = %+v, want 3 spans depth 3 root 'root'", sums[0])
+	}
+	td := tr.Get(sums[0].TraceID)
+	if td == nil {
+		t.Fatal("Get returned nil for recorded trace")
+	}
+	byName := map[string]SpanData{}
+	for _, s := range td.Spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].ParentID != "" {
+		t.Fatalf("root has parent %q", byName["root"].ParentID)
+	}
+	if byName["child"].ParentID != byName["root"].SpanID {
+		t.Fatal("child not parented to root")
+	}
+	if byName["grandchild"].ParentID != byName["child"].SpanID {
+		t.Fatal("grandchild not parented to child")
+	}
+	if byName["grandchild"].Status != "error" || byName["grandchild"].StatusMessage != "boom" {
+		t.Fatalf("grandchild status = %q/%q", byName["grandchild"].Status, byName["grandchild"].StatusMessage)
+	}
+	if len(byName["root"].Attrs) != 1 || byName["root"].Attrs[0].Key != "k" {
+		t.Fatalf("root attrs = %+v", byName["root"].Attrs)
+	}
+	if tr.Get("deadbeef") != nil {
+		t.Fatal("Get of unknown id should be nil")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := newTestTracer(t, Config{MaxSpansPerTrace: 4096})
+	ctx, root := tr.Start(context.Background(), "root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cctx, s := tr.Start(ctx, fmt.Sprintf("w%d", g))
+				s.SetAttr(Int("i", int64(i)))
+				s.Event("tick", Int("i", int64(i)))
+				_, inner := tr.Start(cctx, "inner")
+				inner.End()
+				s.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.End()
+	sums := tr.Traces()
+	if len(sums) != 1 {
+		t.Fatalf("recorded = %d, want 1", len(sums))
+	}
+	if want := 1 + 8*50*2; sums[0].Spans != want {
+		t.Fatalf("spans = %d, want %d", sums[0].Spans, want)
+	}
+	if sums[0].Depth != 3 {
+		t.Fatalf("depth = %d, want 3", sums[0].Depth)
+	}
+}
+
+func TestRingEvictionOrder(t *testing.T) {
+	tr := newTestTracer(t, Config{MaxRecorded: 3})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, s := tr.Start(context.Background(), fmt.Sprintf("t%d", i))
+		ids = append(ids, s.TraceID())
+		s.End()
+	}
+	sums := tr.Traces()
+	if len(sums) != 3 {
+		t.Fatalf("recorded = %d, want 3", len(sums))
+	}
+	// Newest first: t4, t3, t2; t0 and t1 evicted.
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if sums[i].TraceID != want {
+			t.Fatalf("ring[%d] = %s, want %s", i, sums[i].TraceID, want)
+		}
+	}
+	if tr.Get(ids[0]) != nil || tr.Get(ids[1]) != nil {
+		t.Fatal("evicted traces still retrievable")
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := newTestTracer(t, Config{MaxEventsPerSpan: 2, Registry: reg})
+	_, s := tr.Start(context.Background(), "busy")
+	for i := 0; i < 5; i++ {
+		s.Event("e", Int("i", int64(i)))
+	}
+	if room := s.EventRoom(); room != 0 {
+		t.Fatalf("EventRoom = %d, want 0", room)
+	}
+	s.End()
+	td := tr.Get(s.TraceID())
+	if len(td.Spans[0].Events) != 2 || td.Spans[0].DroppedEvents != 3 {
+		t.Fatalf("events = %d dropped = %d, want 2/3", len(td.Spans[0].Events), td.Spans[0].DroppedEvents)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.Start(context.Background(), "x")
+	if s != nil {
+		t.Fatal("nil tracer should yield nil span")
+	}
+	// All nil-span methods must be safe no-ops.
+	s.SetAttr(String("a", "b"))
+	s.Event("e")
+	s.SetStatus(StatusError, "m")
+	s.End()
+	if s.TraceID() != "" || s.Sampled() || s.EventRoom() != 0 {
+		t.Fatal("nil span accessors not zero")
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Fatal("context should not carry a nil span")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Traces() != nil || tr.Get("x") != nil {
+		t.Fatal("nil tracer recorder accessors not empty")
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	tr := newTestTracer(t, Config{SampleRatio: -1})
+	_, s := tr.Start(context.Background(), "unsampled")
+	if s.Sampled() {
+		t.Fatal("ratio<0 must sample nothing")
+	}
+	s.End()
+	// Flight recorder keeps it anyway.
+	if tr.Get(s.TraceID()) == nil {
+		t.Fatal("unsampled trace missing from flight recorder")
+	}
+
+	id := TraceID{15: 1}
+	if !sampleFromID(id, 1) {
+		t.Fatal("ratio 1 must sample everything")
+	}
+	if sampleFromID(id, -1) {
+		t.Fatal("negative ratio sampled")
+	}
+	// Same ID, same decision, always.
+	first := sampleFromID(id, 0.5)
+	for i := 0; i < 3; i++ {
+		if sampleFromID(id, 0.5) != first {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestRemoteParentJoinsTrace(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	remote := SpanContext{TraceID: TraceID{1, 2, 3}, SpanID: SpanID{4, 5}, Sampled: true}
+	ctx := ContextWithRemote(context.Background(), remote)
+	_, s := tr.Start(ctx, "server")
+	if s.Context().TraceID != remote.TraceID {
+		t.Fatal("did not join remote trace")
+	}
+	if !s.Sampled() {
+		t.Fatal("did not inherit sampled flag")
+	}
+	s.End()
+	td := tr.Get(remote.TraceID.String())
+	if td == nil {
+		t.Fatal("joined trace not recorded")
+	}
+	if td.Spans[0].ParentID != remote.SpanID.String() {
+		t.Fatalf("parent = %q, want remote span id", td.Spans[0].ParentID)
+	}
+}
+
+func TestSpanBoundPerTrace(t *testing.T) {
+	tr := newTestTracer(t, Config{MaxSpansPerTrace: 2})
+	ctx, root := tr.Start(context.Background(), "root")
+	_, a := tr.Start(ctx, "a")
+	_, b := tr.Start(ctx, "b") // over bound: dropped but usable
+	b.SetAttr(String("k", "v"))
+	b.Event("e")
+	b.End()
+	a.End()
+	root.End()
+	td := tr.Get(root.TraceID())
+	if td == nil {
+		t.Fatal("trace not recorded")
+	}
+	if len(td.Spans) != 2 || td.DroppedSpans != 1 {
+		t.Fatalf("spans = %d dropped = %d, want 2/1", len(td.Spans), td.DroppedSpans)
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	spans := []SpanData{
+		{SpanID: "a"},
+		{SpanID: "b", ParentID: "a"},
+		{SpanID: "c", ParentID: "b"},
+		{SpanID: "d", ParentID: "zz"}, // orphan: parent outside snapshot
+	}
+	if d := treeDepth(spans); d != 3 {
+		t.Fatalf("depth = %d, want 3", d)
+	}
+	if d := treeDepth(nil); d != 0 {
+		t.Fatalf("empty depth = %d, want 0", d)
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"encoding/hex"
+	"errors"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/), version 00:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             ^^ ^^^^^^^^^^^^ trace-id ^^^^^^^^^ ^^ span-id ^^^^^ ^^ flags
+//
+// Only the sampled flag (bit 0) is interpreted; unknown flag bits and
+// future versions with the 00 layout are tolerated per spec.
+
+// Header is the canonical traceparent header name.
+const Header = "traceparent"
+
+var errTraceparent = errors.New("malformed traceparent")
+
+// ParseTraceparent parses a traceparent header value into a
+// SpanContext. It returns an error for anything that is not a
+// well-formed version-00-compatible header with non-zero IDs.
+func ParseTraceparent(h string) (SpanContext, error) {
+	var sc SpanContext
+	// 2 (version) + 1 + 32 (trace-id) + 1 + 16 (span-id) + 1 + 2 (flags)
+	if len(h) < 55 {
+		return sc, errTraceparent
+	}
+	// The spec mandates lowercase hex; encoding/hex would accept
+	// uppercase, so screen it out first.
+	for i := 0; i < 55; i++ {
+		if c := h[i]; c >= 'A' && c <= 'F' {
+			return sc, errTraceparent
+		}
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return sc, errTraceparent
+	}
+	ver, err := hex.DecodeString(h[0:2])
+	if err != nil || ver[0] == 0xff {
+		return sc, errTraceparent
+	}
+	if ver[0] == 0 && len(h) != 55 {
+		return sc, errTraceparent // version 00 is exactly 55 chars
+	}
+	if ver[0] > 0 && len(h) > 55 && h[55] != '-' {
+		return sc, errTraceparent // future versions may append "-..." only
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(h[3:35])); err != nil {
+		return sc, errTraceparent
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(h[36:52])); err != nil {
+		return sc, errTraceparent
+	}
+	flags, err := hex.DecodeString(h[53:55])
+	if err != nil {
+		return sc, errTraceparent
+	}
+	if !sc.Valid() {
+		return sc, errTraceparent
+	}
+	sc.Sampled = flags[0]&1 != 0
+	return sc, nil
+}
+
+// FormatTraceparent renders a SpanContext as a version-00 traceparent
+// header value.
+func FormatTraceparent(sc SpanContext) string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}

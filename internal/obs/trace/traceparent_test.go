@@ -1,0 +1,60 @@
+package trace
+
+import "testing"
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name    string
+		in      string
+		ok      bool
+		sampled bool
+	}{
+		{"valid sampled", valid, true, true},
+		{"valid unsampled", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true, false},
+		{"unknown flag bits tolerated", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-03", true, true},
+		{"future version with suffix", "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", true, true},
+		{"empty", "", false, false},
+		{"garbage", "not-a-traceparent", false, false},
+		{"short", "00-abc-def-01", false, false},
+		{"bad separators", "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01", false, false},
+		{"non-hex trace id", "00-zzzz2f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false, false},
+		{"non-hex span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-zzf067aa0ba902b7-01", false, false},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01", false, false},
+		{"zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false, false},
+		{"version ff forbidden", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false, false},
+		{"version 00 with trailer", valid + "-extra", false, false},
+		{"uppercase hex rejected", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := ParseTraceparent(tc.in)
+			if (err == nil) != tc.ok {
+				t.Fatalf("ParseTraceparent(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			}
+			if !tc.ok {
+				return
+			}
+			if sc.Sampled != tc.sampled {
+				t.Fatalf("sampled = %v, want %v", sc.Sampled, tc.sampled)
+			}
+			if !sc.Valid() {
+				t.Fatal("parsed context invalid")
+			}
+		})
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	for _, sampled := range []bool{true, false} {
+		in := SpanContext{TraceID: TraceID{0x4b, 0xf9, 1, 2, 3}, SpanID: SpanID{0xf0, 9}, Sampled: sampled}
+		h := FormatTraceparent(in)
+		out, err := ParseTraceparent(h)
+		if err != nil {
+			t.Fatalf("round trip parse of %q: %v", h, err)
+		}
+		if out != in {
+			t.Fatalf("round trip: got %+v, want %+v", out, in)
+		}
+	}
+}

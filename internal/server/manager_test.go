@@ -53,17 +53,17 @@ func waitState(t *testing.T, j *Job, want State) {
 func TestCancelQueuedFreesSlot(t *testing.T) {
 	m, release := stubManager(t, 1, 1)
 
-	running, err := m.Submit(&SubmitRequest{Benchmark: "a"})
+	running, err := m.Submit(context.Background(), &SubmitRequest{Benchmark: "a"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, running, StateRunning)
 
-	queued, err := m.Submit(&SubmitRequest{Benchmark: "b"})
+	queued, err := m.Submit(context.Background(), &SubmitRequest{Benchmark: "b"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Submit(&SubmitRequest{Benchmark: "c"}); !errors.Is(err, ErrQueueFull) {
+	if _, err := m.Submit(context.Background(), &SubmitRequest{Benchmark: "c"}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submission: %v, want ErrQueueFull", err)
 	}
 
@@ -74,7 +74,7 @@ func TestCancelQueuedFreesSlot(t *testing.T) {
 
 	// The slot the cancelled job held is free again, with the worker
 	// still busy.
-	replacement, err := m.Submit(&SubmitRequest{Benchmark: "d"})
+	replacement, err := m.Submit(context.Background(), &SubmitRequest{Benchmark: "d"})
 	if err != nil {
 		t.Fatalf("submission after cancel: %v (cancelled job still holds the slot)", err)
 	}
@@ -110,7 +110,7 @@ func TestLaggingSubscriberTerminalEvent(t *testing.T) {
 	}
 	defer m.Close()
 
-	j, err := m.Submit(&SubmitRequest{Benchmark: "a"})
+	j, err := m.Submit(context.Background(), &SubmitRequest{Benchmark: "a"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestCompleteRunBeatsLateCancel(t *testing.T) {
 	}
 	defer m.Close()
 
-	j, err := m.Submit(&SubmitRequest{Benchmark: "a"})
+	j, err := m.Submit(context.Background(), &SubmitRequest{Benchmark: "a"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
 	"strconv"
 	"time"
+
+	"etap/internal/obs/trace"
 )
 
 // statusWriter records the response status for metrics and logs while
@@ -49,24 +52,68 @@ func newRequestID() string {
 	return "r" + hex.EncodeToString(b[:])
 }
 
+// requestIDKey keys the per-request ID in the request context.
+type requestIDKey struct{}
+
+// RequestIDFromContext returns the X-Request-Id the instrumentation
+// middleware assigned, or "" outside a request (programmatic submits).
+func RequestIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
 // instrument wraps a handler with the service's HTTP observability:
 // request counter and duration histogram labeled by route name (the
 // pattern is not read off the request — http.Request.Pattern needs Go
-// 1.23 and the module declares 1.22), an X-Request-Id response header,
-// and one structured log line per request.
+// 1.23 and the module declares 1.22), an X-Request-Id response header
+// (also threaded through the request context into job logs and SSE
+// payloads), one structured log line per request, and — when a tracer
+// is configured — a request span. An incoming W3C traceparent header
+// joins the caller's trace; the response carries the request span's
+// traceparent either way, and the duration histogram records the trace
+// ID as an OpenMetrics exemplar.
 func (s *Server) instrument(route string, next http.Handler) http.Handler {
 	dur := s.m.metrics.httpDuration.With(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := newRequestID()
 		w.Header().Set("X-Request-Id", id)
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		var span *trace.Span
+		if tr := s.m.cfg.Tracer; tr != nil {
+			if sc, err := trace.ParseTraceparent(r.Header.Get(trace.Header)); err == nil {
+				ctx = trace.ContextWithRemote(ctx, sc)
+			}
+			ctx, span = tr.Start(ctx, "http "+route,
+				trace.String("http.method", r.Method),
+				trace.String("http.route", route),
+				trace.String("http.path", r.URL.Path),
+				trace.String("request_id", id))
+			if span != nil {
+				w.Header().Set(trace.Header, trace.FormatTraceparent(span.Context()))
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r)
+		next.ServeHTTP(sw, r.WithContext(ctx))
 		elapsed := time.Since(start)
 		code := sw.status()
 		s.m.metrics.httpRequests.With(route, strconv.Itoa(code)).Inc()
-		dur.Observe(elapsed.Seconds())
-		s.m.log.Info("http request",
+		log := s.m.log
+		if span != nil {
+			span.SetAttr(trace.Int("http.status", int64(code)))
+			if code >= http.StatusInternalServerError {
+				span.SetStatus(trace.StatusError, http.StatusText(code))
+			}
+			span.End()
+			dur.ObserveExemplar(elapsed.Seconds(), span.TraceID())
+			log = log.With("trace", span.TraceID())
+		} else {
+			dur.Observe(elapsed.Seconds())
+		}
+		log.Info("http request",
 			"request", id, "route", route, "method", r.Method,
 			"path", r.URL.Path, "code", code, "elapsed", elapsed)
 	})

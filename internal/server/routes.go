@@ -10,6 +10,7 @@ import (
 
 	"etap/internal/apps/all"
 	"etap/internal/exp"
+	"etap/internal/obs/trace"
 	"etap/internal/version"
 )
 
@@ -42,6 +43,8 @@ func New(cfg Config) (*Server, error) {
 	route("GET /api/v1/jobs/{id}/report", "report", s.handleReport)
 	route("GET /api/v1/jobs/{id}/events", "events", s.handleEvents)
 	route("GET /metrics", "metrics", m.cfg.Metrics.Handler().ServeHTTP)
+	route("GET /traces", "traces", s.handleTraces)
+	route("GET /traces/{id}", "trace", s.handleTrace)
 	if m.cfg.EnablePprof {
 		// Explicit mounts — importing net/http/pprof also registers on
 		// http.DefaultServeMux, but this mux never exposes that.
@@ -157,7 +160,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeRequestError(w, err)
 		return
 	}
-	job, err := s.m.Submit(req)
+	job, err := s.m.Submit(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, "queue_full",
@@ -198,6 +201,39 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		jobs = []Snapshot{}
 	}
 	writeJSON(w, http.StatusOK, jobs)
+}
+
+// handleTraces lists the flight recorder's completed traces, newest
+// first. The summaries carry the trace IDs that job snapshots, SSE
+// payloads, logs and exemplars reference.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	tr := s.m.cfg.Tracer
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "tracing_disabled", "no tracer is configured")
+		return
+	}
+	traces := tr.Traces()
+	if traces == nil {
+		traces = []trace.Summary{}
+	}
+	writeJSON(w, http.StatusOK, traces)
+}
+
+// handleTrace serves one completed trace's full span tree.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.m.cfg.Tracer
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "tracing_disabled", "no tracer is configured")
+		return
+	}
+	id := r.PathValue("id")
+	td := tr.Get(id)
+	if td == nil {
+		writeError(w, http.StatusNotFound, "no_such_trace",
+			"no completed trace %q in the flight recorder (still running, evicted, or never existed)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, td)
 }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {

@@ -27,6 +27,7 @@ import (
 
 	"etap/internal/exp"
 	"etap/internal/obs"
+	"etap/internal/obs/trace"
 )
 
 // State is one job's lifecycle position.
@@ -119,6 +120,11 @@ type Config struct {
 	// worker and job-lifecycle families) and serves at GET /metrics.
 	// nil means obs.Default().
 	Metrics *obs.Registry
+	// Tracer, when set, gives every HTTP request and every job a span
+	// tree: request → job → queued/run → campaign points and shards. It
+	// also mounts GET /traces and GET /traces/{id} over the tracer's
+	// flight recorder. nil disables tracing (spans become no-ops).
+	Tracer *trace.Tracer
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in,
 	// because profiles expose internals no public deployment should.
 	EnablePprof bool
@@ -196,16 +202,22 @@ type Event struct {
 }
 
 // stateEventData is the payload of "state" events and of the status
-// endpoint's state snapshot.
+// endpoint's state snapshot. RequestID and TraceID join the stream to
+// the submitting HTTP request's log lines and to the flight-recorded
+// trace.
 type stateEventData struct {
 	State      State  `json:"state"`
 	TrialsDone int    `json:"trials_done"`
 	Error      string `json:"error,omitempty"`
+	RequestID  string `json:"request_id,omitempty"`
+	TraceID    string `json:"trace_id,omitempty"`
 }
 
 // trialEventData is the payload of "trial" events.
 type trialEventData struct {
-	Seq int `json:"seq"`
+	Seq       int    `json:"seq"`
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
 	TrialEvent
 }
 
@@ -218,6 +230,18 @@ type Job struct {
 	// metrics is the owning manager's metric set (shared, never nil for
 	// manager-created jobs); the job updates the SSE subscriber gauge.
 	metrics *serverMetrics
+
+	// requestID is the X-Request-Id of the submitting HTTP request
+	// ("" for programmatic submissions); traceID joins the job to its
+	// flight-recorded trace. Both are immutable after Submit.
+	requestID string
+	traceID   string
+
+	// span covers the job's whole lifetime (child of the submitting
+	// request's span); queuedSpan covers the wait for a worker. Nil when
+	// tracing is off — all span methods are nil-safe.
+	span       *trace.Span
+	queuedSpan *trace.Span
 
 	mu         sync.Mutex
 	state      State
@@ -234,7 +258,9 @@ type Job struct {
 	subs   map[chan Event]struct{}
 }
 
-// Snapshot is an immutable copy of a job's observable state.
+// Snapshot is an immutable copy of a job's observable state. TraceID,
+// when tracing is on, is the key for GET /traces/{id} once the job's
+// trace completes.
 type Snapshot struct {
 	ID         string          `json:"id"`
 	Subject    string          `json:"subject"`
@@ -245,6 +271,8 @@ type Snapshot struct {
 	Finished   *time.Time      `json:"finished,omitempty"`
 	TrialsDone int             `json:"trials_done"`
 	Report     bool            `json:"report_ready"`
+	RequestID  string          `json:"request_id,omitempty"`
+	TraceID    string          `json:"trace_id,omitempty"`
 	reportJSON json.RawMessage `json:"-"`
 	report     *exp.Report
 }
@@ -260,6 +288,8 @@ func (j *Job) snapshot() Snapshot {
 		Created:    j.Created,
 		TrialsDone: j.trialsDone,
 		Report:     len(j.reportJSON) > 0,
+		RequestID:  j.requestID,
+		TraceID:    j.traceID,
 		reportJSON: j.reportJSON,
 		report:     j.report,
 	}
@@ -308,7 +338,10 @@ func (j *Job) publishLocked(name string, data any) {
 }
 
 func (j *Job) publishState() {
-	j.publishLocked("state", stateEventData{State: j.state, TrialsDone: j.trialsDone, Error: j.err})
+	j.publishLocked("state", stateEventData{
+		State: j.state, TrialsDone: j.trialsDone, Error: j.err,
+		RequestID: j.requestID, TraceID: j.traceID,
+	})
 }
 
 // Subscribe returns the replayable event history so far and, for live
@@ -423,12 +456,13 @@ func NewManager(cfg Config) (*Manager, error) {
 	for _, p := range persisted {
 		p := p
 		j := &Job{
-			ID:      p.ID,
-			Spec:    &p.Spec,
-			Created: p.Created,
-			metrics: m.metrics,
-			state:   p.State,
-			err:     p.Error,
+			ID:        p.ID,
+			Spec:      &p.Spec,
+			Created:   p.Created,
+			metrics:   m.metrics,
+			requestID: p.RequestID,
+			state:     p.State,
+			err:       p.Error,
 			started: p.Started, finished: p.Finished,
 			trialsDone: p.TrialsDone,
 			reportJSON: p.Report,
@@ -463,8 +497,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	// A reloaded table may exceed the bound the previous process ran
 	// without (or a lowered one); prune before serving.
 	m.mu.Lock()
-	m.pruneLocked()
+	evicted := m.pruneLocked()
 	m.mu.Unlock()
+	m.forgetJobs(evicted)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go func() {
@@ -497,8 +532,57 @@ func newJobID() string {
 	return "j" + hex.EncodeToString(b[:])
 }
 
-// Submit validates (via Prepare), registers and enqueues one job.
-func (m *Manager) Submit(req *SubmitRequest) (*Job, error) {
+// startJobSpan opens the job's lifetime span. With a configured tracer
+// the span roots a fresh trace (or joins the submitting request's), so
+// every job is traceable even when submitted programmatically; without
+// one it degrades to a child of whatever span ctx carries, usually nil.
+func (m *Manager) startJobSpan(ctx context.Context, j *Job) (context.Context, *trace.Span) {
+	attrs := []trace.Attr{
+		trace.String("job_id", j.ID),
+		trace.String("subject", j.Spec.Subject()),
+	}
+	if j.requestID != "" {
+		attrs = append(attrs, trace.String("request_id", j.requestID))
+	}
+	if m.cfg.Tracer != nil {
+		return m.cfg.Tracer.Start(ctx, "job", attrs...)
+	}
+	return trace.Start(ctx, "job", attrs...)
+}
+
+// endSpans closes the job's spans at a terminal state. Safe to call
+// from racing paths (Cancel vs runJob): End is idempotent.
+func (j *Job) endSpans(state State, errText string) {
+	j.queuedSpan.End()
+	j.span.SetAttr(trace.String("state", string(state)))
+	switch state {
+	case StateDone:
+		j.span.SetStatus(trace.StatusOK, "")
+	case StateFailed:
+		j.span.SetStatus(trace.StatusError, errText)
+	}
+	j.span.End()
+}
+
+// jobLog is the manager's logger enriched with the job's request and
+// trace identifiers, so one grep joins HTTP access logs, job lifecycle
+// lines and the flight-recorded trace.
+func (m *Manager) jobLog(j *Job) *slog.Logger {
+	l := m.log
+	if j.requestID != "" {
+		l = l.With("request", j.requestID)
+	}
+	if j.traceID != "" {
+		l = l.With("trace", j.traceID)
+	}
+	return l
+}
+
+// Submit validates (via Prepare), registers and enqueues one job. ctx
+// carries the submitting request's identity — its request ID and span
+// (or remote traceparent) — which the job inherits; the job itself is
+// not bound by ctx's lifetime.
+func (m *Manager) Submit(ctx context.Context, req *SubmitRequest) (*Job, error) {
 	if m.cfg.Prepare != nil {
 		// Don't pay for validation when the submission cannot be accepted
 		// anyway. (Racing submissions may still re-hit these checks at
@@ -520,13 +604,18 @@ func (m *Manager) Submit(req *SubmitRequest) (*Job, error) {
 		}
 	}
 	j := &Job{
-		ID:      newJobID(),
-		Spec:    req,
-		Created: time.Now().UTC(),
-		metrics: m.metrics,
-		state:   StateQueued,
-		subs:    make(map[chan Event]struct{}),
+		ID:        newJobID(),
+		Spec:      req,
+		Created:   time.Now().UTC(),
+		metrics:   m.metrics,
+		requestID: RequestIDFromContext(ctx),
+		state:     StateQueued,
+		subs:      make(map[chan Event]struct{}),
 	}
+	jctx, span := m.startJobSpan(ctx, j)
+	j.span = span
+	j.traceID = span.TraceID()
+	_, j.queuedSpan = trace.Start(jctx, "job.queued")
 	j.mu.Lock()
 	j.publishState()
 	j.mu.Unlock()
@@ -534,33 +623,38 @@ func (m *Manager) Submit(req *SubmitRequest) (*Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		j.endSpans(StateFailed, ErrClosed.Error())
 		return nil, ErrClosed
 	}
 	if len(m.pending) >= m.cfg.QueueDepth {
 		m.mu.Unlock()
+		j.endSpans(StateFailed, ErrQueueFull.Error())
 		return nil, ErrQueueFull
 	}
 	m.pending = append(m.pending, j)
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.metrics.queueDepth.Inc()
-	m.pruneLocked()
+	evicted := m.pruneLocked()
 	m.cond.Signal()
 	m.mu.Unlock()
 
 	m.metrics.enteredState(StateQueued)
-	m.log.Info("job queued", "job", j.ID, "subject", req.Subject())
-	m.persist()
+	m.jobLog(j).Info("job queued", "job", j.ID, "subject", req.Subject())
+	m.forgetJobs(evicted)
+	m.persistJob(j)
 	return j, nil
 }
 
 // pruneLocked evicts the oldest finished jobs while the table exceeds
-// cfg.MaxJobs. Queued and running jobs are never evicted — the table
-// may transiently exceed the bound when everything stored is live.
-// Callers hold m.mu.
-func (m *Manager) pruneLocked() {
+// cfg.MaxJobs, returning the evicted IDs so the caller can drop them
+// from an incremental store (outside m.mu — store I/O never runs under
+// the table lock). Queued and running jobs are never evicted — the
+// table may transiently exceed the bound when everything stored is
+// live. Callers hold m.mu.
+func (m *Manager) pruneLocked() (evicted []string) {
 	if m.cfg.MaxJobs < 0 {
-		return
+		return nil
 	}
 	for len(m.jobs) > m.cfg.MaxJobs {
 		victim := -1
@@ -580,11 +674,13 @@ func (m *Manager) pruneLocked() {
 		id := m.order[victim]
 		m.order = append(m.order[:victim], m.order[victim+1:]...)
 		delete(m.jobs, id)
+		evicted = append(evicted, id)
 		m.evicted.Add(1)
 		m.metrics.jobsEvicted.Inc()
 		m.log.Info("job evicted", "job", id, "stored", len(m.jobs), "max_jobs", m.cfg.MaxJobs)
 	}
 	m.metrics.jobsStored.Set(float64(len(m.jobs)))
+	return evicted
 }
 
 // Get resolves one job.
@@ -662,12 +758,13 @@ func (m *Manager) Cancel(id string) (bool, error) {
 		j.publishState()
 		j.closeSubsLocked()
 		j.mu.Unlock()
+		j.endSpans(StateCancelled, "")
 		// Free the queue slot now — a cancelled job must not hold the
 		// queue full until a worker happens to drain it.
 		m.dropPending(j)
 		m.metrics.enteredState(StateCancelled)
-		m.log.Info("job cancelled while queued", "job", j.ID)
-		m.persist()
+		m.jobLog(j).Info("job cancelled while queued", "job", j.ID)
+		m.persistJob(j)
 		return true, nil
 	case StateRunning:
 		cancel := j.cancel
@@ -712,6 +809,13 @@ func (m *Manager) runJob(j *Job) {
 	j.cancel = cancel
 	j.publishState()
 	j.mu.Unlock()
+	// The submitting request's context is long gone; re-root the worker
+	// context on the job's lifetime span so the run span — and the
+	// campaign point/shard spans the RunFunc creates beneath it — nest
+	// in the job's trace.
+	j.queuedSpan.End()
+	ctx = trace.ContextWithSpan(ctx, j.span)
+	ctx, runSpan := trace.Start(ctx, "job.run")
 	m.busy.Add(1)
 	m.metrics.workersBusy.Inc()
 	defer func() {
@@ -719,13 +823,15 @@ func (m *Manager) runJob(j *Job) {
 		m.metrics.workersBusy.Dec()
 	}()
 	m.metrics.enteredState(StateRunning)
-	m.log.Info("job running", "job", j.ID)
-	m.persist()
+	m.jobLog(j).Info("job running", "job", j.ID)
+	m.persistJob(j)
 
 	progress := func(ev TrialEvent) {
 		j.mu.Lock()
 		j.trialsDone++
-		j.publishLocked("trial", trialEventData{TrialEvent: ev})
+		j.publishLocked("trial", trialEventData{
+			RequestID: j.requestID, TraceID: j.traceID, TrialEvent: ev,
+		})
 		j.mu.Unlock()
 	}
 	report, err := m.run(ctx, j, progress)
@@ -765,13 +871,19 @@ func (m *Manager) runJob(j *Job) {
 	state, errText, trials := j.state, j.err, j.trialsDone
 	elapsed := j.finished.Sub(j.started)
 	j.mu.Unlock()
+	runSpan.SetAttr(trace.Int("trials", int64(trials)))
+	if state == StateFailed {
+		runSpan.SetStatus(trace.StatusError, errText)
+	}
+	runSpan.End()
+	j.endSpans(state, errText)
 	m.metrics.enteredState(state)
 	if errText != "" {
-		m.log.Info("job finished", "job", j.ID, "state", state, "trials", trials, "elapsed", elapsed, "error", errText)
+		m.jobLog(j).Info("job finished", "job", j.ID, "state", state, "trials", trials, "elapsed", elapsed, "error", errText)
 	} else {
-		m.log.Info("job finished", "job", j.ID, "state", state, "trials", trials, "elapsed", elapsed)
+		m.jobLog(j).Info("job finished", "job", j.ID, "state", state, "trials", trials, "elapsed", elapsed)
 	}
-	m.persist()
+	m.persistJob(j)
 }
 
 // run guards the RunFunc against panics so one bad job cannot wedge a
@@ -783,6 +895,62 @@ func (m *Manager) run(ctx context.Context, j *Job, progress func(TrialEvent)) (r
 		}
 	}()
 	return m.cfg.Run(ctx, j.Spec, progress)
+}
+
+// persisted builds the job's durable form.
+func (j *Job) persisted() PersistedJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return PersistedJob{
+		ID:         j.ID,
+		Spec:       *j.Spec,
+		State:      j.state,
+		Error:      j.err,
+		Created:    j.Created,
+		Started:    j.started,
+		Finished:   j.finished,
+		TrialsDone: j.trialsDone,
+		RequestID:  j.requestID,
+		Report:     j.reportJSON,
+	}
+}
+
+// persistJob saves one job's durable state after a state change.
+// Incremental stores (JobStore) get just that job — O(1) instead of
+// rewriting the whole table, which dominated submit/finish latency once
+// the table held many finished jobs with reports. Plain stores fall
+// back to the full snapshot.
+func (m *Manager) persistJob(j *Job) {
+	js, ok := m.cfg.Store.(JobStore)
+	if !ok {
+		m.persist()
+		return
+	}
+	m.saveMu.Lock()
+	defer m.saveMu.Unlock()
+	if err := js.SaveJob(j.persisted()); err != nil {
+		m.log.Error("persisting job failed", "job", j.ID, "error", err)
+	}
+}
+
+// forgetJobs drops evicted jobs from an incremental store. Plain
+// stores need nothing: their next full snapshot simply omits the
+// evicted jobs.
+func (m *Manager) forgetJobs(ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	js, ok := m.cfg.Store.(JobStore)
+	if !ok {
+		return
+	}
+	m.saveMu.Lock()
+	defer m.saveMu.Unlock()
+	for _, id := range ids {
+		if err := js.DeleteJob(id); err != nil {
+			m.log.Error("dropping evicted job from store failed", "job", id, "error", err)
+		}
+	}
 }
 
 // persist snapshots the whole job table through the store. Saves are
@@ -799,19 +967,7 @@ func (m *Manager) persist() {
 	m.mu.Unlock()
 	out := make([]PersistedJob, len(jobs))
 	for i, j := range jobs {
-		j.mu.Lock()
-		out[i] = PersistedJob{
-			ID:         j.ID,
-			Spec:       *j.Spec,
-			State:      j.state,
-			Error:      j.err,
-			Created:    j.Created,
-			Started:    j.started,
-			Finished:   j.finished,
-			TrialsDone: j.trialsDone,
-			Report:     j.reportJSON,
-		}
-		j.mu.Unlock()
+		out[i] = j.persisted()
 	}
 	if err := m.cfg.Store.Save(out); err != nil {
 		m.log.Error("persisting job table failed", "error", err)

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"etap/internal/exp"
+	"etap/internal/obs"
+	"etap/internal/obs/trace"
+)
+
+// tracedServer builds a Server over a stub RunFunc that opens a
+// point+shard span pair (the shape the real campaign engine produces)
+// so trace-tree assertions don't need real simulations.
+func tracedServer(t *testing.T, tracer *trace.Tracer) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		Run: func(ctx context.Context, req *SubmitRequest, progress func(TrialEvent)) (*exp.Report, error) {
+			ctx, point := trace.Start(ctx, "campaign.point")
+			_, shard := trace.Start(ctx, "campaign.shard")
+			shard.Event("trial", trace.String("outcome", "completed"))
+			progress(TrialEvent{Trial: 0, Outcome: "completed"})
+			shard.End()
+			point.End()
+			return &exp.Report{ID: "stub"}, nil
+		},
+		Workers:    1,
+		QueueDepth: 4,
+		Metrics:    obs.NewRegistry(),
+		Tracer:     tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s does not parse: %v: %s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestSubmittedJobTraceRetrievable is the tentpole's acceptance path:
+// a submitted job yields a trace retrievable from GET /traces/{id}
+// whose tree runs HTTP request → job → run → point → shard, with the
+// shard span carrying a sampled trial event.
+func TestSubmittedJobTraceRetrievable(t *testing.T) {
+	tracer := trace.New(trace.Config{Registry: obs.NewRegistry()})
+	_, hs := tracedServer(t, tracer)
+
+	resp, err := http.Post(hs.URL+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"benchmark":"b1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	var ack Snapshot
+	if err := json.Unmarshal(data, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.TraceID == "" {
+		t.Fatalf("submit snapshot carries no trace_id: %s", data)
+	}
+	if ack.RequestID == "" || ack.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Fatalf("snapshot request_id %q vs header %q", ack.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+
+	// The trace completes only after every span ends — poll briefly.
+	var td trace.TraceData
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code := getJSON(t, hs.URL+"/traces/"+ack.TraceID, &td); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never completed", ack.TraceID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if td.Depth < 3 {
+		t.Fatalf("trace depth %d, want >= 3", td.Depth)
+	}
+	names := map[string]bool{}
+	var shard *trace.SpanData
+	for i := range td.Spans {
+		names[td.Spans[i].Name] = true
+		if td.Spans[i].Name == "campaign.shard" {
+			shard = &td.Spans[i]
+		}
+	}
+	for _, want := range []string{"http submit", "job", "job.queued", "job.run", "campaign.point", "campaign.shard"} {
+		if !names[want] {
+			t.Fatalf("trace lacks span %q (have %v)", want, names)
+		}
+	}
+	if shard == nil || len(shard.Events) == 0 {
+		t.Fatalf("shard span carries no trial events: %+v", shard)
+	}
+
+	// The listing surfaces the same trace, newest first.
+	var list []trace.Summary
+	if code := getJSON(t, hs.URL+"/traces", &list); code != http.StatusOK {
+		t.Fatalf("GET /traces: %d", code)
+	}
+	found := false
+	for _, s := range list {
+		found = found || s.TraceID == ack.TraceID
+	}
+	if !found {
+		t.Fatalf("trace %s missing from /traces listing", ack.TraceID)
+	}
+}
+
+// TestTraceparentJoinsRemoteTrace: a submission carrying a W3C
+// traceparent joins the caller's trace — the job's trace_id is the
+// remote one, and the response echoes a traceparent under the same
+// trace with a fresh span ID.
+func TestTraceparentJoinsRemoteTrace(t *testing.T) {
+	tracer := trace.New(trace.Config{Registry: obs.NewRegistry()})
+	_, hs := tracedServer(t, tracer)
+
+	const remoteTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const parent = "00-" + remoteTrace + "-00f067aa0ba902b7-01"
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/api/v1/jobs",
+		strings.NewReader(`{"benchmark":"b1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.Header, parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+
+	echo := resp.Header.Get(trace.Header)
+	sc, err := trace.ParseTraceparent(echo)
+	if err != nil {
+		t.Fatalf("response traceparent %q does not parse: %v", echo, err)
+	}
+	if sc.TraceID.String() != remoteTrace {
+		t.Fatalf("response joined trace %s, want %s", sc.TraceID, remoteTrace)
+	}
+	if sc.SpanID.String() == "00f067aa0ba902b7" {
+		t.Fatal("response reused the caller's span ID instead of minting its own")
+	}
+	var ack Snapshot
+	if err := json.Unmarshal(data, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.TraceID != remoteTrace {
+		t.Fatalf("job trace_id %s, want the remote %s", ack.TraceID, remoteTrace)
+	}
+}
+
+// TestRequestIDInSSEPayloads: the submitting request's X-Request-Id
+// (and the trace ID) ride every SSE state and trial payload, so a
+// streaming client can join its events to server logs and traces.
+func TestRequestIDInSSEPayloads(t *testing.T) {
+	tracer := trace.New(trace.Config{Registry: obs.NewRegistry()})
+	m, hs := tracedServer(t, tracer)
+
+	resp, err := http.Post(hs.URL+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"benchmark":"b1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	rid := resp.Header.Get("X-Request-Id")
+	var ack Snapshot
+	if err := json.Unmarshal(data, &ack); err != nil || rid == "" {
+		t.Fatalf("submit ack: %v %q: %s", err, rid, data)
+	}
+
+	j, ok := m.Manager().Get(ack.ID)
+	if !ok {
+		t.Fatal("submitted job not found")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for j.snapshot().State != StateDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", j.snapshot().State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	replay, _, unsub := j.Subscribe()
+	defer unsub()
+	if len(replay) == 0 {
+		t.Fatal("no replayable events")
+	}
+	sawTrial := false
+	for _, ev := range replay {
+		var payload struct {
+			RequestID string `json:"request_id"`
+			TraceID   string `json:"trace_id"`
+		}
+		if err := json.Unmarshal(ev.Data, &payload); err != nil {
+			t.Fatalf("event %d payload: %v: %s", ev.Seq, err, ev.Data)
+		}
+		if payload.RequestID != rid {
+			t.Fatalf("%s event %d request_id %q, want %q: %s", ev.Name, ev.Seq, payload.RequestID, rid, ev.Data)
+		}
+		if payload.TraceID != ack.TraceID {
+			t.Fatalf("%s event %d trace_id %q, want %q", ev.Name, ev.Seq, payload.TraceID, ack.TraceID)
+		}
+		sawTrial = sawTrial || ev.Name == "trial"
+	}
+	if !sawTrial {
+		t.Fatal("replay held no trial events")
+	}
+}
+
+// TestProgrammaticSubmitTraced: jobs submitted without an HTTP request
+// still get a complete job trace (job → queued/run → point → shard)
+// rooted at the configured tracer.
+func TestProgrammaticSubmitTraced(t *testing.T) {
+	tracer := trace.New(trace.Config{Registry: obs.NewRegistry()})
+	m, _ := tracedServer(t, tracer)
+
+	j, err := m.Manager().Submit(context.Background(), &SubmitRequest{Benchmark: "b1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.traceID == "" {
+		t.Fatal("programmatic job has no trace")
+	}
+	waitState(t, j, StateDone)
+	var td *trace.TraceData
+	deadline := time.Now().Add(10 * time.Second)
+	for td = tracer.Get(j.traceID); td == nil; td = tracer.Get(j.traceID) {
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never completed", j.traceID)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if td.Depth < 3 {
+		t.Fatalf("trace depth %d, want >= 3 (spans %d)", td.Depth, len(td.Spans))
+	}
+}
+
+// TestTracesEndpointsWithoutTracer: a server without a tracer answers
+// the trace endpoints with a structured 404 instead of panicking.
+func TestTracesEndpointsWithoutTracer(t *testing.T) {
+	_, hs := tracedServer(t, nil)
+	for _, url := range []string{hs.URL + "/traces", hs.URL + "/traces/deadbeef"} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(data), "tracing_disabled") {
+			t.Fatalf("%s: %d: %s", url, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestServerOTLPExport: traces the server completes reach a collector
+// over OTLP/HTTP JSON — the httptest sink sees the job span tree after
+// the tracer flushes.
+func TestServerOTLPExport(t *testing.T) {
+	got := make(chan []byte, 8)
+	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		got <- body
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer sink.Close()
+
+	tracer := trace.New(trace.Config{OTLPURL: sink.URL, Registry: obs.NewRegistry()})
+	m, _ := tracedServer(t, tracer)
+	j, err := m.Manager().Submit(context.Background(), &SubmitRequest{Benchmark: "b1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone)
+	// The trace enqueues for export only once every span ends; wait for
+	// completion before flushing.
+	deadline := time.Now().Add(10 * time.Second)
+	for tracer.Get(j.traceID) == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never completed", j.traceID)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tracer.Close() // flush the export queue
+
+	select {
+	case body := <-got:
+		for _, want := range []string{`"job"`, `"job.run"`, `"campaign.shard"`, j.traceID} {
+			if !strings.Contains(string(body), want) {
+				t.Fatalf("OTLP payload lacks %s:\n%s", want, body)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no OTLP payload arrived")
+	}
+}

@@ -1,10 +1,12 @@
 package etap
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"etap/internal/obs"
+	obstrace "etap/internal/obs/trace"
 )
 
 // TestMetricsDoNotPerturbResults is the observability plane's core
@@ -43,5 +45,46 @@ func TestMetricsDoNotPerturbResults(t *testing.T) {
 	if disabled != enabled {
 		t.Fatalf("campaign results depend on metric collection:\ndisabled: %s\nenabled:  %s",
 			disabled, enabled)
+	}
+}
+
+// TestTracingDoesNotPerturbResults extends the guard to the span
+// subsystem: the same campaign run untraced and run under a root span
+// (every point and shard creating spans and recording trial events)
+// must produce byte-identical results. Spans observe the campaign; they
+// never feed back into RNG streams, trial ordering or aggregation.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	runOnce := func(t *testing.T, ctx context.Context) string {
+		t.Helper()
+		sys, err := Build(testSource, PolicyControlAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		camp, err := sys.NewCampaign(testInput(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var points []PointStats
+		for _, n := range []int{1, 4} {
+			points = append(points, camp.RunPoint(ctx, n,
+				WithTrials(24), WithSeed(11), WithWorkers(4)))
+		}
+		return fmt.Sprintf("%+v", points)
+	}
+
+	untraced := runOnce(t, bgctx)
+
+	tracer := obstrace.New(obstrace.Config{Registry: obs.NewRegistry()})
+	defer tracer.Close()
+	ctx, root := tracer.Start(bgctx, "determinism-guard")
+	traced := runOnce(t, ctx)
+	root.End()
+
+	if untraced != traced {
+		t.Fatalf("campaign results depend on tracing:\nuntraced: %s\ntraced:   %s",
+			untraced, traced)
+	}
+	if td := tracer.Get(root.TraceID()); td == nil || td.Depth < 3 {
+		t.Fatalf("guard trace missing or too shallow: %+v", td)
 	}
 }

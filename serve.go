@@ -10,6 +10,7 @@ import (
 
 	"etap/internal/exp"
 	"etap/internal/obs"
+	obstrace "etap/internal/obs/trace"
 	"etap/internal/server"
 )
 
@@ -25,21 +26,24 @@ import (
 // compile exactly once. docs/SERVE.md documents the endpoints and the
 // SSE event schema.
 type Server struct {
-	inner *server.Server
-	lab   *Lab
+	inner  *server.Server
+	lab    *Lab
+	tracer *obstrace.Tracer
 }
 
 // serveConfig collects the ServeOption knobs.
 type serveConfig struct {
-	lab        *Lab
-	workers    int
-	queueDepth int
-	stateFile  string
-	maxBody    int64
-	maxJobs    int
-	pprof      bool
-	logf       func(format string, args ...any)
-	logger     *slog.Logger
+	lab         *Lab
+	workers     int
+	queueDepth  int
+	stateFile   string
+	maxBody     int64
+	maxJobs     int
+	pprof       bool
+	logf        func(format string, args ...any)
+	logger      *slog.Logger
+	otlpURL     string
+	traceSample float64
 }
 
 // ServeOption configures NewServer and Serve.
@@ -104,6 +108,25 @@ func WithServeLogger(l *slog.Logger) ServeOption {
 	return func(c *serveConfig) { c.logger = l }
 }
 
+// WithServeOTLP pushes every sampled completed trace to an OTLP/HTTP
+// JSON collector at url ("http://host:4318"; the standard /v1/traces
+// path is appended when the URL has none). Export is asynchronous with
+// retry and backoff; undeliverable traces are dropped and counted
+// (etap_trace_otlp_dropped_total), never blocking a request or a job.
+// The flight recorder behind GET /traces works with or without this.
+func WithServeOTLP(url string) ServeOption {
+	return func(c *serveConfig) { c.otlpURL = url }
+}
+
+// WithServeTraceSample sets the fraction of traces exported over OTLP,
+// decided deterministically from the trace ID. 0 (the default) exports
+// everything; negative exports nothing. Sampling only gates export —
+// every completed trace still enters the flight recorder behind
+// GET /traces.
+func WithServeTraceSample(ratio float64) ServeOption {
+	return func(c *serveConfig) { c.traceSample = ratio }
+}
+
 // NewServer assembles the characterization service. Close it when done;
 // Serve does both around one HTTP listener.
 func NewServer(opts ...ServeOption) (*Server, error) {
@@ -120,6 +143,13 @@ func NewServer(opts ...ServeOption) (*Server, error) {
 		store = server.NewFileStore(cfg.stateFile)
 	}
 	registerLabMetrics(s.lab)
+	// Tracing is always on: the flight recorder behind GET /traces is
+	// the post-mortem surface for every deployment; OTLP export and its
+	// sampling ratio are the opt-in parts.
+	s.tracer = obstrace.New(obstrace.Config{
+		SampleRatio: cfg.traceSample,
+		OTLPURL:     cfg.otlpURL,
+	})
 	inner, err := server.New(server.Config{
 		Run:          s.runJob,
 		Prepare:      s.prepare,
@@ -131,6 +161,7 @@ func NewServer(opts ...ServeOption) (*Server, error) {
 		EnablePprof:  cfg.pprof,
 		Logger:       cfg.logger,
 		Logf:         cfg.logf,
+		Tracer:       s.tracer,
 		Stats: func() map[string]any {
 			return map[string]any{
 				"lab": map[string]any{
@@ -143,6 +174,7 @@ func NewServer(opts ...ServeOption) (*Server, error) {
 		},
 	})
 	if err != nil {
+		s.tracer.Close()
 		return nil, err
 	}
 	s.inner = inner
@@ -177,8 +209,13 @@ func (s *Server) Handler() http.Handler { return s.inner.Handler() }
 func (s *Server) Lab() *Lab { return s.lab }
 
 // Close cancels running jobs (partial aggregates persist as cancelled),
-// waits for the workers and writes a final state snapshot.
-func (s *Server) Close() error { return s.inner.Close() }
+// waits for the workers, writes a final state snapshot and flushes any
+// queued OTLP trace exports.
+func (s *Server) Close() error {
+	err := s.inner.Close()
+	s.tracer.Close()
+	return err
+}
 
 // Serve runs the characterization service on addr until ctx is
 // cancelled, then shuts down gracefully: in-flight responses get a
