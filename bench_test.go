@@ -269,6 +269,57 @@ func BenchmarkCampaignPoint(b *testing.B) {
 	b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
 }
 
+// BenchmarkCampaignPruning measures the trials/s effect of static
+// injection pruning at a low error count, where single-site plans give
+// the dead-destination classifier the most trials to skip. Blowfish has
+// the highest dynamic benign fraction of the suite (~3% of eligible
+// executions), so it is where the win is visible. The two sub-benchmarks
+// run the identical point with pruning on and off; the streams are
+// bit-identical (TestPruningDifferential), so the delta is pure avoided
+// simulation.
+func BenchmarkCampaignPruning(b *testing.B) {
+	a, _ := all.ByName("blowfish")
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := core.Analyze(prog, core.PolicyControlAddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		errors  int
+		disable bool
+	}{
+		// errors=0: the sweep's fidelity baseline — every plan is vacuously
+		// benign, so the pruned engine synthesizes the whole point.
+		{"errors=0/pruned", 0, false},
+		{"errors=0/full", 0, true},
+		{"errors=1/pruned", 1, false},
+		{"errors=1/full", 1, true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			eng, err := campaign.New(prog, rep.Tagged, sim.Config{Input: a.Input()},
+				campaign.Config{DisablePrune: bc.disable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Score = apps.Scorer(a)
+			b.ResetTimer()
+			trials := 0
+			for i := 0; i < b.N; i++ {
+				r := eng.RunPoint(context.Background(), campaign.Point{Errors: bc.errors, HiBit: 31, MaxTrials: 64, Seed: int64(i + 1)}, nil)
+				trials += r.Trials
+			}
+			b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
+			if !bc.disable {
+				b.ReportMetric(eng.StaticPruneFraction(), "prune-fraction")
+			}
+		})
+	}
+}
+
 // BenchmarkPlanGeneration measures error-schedule construction.
 func BenchmarkPlanGeneration(b *testing.B) {
 	for _, n := range []int{10, 100, 1000} {

@@ -258,5 +258,22 @@ func measure(short bool) ([]Metric, error) {
 		Metric{Name: "campaign_sweep_seconds", Value: elapsed.Seconds(), Unit: "seconds"},
 		Metric{Name: "campaign_sweep_trials", Value: float64(total), Unit: "trials"},
 	)
+
+	// Static-pruning reach: the dynamic share of eligible executions the
+	// analyzer proves benign — the fraction of injection ordinals a
+	// campaign answers without simulating (docs/ANALYSIS.md). Measured on
+	// blowfish, the suite's most prunable workload, so regressions in the
+	// liveness analysis show up as a drop here.
+	simRep, err := core.Analyze(simProg, core.PolicyControlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("analyzing blowfish: %w", err)
+	}
+	pruneEng, err := campaign.New(simProg, simRep.Tagged, sim.Config{Input: simApp.Input()}, campaign.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("prune engine setup: %w", err)
+	}
+	metrics = append(metrics,
+		Metric{Name: "static_prune_fraction", Value: pruneEng.StaticPruneFraction(), Unit: "fraction"},
+	)
 	return metrics, nil
 }

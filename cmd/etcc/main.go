@@ -4,9 +4,14 @@
 // Usage:
 //
 //	etcc [-o out.s] prog.mc
+//	etcc -verify [-policy control+addr] prog.mc
 //
-// With -o omitted, the assembly is written to stdout. Diagnostics go to
-// stderr; the exit code is 2 for usage errors and 1 for any failure.
+// With -o omitted, the assembly is written to stdout. With -verify, etcc
+// instead compiles the program, hardens it under -policy with both
+// transforms, and statically verifies the result against the protection
+// contract (see internal/analysis): exit 0 and a summary on PASS, exit 1
+// and the escape sites on FAIL. Diagnostics go to stderr; the exit code
+// is 2 for usage errors and 1 for any failure.
 package main
 
 import (
@@ -14,12 +19,17 @@ import (
 	"fmt"
 	"os"
 
+	"etap/internal/analysis"
+	"etap/internal/core"
+	"etap/internal/harden"
 	"etap/internal/minic"
 	"etap/internal/version"
 )
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	verifyFlag := flag.Bool("verify", false, "harden the program and statically verify the protection contract")
+	policy := flag.String("policy", "control+addr", "analysis policy for -verify: control, control+addr, conservative")
 	showVersion := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 	if *showVersion {
@@ -27,13 +37,62 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: etcc [-o out.s] prog.mc")
+		fmt.Fprintln(os.Stderr, "usage: etcc [-o out.s] prog.mc | etcc -verify [-policy p] prog.mc")
 		os.Exit(2)
+	}
+	if *verifyFlag {
+		ok, err := runVerify(flag.Arg(0), *policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "etcc:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(flag.Arg(0), *out); err != nil {
 		fmt.Fprintln(os.Stderr, "etcc:", err)
 		os.Exit(1)
 	}
+}
+
+// runVerify compiles, hardens and statically verifies one source file.
+func runVerify(srcFile, policyStr string) (bool, error) {
+	pol, ok := core.ParsePolicy(policyStr)
+	if !ok {
+		return false, fmt.Errorf("unknown -policy %q (have control, control+addr, conservative)", policyStr)
+	}
+	src, err := os.ReadFile(srcFile)
+	if err != nil {
+		return false, err
+	}
+	prog, err := minic.Build(string(src))
+	if err != nil {
+		return false, err
+	}
+	rep, err := core.Analyze(prog, pol)
+	if err != nil {
+		return false, err
+	}
+	res, err := harden.Harden(rep, harden.DefaultOptions())
+	if err != nil {
+		return false, err
+	}
+	v, err := analysis.Verify(res)
+	if err != nil {
+		return false, err
+	}
+	if !v.OK() {
+		fmt.Printf("FAIL %s (%s): %d contract violations\n", srcFile, pol, len(v.Violations))
+		for _, viol := range v.Violations {
+			fmt.Printf("  %s\n", viol)
+		}
+		return false, nil
+	}
+	fmt.Printf("PASS %s (%s): %d signature blocks (%d checked), %d dup checks, %d protected sites\n",
+		srcFile, pol, v.SigBlocks, v.SigChecked, v.DupChecks, v.DupSites)
+	return true, nil
 }
 
 func run(srcFile, outFile string) error {

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+
+	"etap/internal/analysis"
+	"etap/internal/core"
+	"etap/internal/harden"
+	"etap/internal/minic"
+)
+
+// runAnalyze prints the static-analysis report for one program: the
+// injection-pruning classification, CFG and dominator shape, the §5.1
+// escape profile, and hardening verification for every shipped
+// transform.
+func runAnalyze(source, policyStr string) error {
+	pol, ok := core.ParsePolicy(policyStr)
+	if !ok {
+		return fmt.Errorf("unknown policy %q", policyStr)
+	}
+	prog, err := minic.Build(source)
+	if err != nil {
+		return err
+	}
+
+	cls, err := analysis.Classify(prog)
+	if err != nil {
+		return err
+	}
+	li := cls.Live
+	fmt.Printf("== injection pruning (policy-independent) ==\n")
+	fmt.Printf("liveness:             %s\n", preciseStr(li))
+	benignAll := 0
+	for _, b := range cls.Benign {
+		if b {
+			benignAll++
+		}
+	}
+	fmt.Printf("text sites benign:    %d/%d\n", benignAll, len(prog.Text))
+	fmt.Printf("injectable sites:     %d\n", cls.Injectable)
+	fmt.Printf("injectable benign:    %d (%.1f%%)\n", cls.BenignInjectable, 100*cls.BenignFraction())
+
+	fmt.Printf("\n== control-flow graph ==\n")
+	blocks, edges, maxDepth := 0, 0, 0
+	for _, cfg := range li.CFGs {
+		blocks += len(cfg.Blocks)
+		dom := analysis.Dominators(cfg)
+		for b := range cfg.Blocks {
+			edges += len(cfg.Blocks[b].Succs)
+			if d := dom.Depth(b); d > maxDepth {
+				maxDepth = d
+			}
+		}
+	}
+	fmt.Printf("functions:            %d\n", len(prog.Funcs))
+	fmt.Printf("basic blocks:         %d\n", blocks)
+	fmt.Printf("cfg edges:            %d\n", edges)
+	fmt.Printf("max dominator depth:  %d\n", maxDepth)
+
+	rep, err := core.Analyze(prog, pol)
+	if err != nil {
+		return err
+	}
+	sites, err := analysis.Escapes(rep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== memory escapes (%s) ==\n", pol)
+	fmt.Printf("tagged defs stored untracked: %d sites\n", len(sites))
+	for _, row := range analysis.EscapesByFunc(prog, sites) {
+		fmt.Printf("  %-16s defs=%-3d stores=%-3d pairs=%d\n", row.Func, row.Defs, row.Stores, row.Escapes)
+	}
+
+	fmt.Printf("\n== hardening verification (%s) ==\n", pol)
+	for _, opts := range []harden.Options{harden.DefaultOptions(), {DupCompare: true}, {Signatures: true}} {
+		res, err := harden.Harden(rep, opts)
+		if err != nil {
+			return err
+		}
+		v, err := analysis.Verify(res)
+		if err != nil {
+			return err
+		}
+		status := "PASS"
+		if !v.OK() {
+			status = "FAIL"
+		}
+		fmt.Printf("%-28s %s  (sig blocks %d/%d checked, dup checks %d, dup sites %d)\n",
+			optsName(opts), status, v.SigChecked, v.SigBlocks, v.DupChecks, v.DupSites)
+		for _, viol := range v.Violations {
+			fmt.Printf("  escape: %s\n", viol)
+		}
+	}
+	return nil
+}
+
+func preciseStr(li *analysis.LiveInfo) string {
+	if li.Precise {
+		return "precise (interprocedural)"
+	}
+	return "imprecise: " + li.Imprecision
+}
+
+func optsName(o harden.Options) string {
+	switch {
+	case o.DupCompare && o.Signatures:
+		return "dup-compare + signatures:"
+	case o.DupCompare:
+		return "dup-compare:"
+	case o.Signatures:
+		return "signatures:"
+	}
+	return "(no transform):"
+}

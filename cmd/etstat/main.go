@@ -5,7 +5,13 @@
 // Usage:
 //
 //	etstat -app susan [-policy control] [-v]
+//	etstat -app susan -analyze
 //	etstat prog.mc [-v]
+//
+// With -analyze, etstat prints the static-analysis report instead: the
+// injection-pruning classification (liveness precision, benign site
+// counts), CFG and dominator shape, the memory escape profile, and
+// PASS/FAIL hardening verification for every shipped transform.
 //
 // Statistics go to stdout; diagnostics go to stderr. The exit code is 2
 // for usage errors (including unknown benchmarks and policies) and 1 for
@@ -25,6 +31,7 @@ func main() {
 	appName := flag.String("app", "", "benchmark name (susan, mpeg, mcf, blowfish, gsm, art, adpcm)")
 	policy := flag.String("policy", "control+addr", "analysis policy: control, control+addr, conservative")
 	verbose := flag.Bool("v", false, "print the annotated disassembly")
+	analyze := flag.Bool("analyze", false, "print the static-analysis report: pruning classification, CFG shape, escape profile, hardening verification")
 	showVersion := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 	if *showVersion {
@@ -59,6 +66,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *analyze {
+		if err := runAnalyze(source, *policy); err != nil {
+			fmt.Fprintln(os.Stderr, "etstat:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(source, pol, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "etstat:", err)
 		os.Exit(1)

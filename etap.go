@@ -577,4 +577,3 @@ func (b *Benchmark) Score(golden, corrupted []byte) (value float64, acceptable b
 func (b *Benchmark) Build(policy Policy) (*System, error) {
 	return Build(b.app.Source(), policy)
 }
-

@@ -1,0 +1,40 @@
+// Package analysis is the static-analysis layer over isa.Program: basic
+// blocks and dominators (on top of core's CFGs), interprocedural register
+// liveness, and three consumers built from them:
+//
+//   - Injection pruning (prune.go): every fault site whose destination
+//     register is dead on write — rewritten before any use on every path —
+//     is classified statically Benign. The campaign engine skips those
+//     trials and synthesizes their (provably clean) outcome, bit-identical
+//     to running them, so characterization sweeps spend simulator time
+//     only on faults that can matter.
+//
+//   - Hardening verification (verify.go): a checker that proves a
+//     harden-transformed program carries a correctly chained CFCSS
+//     signature prologue on every basic block and a duplicate-compare
+//     check before every policy-covered use site, instead of trusting the
+//     rewriter empirically.
+//
+//   - Escape profiling (escape.go): the concrete table of the paper's
+//     §5.1 memory soundness hole — tagged (unprotected) definitions whose
+//     values reach memory through a store — feeding selective hardening.
+//
+// docs/ANALYSIS.md states the analysis model and the pruning soundness
+// argument, including the assumptions under which liveness degrades to
+// the conservative "everything live" answer (Precise == false).
+package analysis
+
+import (
+	"etap/internal/core"
+	"etap/internal/isa"
+)
+
+// AllRegs is the conservative "everything live" register set: every
+// architectural register except the hardwired zero register.
+const AllRegs core.RegMask = 0xFFFFFFFE
+
+// regBit is the singleton set {r}, empty for the zero register (which is
+// not a variable and never appears in a mask).
+func regBit(r isa.Reg) core.RegMask {
+	return core.RegMask(1<<r) &^ 1
+}

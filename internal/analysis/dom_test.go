@@ -1,0 +1,154 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"etap/internal/analysis"
+	"etap/internal/apps/all"
+	"etap/internal/core"
+	"etap/internal/minic"
+)
+
+const diamondSrc = `
+.text
+.func __start
+	li $t0, 1
+	bnez $t0, other
+	li $a0, 7
+	j done
+other:
+	li $a0, 9
+done:
+	li $v0, 1
+	syscall
+.endfunc
+`
+
+// TestDominatorsDiamond pins the dominator tree of an if/else diamond:
+// the entry dominates everything, neither arm dominates the join, and
+// the join's immediate dominator is the entry.
+func TestDominatorsDiamond(t *testing.T) {
+	p := assemble(t, diamondSrc)
+	cfgs, err := core.BuildCFG(p)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	cfg := cfgs[0]
+	if len(cfg.Blocks) != 4 {
+		t.Fatalf("diamond has %d blocks, want 4", len(cfg.Blocks))
+	}
+	dom := analysis.Dominators(cfg)
+	if dom.Idom[0] != 0 {
+		t.Fatalf("entry idom = %d, want itself", dom.Idom[0])
+	}
+	for b := 1; b < 4; b++ {
+		if !dom.Dominates(0, b) {
+			t.Fatalf("entry does not dominate block %d", b)
+		}
+	}
+	// Blocks 1 and 2 are the two arms, block 3 the join.
+	if dom.Idom[3] != 0 {
+		t.Fatalf("join idom = %d, want entry", dom.Idom[3])
+	}
+	if dom.Dominates(1, 3) || dom.Dominates(2, 3) {
+		t.Fatal("a branch arm dominates the join")
+	}
+	if dom.Dominates(1, 2) || dom.Dominates(2, 1) {
+		t.Fatal("sibling arms dominate each other")
+	}
+	if dom.Depth(3) != 1 || dom.Depth(1) != 1 || dom.Depth(0) != 0 {
+		t.Fatalf("depths entry=%d arm=%d join=%d, want 0/1/1",
+			dom.Depth(0), dom.Depth(1), dom.Depth(3))
+	}
+}
+
+const loopSrc = `
+.text
+.func __start
+	li $t0, 4
+	li $a0, 0
+loop:
+	add $a0, $a0, $t0
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	li $v0, 1
+	syscall
+.endfunc
+`
+
+// TestDominatorsLoop: a natural loop's header dominates its body and the
+// exit block; the back edge does not disturb the tree.
+func TestDominatorsLoop(t *testing.T) {
+	p := assemble(t, loopSrc)
+	cfgs, err := core.BuildCFG(p)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	cfg := cfgs[0]
+	if len(cfg.Blocks) != 3 {
+		t.Fatalf("loop program has %d blocks, want 3", len(cfg.Blocks))
+	}
+	dom := analysis.Dominators(cfg)
+	// Block 0: preamble; block 1: loop body (branch target); block 2: exit.
+	if dom.Idom[1] != 0 || dom.Idom[2] != 1 {
+		t.Fatalf("idoms = %v, want [0 0 1]", dom.Idom)
+	}
+	if !dom.Dominates(1, 2) {
+		t.Fatal("loop header does not dominate the loop exit")
+	}
+}
+
+// TestDominatorsApps checks dominator-tree invariants over every
+// function of all seven benchmark programs: the entry block is its own
+// idom, every reachable block's idom strictly dominates it with smaller
+// depth, and Dominates is reflexive and antisymmetric on distinct
+// blocks.
+func TestDominatorsApps(t *testing.T) {
+	names := all.Names()
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			a, ok := all.ByName(name)
+			if !ok {
+				t.Fatalf("unknown app %s", name)
+			}
+			prog, err := minic.Build(a.Source())
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			cfgs, err := core.BuildCFG(prog)
+			if err != nil {
+				t.Fatalf("cfg: %v", err)
+			}
+			for fi, cfg := range cfgs {
+				if len(cfg.Blocks) == 0 {
+					continue
+				}
+				dom := analysis.Dominators(cfg)
+				if dom.Idom[0] != 0 {
+					t.Fatalf("func %d: entry idom %d", fi, dom.Idom[0])
+				}
+				for b := 1; b < len(cfg.Blocks); b++ {
+					id := dom.Idom[b]
+					if id < 0 {
+						continue // unreachable
+					}
+					if !dom.Dominates(id, b) || dom.Dominates(b, id) {
+						t.Fatalf("func %d block %d: idom %d not a strict dominator", fi, b, id)
+					}
+					if dom.Depth(b) != dom.Depth(id)+1 {
+						t.Fatalf("func %d block %d: depth %d, idom depth %d", fi, b, dom.Depth(b), dom.Depth(id))
+					}
+					if !dom.Dominates(0, b) {
+						t.Fatalf("func %d: entry does not dominate reachable block %d", fi, b)
+					}
+					if !dom.Dominates(b, b) {
+						t.Fatalf("func %d: Dominates not reflexive on %d", fi, b)
+					}
+				}
+			}
+		})
+	}
+}

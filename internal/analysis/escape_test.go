@@ -1,0 +1,126 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"etap/internal/analysis"
+	"etap/internal/apps/all"
+	"etap/internal/core"
+	"etap/internal/minic"
+)
+
+const escapeSrc = `
+.text
+.func __start
+	li $a0, 5
+	jal work
+	move $a0, $v0
+	li $v0, 1
+	syscall
+.endfunc
+.func work tolerant
+	addi $t0, $a0, 3
+	sw $t0, 0x200($zero)
+	lw $v0, 0x200($zero)
+	jr $ra
+.endfunc
+`
+
+// TestEscapesHandcrafted: a tagged (tolerant, non-control) definition
+// whose value is stored to memory is an escape site under the
+// control-only policy; the conservative policy pulls stored values into
+// the control slice, closing the hole by construction.
+func TestEscapesHandcrafted(t *testing.T) {
+	p := assemble(t, escapeSrc)
+
+	rep, err := core.Analyze(p, core.PolicyControl)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	sites, err := analysis.Escapes(rep)
+	if err != nil {
+		t.Fatalf("escapes: %v", err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("tagged stored value produced no escape site under PolicyControl")
+	}
+	def := nthDef(t, p, 8 /* $t0 */, 0)
+	found := false
+	for _, s := range sites {
+		if s.Def == def {
+			if sv, ok := p.Text[s.Store].StoredValue(); !ok || sv != s.Reg {
+				t.Fatalf("escape site store %d does not store %s", s.Store, s.Reg)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("the $t0 definition at %d is not among the escape sites %v", def, sites)
+	}
+
+	rows := analysis.EscapesByFunc(p, sites)
+	if len(rows) != 1 || rows[0].Func != "work" || rows[0].Escapes != len(sites) {
+		t.Fatalf("per-function stats %+v do not fold the sites", rows)
+	}
+
+	cons, err := core.Analyze(p, core.PolicyConservative)
+	if err != nil {
+		t.Fatalf("analyze conservative: %v", err)
+	}
+	consSites, err := analysis.Escapes(cons)
+	if err != nil {
+		t.Fatalf("escapes conservative: %v", err)
+	}
+	if len(consSites) != 0 {
+		t.Fatalf("conservative policy still has %d escape sites", len(consSites))
+	}
+}
+
+// TestEscapesApps: the conservative policy admits no escapes on any
+// benchmark, and the control-only profile is internally consistent.
+func TestEscapesApps(t *testing.T) {
+	names := all.Names()
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			a, ok := all.ByName(name)
+			if !ok {
+				t.Fatalf("unknown app %s", name)
+			}
+			prog, err := minic.Build(a.Source())
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			rep, err := core.Analyze(prog, core.PolicyControl)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			sites, err := analysis.Escapes(rep)
+			if err != nil {
+				t.Fatalf("escapes: %v", err)
+			}
+			for _, s := range sites {
+				if !rep.Tagged[s.Def] {
+					t.Fatalf("escape def %d is not tagged", s.Def)
+				}
+				if sv, ok := prog.Text[s.Store].StoredValue(); !ok || sv != s.Reg {
+					t.Fatalf("escape store %d does not store %s", s.Store, s.Reg)
+				}
+			}
+			cons, err := core.Analyze(prog, core.PolicyConservative)
+			if err != nil {
+				t.Fatalf("analyze conservative: %v", err)
+			}
+			consSites, err := analysis.Escapes(cons)
+			if err != nil {
+				t.Fatalf("escapes conservative: %v", err)
+			}
+			if len(consSites) != 0 {
+				t.Fatalf("conservative policy has %d escapes", len(consSites))
+			}
+			t.Logf("%s: %d escape sites under PolicyControl", name, len(sites))
+		})
+	}
+}

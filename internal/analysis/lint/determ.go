@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UnorderedOKMarker waives one specific map range from determcheck. It
+// must appear in a comment on the range statement's own line or the line
+// directly above it.
+const UnorderedOKMarker = "//etap:unordered-ok"
+
+// Determ is the determcheck analyzer: Go's map iteration order is
+// deliberately randomized, so a range over a map anywhere in a package
+// that feeds campaign aggregation or report rendering is a
+// reproducibility bug waiting to reorder trials, rows or series between
+// runs. Sites that are genuinely order-insensitive (folding into a
+// commutative aggregate, building another map) are waived explicitly
+// with //etap:unordered-ok, which makes every such decision visible in
+// review. The driver scopes this analyzer to the packages where ordering
+// is part of the output contract.
+var Determ = &Analyzer{
+	Name: "determcheck",
+	Doc:  "report unordered map iteration in determinism-sensitive packages",
+	Run:  runDeterm,
+}
+
+func runDeterm(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		waived := waivedLines(pkg, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pkg.Fset.Position(rng.Pos()).Line
+			if waived[line] || waived[line-1] {
+				return true
+			}
+			diags = append(diags, Diagnostic{Pos: rng.Pos(), Analyzer: "determcheck",
+				Message: "map iteration order is random; sort the keys or waive with " + UnorderedOKMarker})
+			return true
+		})
+	}
+	return diags
+}
+
+// waivedLines collects the file lines carrying the waiver marker.
+func waivedLines(pkg *Package, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimSpace(c.Text), UnorderedOKMarker) {
+				lines[pkg.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

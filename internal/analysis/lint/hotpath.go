@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathMarker is the doc-comment marker that opts a function into the
+// hot-path discipline.
+const HotPathMarker = "//etap:hotpath"
+
+// HotPath is the hotpathcheck analyzer: a function whose doc comment
+// carries //etap:hotpath promises that its hot statements — the bodies
+// of its loops, or the entire body when the function is a loop-free leaf
+// helper — stay allocation-free and observation-free. The analyzer
+// flags, inside that scope:
+//
+//   - allocations: make, new, append, composite literals, closures;
+//   - statements that allocate by construction: go and defer;
+//   - calls into packages that observe or format: time, fmt, and the
+//     metrics plane etap/internal/obs (including method calls on its
+//     types, so a stray counter.Inc() in a simulator loop is caught).
+//
+// Calls within the marked function's own package are not flagged: slow
+// paths legitimately live in sibling helpers, and marking those too is
+// the reviewable act of extending the contract.
+var HotPath = &Analyzer{
+	Name: "hotpathcheck",
+	Doc:  "report allocations, metrics and clock reads in //etap:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{Pos: n.Pos(), Analyzer: "hotpathcheck",
+			Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasMarker(fn.Doc, HotPathMarker) {
+				continue
+			}
+			checkHotFunc(pkg, fn, report)
+		}
+	}
+	return diags
+}
+
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc applies the hot-path rules to one marked function. If the
+// function has loops, only loop bodies are hot (setup and teardown may
+// allocate); a loop-free function is hot throughout.
+func checkHotFunc(pkg *Package, fn *ast.FuncDecl, report func(ast.Node, string, ...any)) {
+	hasLoop := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			hasLoop = true
+			return false
+		case *ast.FuncLit:
+			return false // a nested closure's loops are its own problem
+		}
+		return true
+	})
+	if !hasLoop {
+		checkHotStmts(pkg, fn.Name.Name, fn.Body, report)
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			checkHotStmts(pkg, fn.Name.Name, s.Body, report)
+			return false
+		case *ast.RangeStmt:
+			checkHotStmts(pkg, fn.Name.Name, s.Body, report)
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+}
+
+// checkHotStmts walks one hot region and reports every violation.
+func checkHotStmts(pkg *Package, fname string, body ast.Node, report func(ast.Node, string, ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			report(x, "%s: go statement on a hot path", fname)
+		case *ast.DeferStmt:
+			report(x, "%s: defer on a hot path", fname)
+		case *ast.FuncLit:
+			report(x, "%s: closure allocated on a hot path", fname)
+			return false
+		case *ast.CompositeLit:
+			report(x, "%s: composite literal allocated on a hot path", fname)
+		case *ast.CallExpr:
+			checkHotCall(pkg, fname, x, report)
+		}
+		return true
+	})
+}
+
+// forbiddenPkg reports whether a callee package has no business on a hot
+// path and, if so, why.
+func forbiddenPkg(path string) (string, bool) {
+	switch {
+	case path == "time":
+		return "reads the clock", true
+	case path == "fmt":
+		return "formats (allocates)", true
+	case path == "etap/internal/obs" || strings.HasPrefix(path, "etap/internal/obs/"):
+		return "records metrics", true
+	}
+	return "", false
+}
+
+func checkHotCall(pkg *Package, fname string, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make", "new", "append":
+				report(call, "%s: %s on a hot path", fname, obj.Name())
+			}
+		}
+	case *ast.SelectorExpr:
+		// Package-qualified call: time.Now(), fmt.Sprintf(), obs.Default().
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+				if why, bad := forbiddenPkg(pn.Imported().Path()); bad {
+					report(call, "%s: call into %s %s on a hot path", fname, pn.Imported().Path(), why)
+				}
+				return
+			}
+		}
+		// Method call: counter.Inc() where the receiver type lives in a
+		// forbidden package.
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if obj := sel.Obj(); obj != nil && obj.Pkg() != nil {
+				if why, bad := forbiddenPkg(obj.Pkg().Path()); bad {
+					report(call, "%s: %s.%s %s on a hot path", fname, obj.Pkg().Name(), obj.Name(), why)
+				}
+			}
+		}
+	}
+}

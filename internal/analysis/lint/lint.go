@@ -1,0 +1,97 @@
+// Package lint is a self-contained mini framework for repo-specific
+// static checks over Go source, built directly on go/ast and go/types so
+// it needs nothing outside the standard library. It powers cmd/etvet,
+// which CI runs as a required step.
+//
+// Two analyzers ship with it:
+//
+//   - hotpathcheck: functions marked //etap:hotpath must not allocate,
+//     record metrics, or read the clock on their hot statements (the
+//     bodies of their loops, or the whole body for loop-free helpers).
+//   - determcheck: packages that feed campaign aggregation or report
+//     rendering must not iterate maps in unordered fashion unless the
+//     site is explicitly waived with //etap:unordered-ok.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Package is one type-checked Go package ready for analysis.
+type Package struct {
+	// Path is the import path ("etap/internal/sim").
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Diagnostic is one finding, positioned in the package's file set.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one check. Run inspects a package and returns its
+// findings; analyzers are pure — scoping decisions (which packages an
+// analyzer applies to) belong to the driver.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Diagnostic
+}
+
+// TypeCheck builds a Package from parsed files, resolving imports
+// through imp. It is the single type-checking entry point for both the
+// module loader and tests feeding sources directly.
+func TypeCheck(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// combined findings sorted by file position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags = append(diags, a.Run(pkg)...)
+		}
+	}
+	// All packages sharing one driver share one FileSet, so global
+	// position order is meaningful.
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(diags, func(i, j int) bool {
+			pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			return pi.Offset < pj.Offset
+		})
+	}
+	return diags
+}
+
+// Format renders a diagnostic the way compilers do:
+// path:line:col: [analyzer] message.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	p := fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one source string as a standalone package; std
+// imports resolve through the GOROOT source importer.
+func checkSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg, err := TypeCheck("example/p", fset, []*ast.File{f}, importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return pkg
+}
+
+func messages(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+func wantDiag(t *testing.T, diags []Diagnostic, substr string) {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			return
+		}
+	}
+	t.Fatalf("no diagnostic containing %q in %q", substr, messages(diags))
+}
+
+const hotpathViolations = `
+package p
+
+import (
+	"fmt"
+	"time"
+)
+
+//etap:hotpath
+func step(buf []int, n int) []int {
+	setup := make([]int, 0, n) // setup before the loop: allowed
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+		tmp := make([]int, 4)
+		_ = tmp
+		s := struct{ a, b int }{i, n}
+		_ = s
+		f := func() int { return i }
+		_ = f
+		fmt.Sprintf("%d", i)
+		_ = time.Now()
+	}
+	return setup
+}
+
+func cold(n int) []int {
+	out := make([]int, n) // unmarked function: allowed
+	return out
+}
+`
+
+func TestHotPathFlagsLoopViolations(t *testing.T) {
+	diags := HotPath.Run(checkSrc(t, hotpathViolations))
+	for _, want := range []string{
+		"append on a hot path",
+		"make on a hot path",
+		"composite literal allocated",
+		"closure allocated",
+		"call into fmt",
+		"call into time",
+	} {
+		wantDiag(t, diags, want)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "cold") {
+			t.Fatalf("unmarked function flagged: %s", d.Message)
+		}
+	}
+	// The pre-loop make must not be flagged: exactly one make finding.
+	makes := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "make on a hot path") {
+			makes++
+		}
+	}
+	if makes != 1 {
+		t.Fatalf("%d make findings, want 1 (setup alloc must be exempt): %q", makes, messages(diags))
+	}
+}
+
+const hotpathLeaf = `
+package p
+
+//etap:hotpath
+func leaf(n int) []int {
+	return make([]int, n)
+}
+`
+
+func TestHotPathLoopFreeLeafIsHotThroughout(t *testing.T) {
+	diags := HotPath.Run(checkSrc(t, hotpathLeaf))
+	if len(diags) != 1 {
+		t.Fatalf("%d findings, want 1: %q", len(diags), messages(diags))
+	}
+	wantDiag(t, diags, "make on a hot path")
+}
+
+const hotpathDeferGo = `
+package p
+
+//etap:hotpath
+func dispatch(work []func(), n int) {
+	for i := 0; i < n; i++ {
+		defer work[i]()
+		go work[i]()
+	}
+}
+`
+
+func TestHotPathFlagsDeferAndGo(t *testing.T) {
+	diags := HotPath.Run(checkSrc(t, hotpathDeferGo))
+	wantDiag(t, diags, "defer on a hot path")
+	wantDiag(t, diags, "go statement on a hot path")
+}
+
+const determSrc = `
+package p
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // not waived: flagged
+		total += v
+	}
+	//etap:unordered-ok building another map is order-insensitive
+	for k, v := range m {
+		_ = k
+		_ = v
+	}
+	for i, v := range []int{1, 2, 3} { // slice range: fine
+		_ = i
+		_ = v
+	}
+	return total
+}
+`
+
+func TestDetermFlagsUnwaivedMapRange(t *testing.T) {
+	diags := Determ.Run(checkSrc(t, determSrc))
+	if len(diags) != 1 {
+		t.Fatalf("%d findings, want exactly 1: %q", len(diags), messages(diags))
+	}
+	wantDiag(t, diags, "map iteration order is random")
+}
+
+// TestLoaderLoadsModulePackages exercises the module-aware source
+// loader on a real package of this repo, including its module-internal
+// imports.
+func TestLoaderLoadsModulePackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("source-importing GOROOT is slow")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Clean(filepath.Join(wd, "..", "..", ".."))
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+	l := NewLoader(root, "etap")
+	pkg, err := l.Load("etap/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types == nil || pkg.Types.Name() != "core" {
+		t.Fatalf("loaded package %v", pkg.Types)
+	}
+	// The loader must have pulled in the module-internal dependency.
+	if _, err := l.Load("etap/internal/isa"); err != nil {
+		t.Fatalf("cached dependency load: %v", err)
+	}
+	// Analyzers run cleanly over real type-checked code.
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{HotPath})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected findings in core: %q", messages(diags))
+	}
+}

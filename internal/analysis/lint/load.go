@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader loads and type-checks packages of one module from source. It is
+// module-aware just enough for a vet driver inside this repo: import
+// paths under the module prefix resolve to module directories (and are
+// themselves loaded from source, recursively), everything else is
+// delegated to the standard library's source importer, which covers
+// GOROOT. The repo has no external dependencies, so that closure is
+// complete.
+type Loader struct {
+	// ModRoot is the filesystem root of the module (the directory holding
+	// go.mod); ModPath its module path.
+	ModRoot string
+	ModPath string
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader rooted at modRoot for module modPath.
+func NewLoader(modRoot, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot: modRoot,
+		ModPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+	}
+}
+
+// Fset is the file set every loaded package shares.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load loads the package with the given import path (which must be the
+// module path or below), parsing its non-test sources with comments and
+// type-checking them. Results are cached per path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	rel := strings.TrimPrefix(path, l.ModPath)
+	if rel == path && path != l.ModPath {
+		return nil, fmt.Errorf("lint: import path %q is outside module %s", path, l.ModPath)
+	}
+	dir := filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go sources in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := TypeCheck(path, l.fset, files, (*moduleImporter)(l))
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// moduleImporter adapts the loader into the types.Importer the checker
+// calls back into for each import: module-internal paths load recursively,
+// the rest go to the GOROOT source importer.
+type moduleImporter Loader
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(m)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

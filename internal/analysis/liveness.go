@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+
+	"etap/internal/core"
+	"etap/internal/isa"
+)
+
+// LiveInfo is the interprocedural register-liveness result for one
+// program: for every instruction, the set of registers whose current
+// value may still be read before being overwritten, observed at the
+// program point immediately after that instruction retires — the exact
+// point where the fault model XORs a bit into the destination register.
+//
+// The analysis runs backward over the supergraph formed by the
+// per-function CFGs plus call and return edges:
+//
+//   - a block ending in jal flows the callee's entry liveness into the
+//     call (a corrupted $ra is caught there: the callee's return needs
+//     it), and the call's continuation liveness into the callee's
+//     return set;
+//   - a block ending in jr uses the function's return set — the union
+//     of the continuation liveness of every static call site — which is
+//     sound under the toolchain contract that jr only ever returns to
+//     the continuation of a call of the containing function;
+//   - a Return block whose last instruction is not jr (a terminal exit
+//     syscall, or text that falls off the function end) leaves the CFG
+//     in a way liveness cannot model, so everything is live there.
+//
+// Programs containing jalr (an indirect call the compiler never emits)
+// make the call graph unknowable statically; for those the analysis
+// degrades to the conservative answer: Precise is false and every
+// LiveOut set is AllRegs.
+type LiveInfo struct {
+	Prog *isa.Program
+	CFGs []*core.FuncCFG
+	// LiveOut[i] is the live set immediately after instruction i retires.
+	LiveOut []core.RegMask
+	// BlockIn[f][b] is the live set at block b's entry in function f.
+	BlockIn [][]core.RegMask
+	// RetLive[f] is the live set at function f's jr exits: the union of
+	// what every static caller still needs after the call returns.
+	RetLive []core.RegMask
+	// Precise reports whether the dataflow result is usable for
+	// dead-destination reasoning. When false (Imprecision says why),
+	// every LiveOut is AllRegs.
+	Precise     bool
+	Imprecision string
+}
+
+type liveState struct {
+	prog        *isa.Program
+	cfgs        []*core.FuncCFG
+	entryToFunc map[int]int
+	blockIn     [][]core.RegMask
+	retLive     []core.RegMask
+	liveOut     []core.RegMask
+	changed     bool
+}
+
+// Liveness computes interprocedural register liveness for a validated
+// program.
+func Liveness(p *isa.Program) (*LiveInfo, error) {
+	cfgs, err := core.BuildCFG(p)
+	if err != nil {
+		return nil, err
+	}
+	li := &LiveInfo{
+		Prog:    p,
+		CFGs:    cfgs,
+		LiveOut: make([]core.RegMask, len(p.Text)),
+		BlockIn: make([][]core.RegMask, len(p.Funcs)),
+		RetLive: make([]core.RegMask, len(p.Funcs)),
+		Precise: true,
+	}
+	for fi, cfg := range cfgs {
+		li.BlockIn[fi] = make([]core.RegMask, len(cfg.Blocks))
+	}
+	for idx, in := range p.Text {
+		if in.Op == isa.JALR {
+			li.Precise = false
+			li.Imprecision = fmt.Sprintf("instr %d (%s): indirect call makes the call graph unknowable", idx, isa.Disasm(in))
+			break
+		}
+	}
+	if !li.Precise {
+		for i := range li.LiveOut {
+			li.LiveOut[i] = AllRegs
+		}
+		for fi := range li.BlockIn {
+			for bi := range li.BlockIn[fi] {
+				li.BlockIn[fi][bi] = AllRegs
+			}
+			li.RetLive[fi] = AllRegs
+		}
+		return li, nil
+	}
+
+	entryToFunc := make(map[int]int, len(p.Funcs))
+	totalBlocks := 0
+	for fi, f := range p.Funcs {
+		entryToFunc[f.Start] = fi
+		totalBlocks += len(cfgs[fi].Blocks)
+	}
+	s := &liveState{
+		prog:        p,
+		cfgs:        cfgs,
+		entryToFunc: entryToFunc,
+		blockIn:     li.BlockIn,
+		retLive:     li.RetLive,
+		liveOut:     li.LiveOut,
+	}
+
+	// Round-robin backward sweeps to fixpoint. All sets only grow, so
+	// the round count is bounded by the total number of set bits that
+	// can ever be added (31 registers per tracked set) plus the final
+	// no-change sweep.
+	bound := 31*(totalBlocks+len(p.Funcs)) + 2
+	for round := 0; ; round++ {
+		if round > bound {
+			return nil, fmt.Errorf("analysis: liveness fixpoint failed to converge")
+		}
+		s.changed = false
+		for fi := len(cfgs) - 1; fi >= 0; fi-- {
+			for bi := len(cfgs[fi].Blocks) - 1; bi >= 0; bi-- {
+				in := s.walk(fi, bi, false)
+				if in != s.blockIn[fi][bi] {
+					s.blockIn[fi][bi] = in
+					s.changed = true
+				}
+			}
+		}
+		if !s.changed {
+			break
+		}
+	}
+	// One recording pass over the converged state fills per-instruction
+	// LiveOut; at fixpoint it cannot change anything.
+	for fi := range cfgs {
+		for bi := range cfgs[fi].Blocks {
+			s.walk(fi, bi, true)
+		}
+	}
+	return li, nil
+}
+
+// walk applies the backward transfer function over block bi of function
+// fi starting from the block's live-out set and returns the block's
+// live-in. With record set it also stores each instruction's live-out.
+// Continuation liveness observed at calls grows the callee's return set
+// (flagging s.changed), which is what makes the fixpoint
+// interprocedural.
+func (s *liveState) walk(fi, bi int, record bool) core.RegMask {
+	cfg := s.cfgs[fi]
+	b := cfg.Blocks[bi]
+	p := s.prog
+	var usesBuf [3]isa.Reg
+
+	// succ is the liveness at the block's in-CFG continuation points; it
+	// is also the post-return liveness a call made by this block resumes
+	// into.
+	succ := core.RegMask(0)
+	for _, sb := range b.Succs {
+		succ |= s.blockIn[fi][sb]
+	}
+	if b.Return {
+		if p.Text[b.End-1].Op == isa.JR {
+			succ |= s.retLive[fi]
+		} else {
+			// The block leaves the CFG without a return: a terminal
+			// syscall that may be exit, or text falling off the function
+			// end. Liveness cannot see past that point.
+			succ |= AllRegs
+		}
+	}
+
+	cur := succ
+	for idx := b.End - 1; idx >= b.Start; idx-- {
+		in := p.Text[idx]
+		if in.Op == isa.JAL {
+			// The CFG builder guarantees a call is its block's last
+			// instruction and targets a function entry.
+			callee := s.entryToFunc[int(in.Imm)]
+			if nr := s.retLive[callee] | succ; nr != s.retLive[callee] {
+				s.retLive[callee] = nr
+				s.changed = true
+			}
+			// The point right after the jal retires is the callee's
+			// entry: what the callee (transitively) reads is what is
+			// live, including the just-written $ra.
+			if len(s.cfgs[callee].Blocks) > 0 {
+				cur = s.blockIn[callee][0]
+			} else {
+				cur = AllRegs
+			}
+			if record {
+				s.liveOut[idx] = cur
+			}
+			cur &^= regBit(isa.RegRA)
+			continue
+		}
+		if record {
+			s.liveOut[idx] = cur
+		}
+		if d, ok := in.Dest(); ok {
+			cur &^= regBit(d)
+		}
+		for _, u := range in.Uses(usesBuf[:0]) {
+			cur |= regBit(u)
+		}
+	}
+	return cur
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import "etap/internal/isa"
+
+// Classification is the static fault-site triage for one program: which
+// text indices are provably Benign injection sites. A site is Benign
+// when flipping any bit of its destination register immediately after
+// writeback cannot change the execution:
+//
+//   - the instruction writes no register, or writes the zero register
+//     (the simulator discards the flip outright — sink-redirected
+//     destinations never carry a fault);
+//   - or its destination is dead at the post-writeback point: on every
+//     path the register is rewritten before being read, so the flipped
+//     value is never observed (requires LiveInfo.Precise).
+//
+// Benignity is per-site, not per-bit: a dead register is dead in every
+// bit lane. Soundness rests on the same toolchain CFG contract the rest
+// of the repo assumes (jr only returns to a call continuation; functions
+// are entered only at their entry); see docs/ANALYSIS.md for the full
+// argument.
+type Classification struct {
+	Prog *isa.Program
+	Live *LiveInfo
+	// Benign[i] reports that any injection at text index i is provably
+	// outcome-preserving.
+	Benign []bool
+	// Injectable and BenignInjectable count static sites under the
+	// paper's fault model (result-writing arithmetic), for reporting.
+	Injectable       int
+	BenignInjectable int
+}
+
+// Classify computes the static Benign classification for a validated
+// program.
+func Classify(p *isa.Program) (*Classification, error) {
+	li, err := Liveness(p)
+	if err != nil {
+		return nil, err
+	}
+	c := &Classification{
+		Prog:   p,
+		Live:   li,
+		Benign: make([]bool, len(p.Text)),
+	}
+	for idx, in := range p.Text {
+		d, ok := in.Dest()
+		switch {
+		case !ok || d == isa.RegZero:
+			c.Benign[idx] = true
+		case li.Precise && !li.LiveOut[idx].Has(d):
+			c.Benign[idx] = true
+		}
+		if in.IsInjectable() {
+			c.Injectable++
+			if c.Benign[idx] {
+				c.BenignInjectable++
+			}
+		}
+	}
+	return c, nil
+}
+
+// BenignFraction is the benign share of the static injectable sites.
+func (c *Classification) BenignFraction() float64 {
+	if c.Injectable == 0 {
+		return 0
+	}
+	return float64(c.BenignInjectable) / float64(c.Injectable)
+}

@@ -1,0 +1,132 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"etap/internal/analysis"
+	"etap/internal/apps/all"
+	"etap/internal/isa"
+	"etap/internal/minic"
+)
+
+func classify(t *testing.T, src string) (*isa.Program, *analysis.Classification) {
+	t.Helper()
+	p := assemble(t, src)
+	c, err := analysis.Classify(p)
+	if err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	return p, c
+}
+
+// TestClassifyDeadDest: a flip into a register that is rewritten before
+// any read cannot change the architectural outcome, so the site is
+// statically benign; the live rewrite is not.
+func TestClassifyDeadDest(t *testing.T) {
+	p, c := classify(t, deadWriteSrc)
+	dead := nthDef(t, p, isa.RegT0, 0)
+	live := nthDef(t, p, isa.RegT0, 1)
+	if !c.Benign[dead] {
+		t.Fatalf("instr %d: dead-destination site not classified benign", dead)
+	}
+	if c.Benign[live] {
+		t.Fatalf("instr %d: live-destination site classified benign", live)
+	}
+	if c.Injectable == 0 || c.BenignInjectable == 0 {
+		t.Fatalf("counters: injectable=%d benign=%d", c.Injectable, c.BenignInjectable)
+	}
+	if f := c.BenignFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("benign fraction %v out of (0,1)", f)
+	}
+}
+
+const zeroSinkSrc = `
+.text
+.func __start
+	li $t0, 3
+	add $zero, $t0, $t0
+	sw $t0, 0x200($zero)
+	li $t1, 0
+	jalr $t2, $t1
+	li $v0, 1
+	syscall
+.endfunc
+`
+
+// TestClassifyZeroAndNoDest: sites whose destination is the hardwired
+// $zero sink, and sites with no destination at all, are benign even when
+// liveness is imprecise — the simulator discards the flip before it can
+// be observed. The jalr here forces the imprecise path, making this the
+// regression for sink-redirected destinations being pruned without a
+// trial.
+func TestClassifyZeroAndNoDest(t *testing.T) {
+	p, c := classify(t, zeroSinkSrc)
+	if c.Live.Precise {
+		t.Fatal("jalr program unexpectedly precise")
+	}
+	zeroDest := nthOp(t, p, isa.ADD, 0)
+	if d, ok := p.Text[zeroDest].Dest(); !ok || d != isa.RegZero {
+		t.Fatalf("instr %d is not the $zero-destination add", zeroDest)
+	}
+	if !c.Benign[zeroDest] {
+		t.Fatal("$zero-destination site not classified benign under imprecise liveness")
+	}
+	store := nthOp(t, p, isa.SW, 0)
+	if !c.Benign[store] {
+		t.Fatal("destination-less store not classified benign")
+	}
+	// Anything with a real destination must stay non-benign when imprecise.
+	t0 := nthDef(t, p, isa.RegT0, 0)
+	if c.Benign[t0] {
+		t.Fatal("real-destination site classified benign under imprecise liveness")
+	}
+}
+
+// TestClassifyApps smoke-checks classification over all seven benchmark
+// programs: the compiler never emits jalr so every program is precise,
+// some sites are injectable, and every benign injectable site is indeed
+// dead at its destination.
+func TestClassifyApps(t *testing.T) {
+	names := all.Names()
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			a, ok := all.ByName(name)
+			if !ok {
+				t.Fatalf("unknown app %s", name)
+			}
+			prog, err := minic.Build(a.Source())
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			c, err := analysis.Classify(prog)
+			if err != nil {
+				t.Fatalf("classify: %v", err)
+			}
+			if !c.Live.Precise {
+				t.Fatalf("compiled program imprecise: %s", c.Live.Imprecision)
+			}
+			if c.Injectable == 0 {
+				t.Fatal("no injectable sites")
+			}
+			benign := 0
+			for idx, in := range prog.Text {
+				if !c.Benign[idx] {
+					continue
+				}
+				benign++
+				d, ok := in.Dest()
+				if !ok || d == isa.RegZero {
+					continue
+				}
+				if c.Live.LiveOut[idx].Has(d) {
+					t.Fatalf("instr %d: benign site writes live register %s", idx, d)
+				}
+			}
+			t.Logf("%s: %d/%d text sites benign (%.1f%% of injectable)",
+				name, benign, len(prog.Text), 100*c.BenignFraction())
+		})
+	}
+}

@@ -1,0 +1,285 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"etap/internal/analysis"
+	"etap/internal/apps/all"
+	"etap/internal/core"
+	"etap/internal/harden"
+	"etap/internal/isa"
+	"etap/internal/minic"
+)
+
+// sumSrc and callSrc2 mirror the harden package's own test programs: a
+// protected loop, and calls/spills/reloads followed by a loop so the
+// signature scheme has full predecessor-checking blocks.
+const sumSrc = `
+.text
+.func __start
+	li $t5, 0
+	li $t6, 0
+loop:
+	add $t6, $t6, $t5
+	addi $t5, $t5, 1
+	slti $at, $t5, 100
+	bnez $at, loop
+	move $a0, $t6
+	li $v0, 1
+	syscall
+.endfunc
+`
+
+const callSrc2 = `
+.text
+.func __start
+	li $a0, 12
+	jal double
+	move $a0, $v0
+	jal double
+	move $a0, $v0
+	li $t5, 0
+acc:
+	addi $a0, $a0, 2
+	addi $t5, $t5, 1
+	slti $at, $t5, 8
+	bnez $at, acc
+	li $v0, 1
+	syscall
+.endfunc
+.func double
+	addi $sp, $sp, -8
+	sw $ra, 0($sp)
+	sw $s0, 4($sp)
+	move $s0, $a0
+	add $v0, $s0, $s0
+	lw $s0, 4($sp)
+	lw $ra, 0($sp)
+	addi $sp, $sp, 8
+	jr $ra
+.endfunc
+`
+
+func hardenSrc(t *testing.T, src string, pol core.Policy, opts harden.Options) *harden.Result {
+	t.Helper()
+	p := assemble(t, src)
+	rep, err := core.Analyze(p, pol)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	res, err := harden.Harden(rep, opts)
+	if err != nil {
+		t.Fatalf("harden: %v", err)
+	}
+	return res
+}
+
+func verify(t *testing.T, res *harden.Result) *analysis.Verification {
+	t.Helper()
+	v, err := analysis.Verify(res)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return v
+}
+
+// TestVerifyShippedTransforms: every transform the rewriter ships, over
+// every policy, must satisfy its own contract on the handcrafted
+// programs.
+func TestVerifyShippedTransforms(t *testing.T) {
+	for _, src := range []string{sumSrc, callSrc2} {
+		for _, pol := range []core.Policy{core.PolicyControl, core.PolicyControlAddr, core.PolicyConservative} {
+			for _, opts := range []harden.Options{harden.DefaultOptions(), {DupCompare: true}, {Signatures: true}} {
+				res := hardenSrc(t, src, pol, opts)
+				v := verify(t, res)
+				if !v.OK() {
+					t.Fatalf("%s/%+v: shipped transform fails verification:\n%s",
+						pol, opts, strings.Join(v.Violations, "\n"))
+				}
+				if opts.Signatures && (v.SigBlocks == 0 || v.SigBlocks != res.SigBlocks) {
+					t.Fatalf("%s/%+v: verified %d signature blocks, rewrite reports %d", pol, opts, v.SigBlocks, res.SigBlocks)
+				}
+				if opts.DupCompare && (v.DupChecks != res.Checks || v.DupSites != res.DupSites) {
+					t.Fatalf("%s/%+v: verified checks/sites %d/%d, rewrite reports %d/%d",
+						pol, opts, v.DupChecks, v.DupSites, res.Checks, res.DupSites)
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyApps: the full transform on all seven benchmark programs
+// verifies, and the loop-bearing ones exercise the predecessor-checking
+// signature form.
+func TestVerifyApps(t *testing.T) {
+	names := all.Names()
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			a, ok := all.ByName(name)
+			if !ok {
+				t.Fatalf("unknown app %s", name)
+			}
+			prog, err := minic.Build(a.Source())
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			rep, err := core.Analyze(prog, core.PolicyControlAddr)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			res, err := harden.Harden(rep, harden.DefaultOptions())
+			if err != nil {
+				t.Fatalf("harden: %v", err)
+			}
+			v := verify(t, res)
+			if !v.OK() {
+				t.Fatalf("hardened %s fails verification:\n%s", name, strings.Join(v.Violations, "\n"))
+			}
+			if v.SigChecked == 0 {
+				t.Fatalf("%s: no full predecessor-check prologues verified", name)
+			}
+			if v.DupChecks == 0 || v.DupSites == 0 {
+				t.Fatalf("%s: dup contract vacuous (checks=%d sites=%d)", name, v.DupChecks, v.DupSites)
+			}
+		})
+	}
+}
+
+// mutate returns a deep-enough copy of res that tests can corrupt the
+// hardened text without touching the original result.
+func mutate(res *harden.Result) *harden.Result {
+	c := *res
+	p := *res.Prog
+	p.Text = append([]isa.Instr(nil), res.Prog.Text...)
+	c.Prog = &p
+	return &c
+}
+
+// trapIndex finds the lowest hardened index holding a trapdet of the
+// given kind.
+func trapIndex(t *testing.T, res *harden.Result, kind harden.CheckKind) int {
+	t.Helper()
+	best := -1
+	for i, k := range res.TrapKinds {
+		if k == kind && res.Prog.Text[i].Op == isa.TRAPDET && (best < 0 || i < best) {
+			best = i
+		}
+	}
+	if best < 0 {
+		t.Fatalf("no %v trapdet in hardened program", kind)
+	}
+	return best
+}
+
+// TestVerifyCatchesStrippedSignatureCheck: replacing a CFCSS trapdet
+// with a nop breaks the prologue parse and must be reported.
+func TestVerifyCatchesStrippedSignatureCheck(t *testing.T) {
+	res := hardenSrc(t, sumSrc, core.PolicyControlAddr, harden.DefaultOptions())
+	m := mutate(res)
+	m.Prog.Text[trapIndex(t, res, harden.CheckCFS)] = isa.Instr{Op: isa.NOP}
+	if v := verify(t, m); v.OK() {
+		t.Fatal("signature-stripped program still verifies")
+	}
+}
+
+// TestVerifyCatchesStrippedResync: nopping out a resync install pair
+// leaves a basic block with no signature prologue at all.
+func TestVerifyCatchesStrippedResync(t *testing.T) {
+	res := hardenSrc(t, callSrc2, core.PolicyControlAddr, harden.Options{Signatures: true})
+	m := mutate(res)
+	found := false
+	h := m.Prog.Text
+	for i := 0; i+1 < len(h) && !found; i++ {
+		if h[i].Op == isa.ADDI && h[i].Rd == isa.RegK0 && h[i].Rs == isa.RegZero &&
+			h[i+1].Op == isa.SW && h[i+1].Rt == isa.RegK0 && h[i+1].Rs == isa.RegZero &&
+			h[i+1].Imm == int32(harden.SigAddr) {
+			h[i] = isa.Instr{Op: isa.NOP}
+			h[i+1] = isa.Instr{Op: isa.NOP}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no resync prologue found to strip")
+	}
+	if v := verify(t, m); v.OK() {
+		t.Fatal("resync-stripped program still verifies")
+	}
+}
+
+// TestVerifyCatchesStrippedDupCheck: removing one compare-against-shadow
+// triple leaves a policy-covered use unguarded.
+func TestVerifyCatchesStrippedDupCheck(t *testing.T) {
+	res := hardenSrc(t, sumSrc, core.PolicyControlAddr, harden.Options{DupCompare: true})
+	m := mutate(res)
+	ti := trapIndex(t, res, harden.CheckDup)
+	// The triple is lw/beq/trapdet ending at ti.
+	for i := ti - 2; i <= ti; i++ {
+		m.Prog.Text[i] = isa.Instr{Op: isa.NOP}
+	}
+	if v := verify(t, m); v.OK() {
+		t.Fatal("dup-check-stripped program still verifies")
+	}
+}
+
+// TestVerifyCatchesRetargetedBranch: bending a copied branch past its
+// target block's signature prologue is a chaining escape.
+func TestVerifyCatchesRetargetedBranch(t *testing.T) {
+	res := hardenSrc(t, sumSrc, core.PolicyControlAddr, harden.Options{Signatures: true})
+	m := mutate(res)
+	found := false
+	for i, in := range m.Prog.Text {
+		if m.OrigOf[i] >= 0 && in.Op == isa.BNE {
+			m.Prog.Text[i].Imm++
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no copied branch found to retarget")
+	}
+	if v := verify(t, m); v.OK() {
+		t.Fatal("retargeted-branch program still verifies")
+	}
+}
+
+// TestVerifyCatchesMissingShadowStore: a protected computation whose
+// shadow write is stripped no longer duplicates into its shadow slot.
+func TestVerifyCatchesMissingShadowStore(t *testing.T) {
+	res := hardenSrc(t, sumSrc, core.PolicyControlAddr, harden.Options{DupCompare: true})
+	rep, err := core.Analyze(res.Orig, res.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := rep.ProtectedSites()
+	m := mutate(res)
+	found := false
+	for oi := range res.Orig.Text {
+		if !protected[oi] {
+			continue
+		}
+		want := int32(harden.ShadowBase) + 4*int32(res.Orig.Text[oi].Rd)
+		// The shadow compute-and-store precedes the primary copy in its
+		// expansion window.
+		for j := res.NewOf[oi] - 1; j >= 0 && m.OrigOf[j] < 0; j-- {
+			in := m.Prog.Text[j]
+			if in.Op == isa.SW && in.Rt == isa.RegK0 && in.Rs == isa.RegZero && in.Imm == want {
+				m.Prog.Text[j] = isa.Instr{Op: isa.NOP}
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no shadow store found to strip")
+	}
+	if v := verify(t, m); v.OK() {
+		t.Fatal("shadow-store-stripped program still verifies")
+	}
+}

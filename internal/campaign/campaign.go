@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"etap/internal/analysis"
 	"etap/internal/fault"
 	"etap/internal/isa"
 	obstrace "etap/internal/obs/trace"
@@ -42,7 +43,10 @@ import (
 
 // ScoreFunc evaluates a completed trial's output against the golden
 // output, returning the application's fidelity value and whether it passes
-// the acceptability threshold.
+// the acceptability threshold. It must be a pure function of the byte
+// contents: the engine synthesizes statically-pruned trials by scoring
+// the golden output against itself, and purity is what keeps that
+// bit-identical to scoring the (equal) simulated output.
 type ScoreFunc func(golden, output []byte) (value float64, acceptable bool)
 
 // Config parameterises an Engine.
@@ -62,6 +66,11 @@ type Config struct {
 	ShardSize int
 	// Seed is the base seed for trial schedules. Defaults to 1.
 	Seed int64
+	// DisablePrune turns off static injection pruning, forcing every
+	// trial through the simulator. Pruning never changes results — the
+	// differential tests pin pruned and unpruned campaigns bit-identical
+	// — so this exists for those tests and for benchmarking the win.
+	DisablePrune bool
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +111,20 @@ type Engine struct {
 
 	rec *sim.Recording
 	cfg Config
+
+	// Static injection pruning: benignStream is a bitmap over the clean
+	// run's eligible-stream ordinals (bit o-1 set means ordinal o strikes
+	// a statically benign site), built during the golden pass by the
+	// sim.Config.SiteVisit hook at zero extra passes. pruneOK gates use:
+	// it is false when pruning is disabled, the program's CFG defeats
+	// classification, or the observed stream length disagreed with the
+	// clean run. benignDyn counts the set bits; pruned counts skipped
+	// trials.
+	benignStream []uint64
+	benignDyn    uint64
+	pruneOK      bool
+	class        *analysis.Classification
+	pruned       atomic.Uint64
 }
 
 // New prepares an engine. simCfg.Plan and simCfg.MaxInstr are managed by
@@ -122,6 +145,33 @@ func New(p *isa.Program, eligible []bool, simCfg sim.Config, cfg Config) (*Engin
 	cfg = cfg.withDefaults()
 	probe := simCfg
 	probe.Plan = &sim.FaultPlan{Eligible: eligible}
+
+	// Static pruning setup: classify fault sites once, then let the
+	// golden pass (which already walks the whole eligible stream) record
+	// which ordinals strike benign sites. Classification failure — e.g. a
+	// hand-written program whose control flow the CFG builder rejects —
+	// silently disables pruning; the campaign still runs, every trial
+	// simulated.
+	var cls *analysis.Classification
+	var benign []uint64
+	var benignDyn, streamLen uint64
+	if !cfg.DisablePrune {
+		if c, err := analysis.Classify(p); err == nil {
+			cls = c
+			probe.SiteVisit = func(pc int) {
+				if cls.Benign[pc] {
+					w := streamLen >> 6
+					for w >= uint64(len(benign)) {
+						benign = append(benign, 0)
+					}
+					benign[w] |= 1 << (streamLen & 63)
+					benignDyn++
+				}
+				streamLen++
+			}
+		}
+	}
+
 	rec, err := sim.Record(p, probe, sim.RecordOptions{Interval: cfg.Interval, MaxSnapshots: cfg.MaxSnapshots})
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
@@ -133,14 +183,70 @@ func New(p *isa.Program, eligible []bool, simCfg sim.Config, cfg Config) (*Engin
 	if clean.EligibleExec == 0 {
 		return nil, fmt.Errorf("campaign: no eligible instructions executed; nothing to inject into")
 	}
-	return &Engine{
+	e := &Engine{
 		Prog:     p,
 		Eligible: eligible,
 		Clean:    clean,
 		Budget:   clean.Instret*16 + 10_000_000,
 		rec:      rec,
 		cfg:      cfg,
-	}, nil
+	}
+	// Plan ordinals index the clean eligible stream 1..EligibleExec; a
+	// bitmap built over anything else would mis-prune, so it is dropped
+	// unless the hook saw exactly that stream.
+	if cls != nil && streamLen == clean.EligibleExec {
+		e.benignStream = benign
+		e.benignDyn = benignDyn
+		e.class = cls
+		e.pruneOK = true
+	}
+	return e, nil
+}
+
+// PruningEnabled reports whether static injection pruning is active.
+func (e *Engine) PruningEnabled() bool { return e.pruneOK }
+
+// Classification exposes the static fault-site triage pruning runs on
+// (nil when pruning is off).
+func (e *Engine) Classification() *analysis.Classification { return e.class }
+
+// StaticPruneFraction is the fraction of the clean run's eligible
+// stream that strikes statically benign sites — the share of the
+// single-fault trial space the engine can skip without simulating.
+func (e *Engine) StaticPruneFraction() float64 {
+	if !e.pruneOK || e.Clean.EligibleExec == 0 {
+		return 0
+	}
+	return float64(e.benignDyn) / float64(e.Clean.EligibleExec)
+}
+
+// PrunedTrials reports how many trials were answered statically instead
+// of simulated, across all points run so far.
+func (e *Engine) PrunedTrials() uint64 { return e.pruned.Load() }
+
+// streamBenign reports whether eligible-stream ordinal at (1-based)
+// strikes a statically benign site.
+func (e *Engine) streamBenign(at uint64) bool {
+	if at == 0 {
+		return false
+	}
+	w := (at - 1) >> 6
+	if w >= uint64(len(e.benignStream)) {
+		return false
+	}
+	return e.benignStream[w]>>((at-1)&63)&1 == 1
+}
+
+// planBenign reports whether every injection of a plan strikes a
+// statically benign site (vacuously true for fault-free plans), making
+// the whole trial's outcome provably identical to the clean run.
+func (e *Engine) planBenign(plan *sim.FaultPlan) bool {
+	for _, inj := range plan.Injections {
+		if !e.streamBenign(inj.At) {
+			return false
+		}
+	}
+	return true
 }
 
 // Checkpoints reports how many checkpoints the golden pass captured.
@@ -431,6 +537,33 @@ func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi ui
 		plan, err := fault.NewPlanBitsRand(rng, e.Eligible, e.Clean.EligibleExec, errors, lo, hi)
 		if err != nil {
 			panic(err) // unreachable: New rejects empty eligible streams
+		}
+		if e.pruneOK && e.planBenign(plan) {
+			// Every flip lands in a dead (or discarded) destination, so
+			// the execution is provably the clean run: synthesize the
+			// trial the simulator would have produced. The plan was still
+			// drawn from the RNG stream, so subsequent trials are
+			// unaffected. Bit-identity with a simulated run is pinned by
+			// TestPruningDifferential.
+			tr := Trial{Outcome: sim.OK, Value: math.NaN(), Masked: true,
+				Instret: e.Clean.Instret, Injected: len(plan.Injections), Shard: shard}
+			if e.Score != nil {
+				tr.Value, tr.Acceptable = e.Score(e.Clean.Output, e.Clean.Output)
+			} else {
+				tr.Acceptable = true
+			}
+			e.pruned.Add(1)
+			campTrialsPruned.Inc()
+			countTrial(tr)
+			if span != nil && span.EventRoom() > 0 {
+				span.Event("trial",
+					obstrace.Int("trial", int64(i)),
+					obstrace.String("outcome", tr.Outcome.String()),
+					obstrace.Int("instret", int64(tr.Instret)),
+					obstrace.Bool("pruned", true))
+			}
+			trials = append(trials, tr)
+			continue
 		}
 		res := rn.RunFrom(e.planIdx(plan), plan, e.Budget)
 		tr := Trial{Outcome: res.Outcome, Value: math.NaN(), Instret: res.Instret, Injected: res.Injected, Shard: shard}

@@ -6,10 +6,10 @@ import "time"
 // flight recorder stores and GET /traces/{id} serves. JSON field names
 // are the wire contract for the /traces API and the CI smoke.
 type TraceData struct {
-	TraceID string     `json:"trace_id"`
-	Sampled bool       `json:"sampled"`
-	Start   time.Time  `json:"start"`
-	End     time.Time  `json:"end"`
+	TraceID string    `json:"trace_id"`
+	Sampled bool      `json:"sampled"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
 	// Depth is the longest root-to-leaf chain in the span tree; the CI
 	// smoke asserts a submitted job's trace reaches depth >= 3.
 	Depth        int        `json:"depth"`

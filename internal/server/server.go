@@ -463,7 +463,7 @@ func NewManager(cfg Config) (*Manager, error) {
 			requestID: p.RequestID,
 			state:     p.State,
 			err:       p.Error,
-			started: p.Started, finished: p.Finished,
+			started:   p.Started, finished: p.Finished,
 			trialsDone: p.TrialsDone,
 			reportJSON: p.Report,
 			subs:       make(map[chan Event]struct{}),

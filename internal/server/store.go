@@ -87,10 +87,10 @@ type FileStore struct {
 	path string
 
 	mu      sync.Mutex
-	journal *os.File         // open append handle, lazily created
-	jobs    []PersistedJob   // current table, snapshot ⊕ journal
-	idx     map[string]int   // job ID → index in jobs
-	pending int              // journal records since the last snapshot
+	journal *os.File       // open append handle, lazily created
+	jobs    []PersistedJob // current table, snapshot ⊕ journal
+	idx     map[string]int // job ID → index in jobs
+	pending int            // journal records since the last snapshot
 }
 
 // NewFileStore creates a store writing to path. The file need not

@@ -8,7 +8,8 @@
 // engine_test.go, engine_diff_test.go and FuzzEngineEquivalence.
 //
 // Invariants a machine entering runEngine must satisfy: m.rec == nil and
-// cfg.Trace == nil (instrumented paths are reference-only), and a flat
+// cfg.Trace == nil and cfg.SiteVisit == nil (instrumented paths are
+// reference-only), and a flat
 // (non-paged) machine has a dirty bitmap (it came from newScratch).
 package sim
 
@@ -18,6 +19,7 @@ import (
 	"etap/internal/isa"
 )
 
+//etap:hotpath
 func (m *machine) runEngine(code []dinstr) {
 	r := &m.regs
 	max := m.cfg.MaxInstr
@@ -345,6 +347,7 @@ func (m *machine) runEngine(code []dinstr) {
 // accounting — shares the reference implementations so those semantics
 // cannot drift.
 
+//etap:hotpath
 func (m *machine) load32(addr uint32, pc int) (uint32, bool) {
 	if addr&3 != 0 {
 		m.faultAt(TrapMemAlign, pc, addr)
@@ -364,6 +367,7 @@ func (m *machine) load32(addr uint32, pc int) (uint32, bool) {
 	return m.load(addr, 4)
 }
 
+//etap:hotpath
 func (m *machine) load16(addr uint32, pc int) (uint32, bool) {
 	if addr&1 != 0 {
 		m.faultAt(TrapMemAlign, pc, addr)
@@ -383,6 +387,7 @@ func (m *machine) load16(addr uint32, pc int) (uint32, bool) {
 	return m.load(addr, 2)
 }
 
+//etap:hotpath
 func (m *machine) load8(addr uint32, pc int) (uint32, bool) {
 	if addr < m.memSize {
 		if !m.paged {
@@ -398,6 +403,7 @@ func (m *machine) load8(addr uint32, pc int) (uint32, bool) {
 	return m.load(addr, 1)
 }
 
+//etap:hotpath
 func (m *machine) store32(addr, val uint32, pc int) bool {
 	if addr&3 != 0 {
 		m.faultAt(TrapMemAlign, pc, addr)
@@ -419,6 +425,7 @@ func (m *machine) store32(addr, val uint32, pc int) bool {
 	return m.store(addr, 4, val)
 }
 
+//etap:hotpath
 func (m *machine) store16(addr, val uint32, pc int) bool {
 	if addr&1 != 0 {
 		m.faultAt(TrapMemAlign, pc, addr)
@@ -440,6 +447,7 @@ func (m *machine) store16(addr, val uint32, pc int) bool {
 	return m.store(addr, 2, val)
 }
 
+//etap:hotpath
 func (m *machine) store8(addr, val uint32, pc int) bool {
 	if addr < m.memSize {
 		pn := addr >> pageShift

@@ -11,19 +11,19 @@ import (
 // first slot is eligible for injection or writes $zero.
 func TestCompileFusion(t *testing.T) {
 	text := []isa.Instr{
-		{Op: isa.LUI, Rd: 8, Imm: 0x1234},          // 0: fuses with 1
-		{Op: isa.ORI, Rd: 9, Rs: 8, Imm: 0x5678},   // 1
-		{Op: isa.ADDI, Rd: 10, Rs: 29, Imm: -8},    // 2: fuses with 3
-		{Op: isa.LW, Rd: 11, Rs: 10, Imm: 4},       // 3
-		{Op: isa.ADDI, Rd: 12, Rs: 29, Imm: -16},   // 4: fuses with 5
-		{Op: isa.SW, Rt: 11, Rs: 12, Imm: 0},       // 5
-		{Op: isa.SLT, Rd: 13, Rs: 10, Rt: 11},      // 6: fuses with 7
+		{Op: isa.LUI, Rd: 8, Imm: 0x1234},              // 0: fuses with 1
+		{Op: isa.ORI, Rd: 9, Rs: 8, Imm: 0x5678},       // 1
+		{Op: isa.ADDI, Rd: 10, Rs: 29, Imm: -8},        // 2: fuses with 3
+		{Op: isa.LW, Rd: 11, Rs: 10, Imm: 4},           // 3
+		{Op: isa.ADDI, Rd: 12, Rs: 29, Imm: -16},       // 4: fuses with 5
+		{Op: isa.SW, Rt: 11, Rs: 12, Imm: 0},           // 5
+		{Op: isa.SLT, Rd: 13, Rs: 10, Rt: 11},          // 6: fuses with 7
 		{Op: isa.BNE, Rs: 13, Rt: isa.RegZero, Imm: 2}, // 7
-		{Op: isa.SLTU, Rd: 14, Rs: 10, Rt: 11},     // 8: fuses with 9
+		{Op: isa.SLTU, Rd: 14, Rs: 10, Rt: 11},         // 8: fuses with 9
 		{Op: isa.BEQ, Rs: isa.RegZero, Rt: 14, Imm: 0}, // 9 (swapped operands)
-		{Op: isa.LUI, Rd: isa.RegZero, Imm: 1},     // 10: $zero dest, no fusion
-		{Op: isa.ORI, Rd: 15, Rs: isa.RegZero},     // 11
-		{Op: isa.SLT, Rd: 16, Rs: 10, Rt: 11},      // 12: B compares a third reg, no fusion
+		{Op: isa.LUI, Rd: isa.RegZero, Imm: 1},         // 10: $zero dest, no fusion
+		{Op: isa.ORI, Rd: 15, Rs: isa.RegZero},         // 11
+		{Op: isa.SLT, Rd: 16, Rs: 10, Rt: 11},          // 12: B compares a third reg, no fusion
 		{Op: isa.BNE, Rs: 17, Rt: isa.RegZero, Imm: 0}, // 13
 	}
 	code := compile(text, nil)

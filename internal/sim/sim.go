@@ -160,6 +160,13 @@ type Config struct {
 	// Trace, when non-nil, receives a disassembly line per executed
 	// instruction. Debugging only; it is very slow.
 	Trace io.Writer
+	// SiteVisit, when non-nil, receives the text index of every retired
+	// eligible instruction in dynamic (eligible-stream) order: the n-th
+	// call corresponds to eligible-stream ordinal n. Like Trace it is an
+	// instrumented path and forces the reference interpreter; the
+	// campaign engine sets it on the golden pass only, to map stream
+	// ordinals back to static fault sites.
+	SiteVisit func(pc int)
 }
 
 // Result is the outcome of a run.
@@ -235,7 +242,7 @@ func (c Config) normalize() Config {
 // FuzzEngineEquivalence enforce it.
 func Run(p *isa.Program, cfg Config) Result {
 	cfg = cfg.normalize()
-	if cfg.Trace != nil {
+	if cfg.Trace != nil || cfg.SiteVisit != nil {
 		return referenceRun(p, cfg)
 	}
 	code := codeFor(p, cfg.Plan)
@@ -789,6 +796,9 @@ func (m *machine) run() {
 		// flipped bit lands in the committed result.
 		if m.eligible != nil && m.pc < len(m.eligible) && m.eligible[m.pc] {
 			m.eligCount++
+			if m.cfg.SiteVisit != nil {
+				m.cfg.SiteVisit(m.pc)
+			}
 			if m.injected < len(m.injections) && m.eligCount == m.injections[m.injected].At {
 				bit := m.injections[m.injected].Bit & 31
 				if d, ok := in.Dest(); ok && d != isa.RegZero {

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"etap/internal/asm"
+)
+
+// TestSiteVisitStreamMatchesEligibleCount: the SiteVisit hook fires once
+// per eligible execution, in stream order, with the executing text
+// index — the n-th call is eligible-stream ordinal n — and observing the
+// stream does not perturb the run.
+func TestSiteVisitStreamMatchesEligibleCount(t *testing.T) {
+	src := exitWith(`
+	li $t5, 0
+	li $t6, 0
+loop:
+	add $t6, $t6, $t5
+	addi $t5, $t5, 1
+	slti $at, $t5, 10
+	bnez $at, loop
+	move $v1, $t6`)
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eligible := make([]bool, len(p.Text))
+	for i, in := range p.Text {
+		eligible[i] = in.IsInjectable()
+	}
+
+	base := Run(p, Config{Plan: &FaultPlan{Eligible: eligible}})
+
+	var pcs []int
+	res := Run(p, Config{
+		Plan:      &FaultPlan{Eligible: eligible},
+		SiteVisit: func(pc int) { pcs = append(pcs, pc) },
+	})
+	if res.Outcome != base.Outcome || res.ExitCode != base.ExitCode ||
+		res.Instret != base.Instret || res.EligibleExec != base.EligibleExec {
+		t.Fatalf("SiteVisit perturbed the run: %+v vs %+v", res, base)
+	}
+	if uint64(len(pcs)) != res.EligibleExec {
+		t.Fatalf("SiteVisit fired %d times for %d eligible executions", len(pcs), res.EligibleExec)
+	}
+	for i, pc := range pcs {
+		if pc < 0 || pc >= len(p.Text) || !eligible[pc] {
+			t.Fatalf("visit %d reports non-eligible pc %d", i, pc)
+		}
+	}
+}

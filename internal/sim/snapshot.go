@@ -77,7 +77,7 @@ type Recording struct {
 	Result Result
 
 	prog  *isa.Program
-	cfg   Config // defaults applied; Plan/Trace stripped
+	cfg   Config // defaults applied; Plan/Trace/SiteVisit stripped
 	snaps []*Snapshot
 	base  []*[pageSize]byte // initial fast-region image (data segment)
 	elig  []bool            // eligibility mask the golden pass counted with
@@ -223,6 +223,7 @@ func Record(p *isa.Program, cfg Config, opt RecordOptions) (*Recording, error) {
 
 	strip := cfg
 	strip.Plan = nil
+	strip.SiteVisit = nil
 	return &Recording{
 		Result: res,
 		prog:   p,
