@@ -1,8 +1,9 @@
 // Command etbench runs the repo's performance harness outside `go test`
 // and emits a schema'd BENCH_<rev>.json artifact, so every revision
 // leaves a comparable perf trajectory point: simulator speed
-// (ns/instruction), campaign throughput (trials/sec) and a fixed
-// campaign's wall-clock. CI runs it in -short mode on every push and
+// (ns/instruction), campaign throughput (trials/sec), recovery
+// throughput (recovered trials/sec on a hardened detection point) and a
+// fixed campaign's wall-clock. CI runs it in -short mode on every push and
 // uploads the artifact; docs/OBSERVABILITY.md documents the schema.
 //
 // Usage:
@@ -31,6 +32,7 @@ import (
 	"etap/internal/apps/all"
 	"etap/internal/campaign"
 	"etap/internal/core"
+	"etap/internal/harden"
 	"etap/internal/minic"
 	"etap/internal/sim"
 	"etap/internal/version"
@@ -258,6 +260,43 @@ func measure(short bool) ([]Metric, error) {
 		Metric{Name: "campaign_sweep_seconds", Value: elapsed.Seconds(), Unit: "seconds"},
 		Metric{Name: "campaign_sweep_trials", Value: float64(total), Unit: "trials"},
 	)
+
+	// Recovery throughput: a hardened detection point with
+	// checkpoint-restore recovery enabled — the per-trial cost of the
+	// detect→rollback→replay loop, reported as recovered trials per
+	// wall-second so regressions in snapshot restore or replay show up
+	// directly.
+	hardRes, err := harden.Harden(rep, harden.Options{DupCompare: true, Signatures: true})
+	if err != nil {
+		return nil, fmt.Errorf("hardening adpcm: %w", err)
+	}
+	hardEng, err := campaign.New(hardRes.Prog, hardRes.PrimaryProtected, sim.Config{Input: campApp.Input()}, campaign.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("hardened engine setup: %w", err)
+	}
+	hardEng.Score = apps.Scorer(campApp)
+	recRes := testing.Benchmark(func(b *testing.B) {
+		recovered := 0
+		for i := 0; i < b.N; i++ {
+			r := hardEng.RunPoint(context.Background(), campaign.Point{
+				Errors: 1, HiBit: 31, MaxTrials: maxTrials, Seed: int64(i + 1), MaxRecoveries: 3,
+			}, nil)
+			recovered += r.Recovered
+		}
+		if recovered == 0 {
+			benchErr = fmt.Errorf("recovery benchmark recovered no trials")
+			return
+		}
+		b.ReportMetric(float64(recovered)/b.Elapsed().Seconds(), "recovered/s")
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	metrics = append(metrics, Metric{
+		Name:  "recovered_trials_per_sec",
+		Value: recRes.Extra["recovered/s"],
+		Unit:  "trials/second",
+	})
 
 	// Static-pruning reach: the dynamic share of eligible executions the
 	// analyzer proves benign — the fraction of injection ordinals a

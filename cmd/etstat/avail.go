@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"etap"
+)
+
+// availConfig carries the -avail campaign knobs.
+type availConfig struct {
+	errors   int
+	trials   int
+	recovery int
+	seed     int64
+}
+
+// runAvail hardens the program, runs the detection campaign once with
+// detection terminal and once with checkpoint-restore recovery, and
+// prints the availability table in the tolerated/detected/untolerated
+// style: tolerated work completed acceptably (or recovered
+// bit-identically), detected trials failed fast, untolerated trials
+// crashed, hung or produced unacceptable output.
+func runAvail(source string, input []byte, score func(golden, corrupted []byte) (float64, bool), pol etap.Policy, cfg availConfig) error {
+	sys, err := etap.Build(source, pol)
+	if err != nil {
+		return err
+	}
+	hs, err := sys.Harden(etap.HardenOptions{DupCompare: true, Signatures: true})
+	if err != nil {
+		return err
+	}
+	camp, err := hs.NewDetectionCampaign(input)
+	if err != nil {
+		return err
+	}
+	if score != nil {
+		camp.SetScore(score)
+	}
+
+	ctx := context.Background()
+	opts := []etap.Option{etap.WithTrials(cfg.trials), etap.WithSeed(cfg.seed)}
+	off := camp.RunPoint(ctx, cfg.errors, opts...)
+	on := camp.RunPoint(ctx, cfg.errors, append(opts, etap.WithRecovery(cfg.recovery))...)
+
+	fmt.Printf("== availability (policy %s, errors=%d, trials=%d, seed=%d) ==\n",
+		pol, cfg.errors, off.Trials, cfg.seed)
+	fmt.Printf("%-22s %-22s %s\n", "", "no recovery", fmt.Sprintf("recovery x%d", cfg.recovery))
+	bin := func(name string, a, b int) {
+		fmt.Printf("%-22s %-22s %s\n", name, cell(a, off.Trials), cell(b, on.Trials))
+	}
+	bin("tolerated", off.Tolerated, on.Tolerated)
+	bin("detected", off.Detected, on.Detected)
+	bin("untolerated", off.Untolerated, on.Untolerated)
+	fmt.Printf("%-22s %-22s %s\n", "availability",
+		ci(off.AvailabilityPct, off.AvailabilityLowPct, off.AvailabilityHighPct),
+		ci(on.AvailabilityPct, on.AvailabilityLowPct, on.AvailabilityHighPct))
+	fmt.Printf("%-22s %-22d %d\n", "recovered", off.Recovered, on.Recovered)
+	fmt.Printf("%-22s %-22d %d\n", "degraded", off.Degraded, on.Degraded)
+	fmt.Printf("%-22s %-22d %d\n", "replay rounds", off.RecoveryAttempts, on.RecoveryAttempts)
+	fmt.Printf("%-22s %-22s %s\n", "replay p50/p95",
+		fmt.Sprintf("%d/%d", off.RecoverLatencyP50, off.RecoverLatencyP95),
+		fmt.Sprintf("%d/%d", on.RecoverLatencyP50, on.RecoverLatencyP95))
+	return nil
+}
+
+func cell(n, trials int) string {
+	if trials == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%% (%d)", 100*float64(n)/float64(trials), n)
+}
+
+func ci(pct, lo, hi float64) string {
+	return fmt.Sprintf("%.1f%% [%.1f, %.1f]", pct, lo, hi)
+}

@@ -13,6 +13,13 @@
 // counts), CFG and dominator shape, the memory escape profile, and
 // PASS/FAIL hardening verification for every shipped transform.
 //
+// With -avail, etstat hardens the program, runs the detection campaign
+// with and without checkpoint-restore recovery, and prints the
+// availability table: tolerated (acceptable completion or bit-identical
+// recovery), detected (fail-fast stop left unrecovered) and untolerated
+// (crash, hang or unacceptable output), with Wilson 95% intervals on the
+// availability rate. Tune it with -errors, -trials, -recovery and -seed.
+//
 // Statistics go to stdout; diagnostics go to stderr. The exit code is 2
 // for usage errors (including unknown benchmarks and policies) and 1 for
 // any analysis failure.
@@ -32,6 +39,11 @@ func main() {
 	policy := flag.String("policy", "control+addr", "analysis policy: control, control+addr, conservative")
 	verbose := flag.Bool("v", false, "print the annotated disassembly")
 	analyze := flag.Bool("analyze", false, "print the static-analysis report: pruning classification, CFG shape, escape profile, hardening verification")
+	avail := flag.Bool("avail", false, "harden the program and print the tolerated/detected/untolerated availability table, with and without checkpoint-restore recovery")
+	errors := flag.Int("errors", 1, "errors per trial for -avail")
+	trials := flag.Int("trials", 100, "trials for -avail")
+	recovery := flag.Int("recovery", 3, "max restore-replay rounds per detected trial for -avail")
+	seed := flag.Int64("seed", 1, "campaign seed for -avail")
 	showVersion := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 	if *showVersion {
@@ -46,6 +58,8 @@ func main() {
 	}
 
 	var source string
+	var input []byte
+	var score func(golden, corrupted []byte) (float64, bool)
 	switch {
 	case *appName != "":
 		b, ok := etap.BenchmarkByName(*appName)
@@ -54,6 +68,8 @@ func main() {
 			os.Exit(2)
 		}
 		source = b.Source()
+		input = b.Input()
+		score = b.Score
 	case flag.NArg() == 1:
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
@@ -68,6 +84,14 @@ func main() {
 
 	if *analyze {
 		if err := runAnalyze(source, *policy); err != nil {
+			fmt.Fprintln(os.Stderr, "etstat:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *avail {
+		cfg := availConfig{errors: *errors, trials: *trials, recovery: *recovery, seed: *seed}
+		if err := runAvail(source, input, score, pol, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "etstat:", err)
 			os.Exit(1)
 		}

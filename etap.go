@@ -109,6 +109,10 @@ const (
 	// mismatch and stopped the run (see System.Harden). Unhardened
 	// programs never report it.
 	Detected
+	// Recovered means a detected trial was rolled back to a checkpoint,
+	// replayed, and completed with output bit-identical to the fault-free
+	// run. Only campaigns configured with WithRecovery report it.
+	Recovered
 )
 
 func (o Outcome) String() string {
@@ -121,6 +125,8 @@ func (o Outcome) String() string {
 		return "timed out"
 	case Detected:
 		return "detected"
+	case Recovered:
+		return "recovered"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -469,7 +475,32 @@ type PointStats struct {
 	// was live — i.e. how far a checkpoint-rollback recovery must rewind.
 	DetectLatencyP50 uint64
 	DetectLatencyP95 uint64
-	EarlyStopped     bool
+	// Recovered counts trials that trapped, rolled back to a checkpoint
+	// and completed with output bit-identical to the fault-free run;
+	// Degraded counts completions that survived one or more replays with
+	// output still differing from it. Both are zero without WithRecovery.
+	// RecoveryAttempts totals restore-replay rounds across all trials, and
+	// RecoverLatencyP50/P95 are nearest-rank percentiles, over Recovered
+	// trials, of the instructions their replays retired.
+	Recovered         int
+	Degraded          int
+	RecoveryAttempts  int
+	RecoverPct        float64
+	RecoverLowPct     float64
+	RecoverHighPct    float64
+	RecoverLatencyP50 uint64
+	RecoverLatencyP95 uint64
+	// Availability accounting in the tolerated/detected/untolerated style:
+	// Tolerated = Accepted + Recovered, Untolerated is everything except
+	// Tolerated and Detected, and Tolerated + Detected + Untolerated ==
+	// Trials. AvailabilityPct = 100 * Tolerated / Trials with a Wilson 95%
+	// interval [AvailabilityLowPct, AvailabilityHighPct].
+	Tolerated           int
+	Untolerated         int
+	AvailabilityPct     float64
+	AvailabilityLowPct  float64
+	AvailabilityHighPct float64
+	EarlyStopped        bool
 	// Cancelled marks a partial aggregate from a point whose context was
 	// cancelled mid-run. Cancelled numbers are not reproducible; an
 	// uncancelled re-run of the same point is.
@@ -496,8 +527,23 @@ func fromPoint(r campaign.PointResult) PointStats {
 		DetectHighPct:    r.DetectHiPct,
 		DetectLatencyP50: r.DetectLatencyP50,
 		DetectLatencyP95: r.DetectLatencyP95,
-		EarlyStopped:     r.EarlyStopped,
-		Cancelled:        r.Cancelled,
+
+		Recovered:           r.Recovered,
+		Degraded:            r.Degraded,
+		RecoveryAttempts:    r.RecoveryAttempts,
+		RecoverPct:          r.RecoverPct,
+		RecoverLowPct:       r.RecoverLoPct,
+		RecoverHighPct:      r.RecoverHiPct,
+		RecoverLatencyP50:   r.RecoverLatencyP50,
+		RecoverLatencyP95:   r.RecoverLatencyP95,
+		Tolerated:           r.Tolerated,
+		Untolerated:         r.Untolerated,
+		AvailabilityPct:     r.AvailabilityPct,
+		AvailabilityLowPct:  r.AvailabilityLoPct,
+		AvailabilityHighPct: r.AvailabilityHiPct,
+
+		EarlyStopped: r.EarlyStopped,
+		Cancelled:    r.Cancelled,
 	}
 }
 

@@ -270,7 +270,7 @@ func TestRunExperimentUnknown(t *testing.T) {
 
 func TestExperimentIDsComplete(t *testing.T) {
 	ids := ExperimentIDs()
-	want := []string{"table1", "table2", "table3", "figure1", "figure2", "figure3", "figure4", "figure5", "figure6", "ablation", "potential", "bits", "masking"}
+	want := []string{"table1", "table2", "table3", "figure1", "figure2", "figure3", "figure4", "figure5", "figure6", "ablation", "potential", "bits", "masking", "availability"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}

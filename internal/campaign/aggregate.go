@@ -18,17 +18,25 @@ type aggregate struct {
 	crashes   int
 	timeouts  int
 	detected  int
+	recovered int
+	degraded  int
 	completed int
 	masked    int
 	accepted  int
 	valueN    int
 	valueSum  float64
 	valueSq   float64
-	latencies []uint64
+	// recAttempts sums restore-replay rounds over every trial, whatever
+	// its final outcome; recLatencies holds per-trial replayed-instruction
+	// counts of Recovered trials only, for exact percentiles.
+	recAttempts  int
+	recLatencies []uint64
+	latencies    []uint64
 }
 
 func (a *aggregate) add(t Trial) {
 	a.trials++
+	a.recAttempts += t.RecoveryAttempts
 	switch t.Outcome {
 	case sim.OK:
 		a.completed++
@@ -43,6 +51,12 @@ func (a *aggregate) add(t Trial) {
 			a.valueSum += t.Value
 			a.valueSq += t.Value * t.Value
 		}
+		if t.RecoveryAttempts > 0 {
+			// Completed after rollback with output still different from
+			// golden (an equal output would have classified Recovered):
+			// the SDC survived recovery.
+			a.degraded++
+		}
 	case sim.Crash:
 		a.crashes++
 	case sim.Detected:
@@ -50,6 +64,9 @@ func (a *aggregate) add(t Trial) {
 		if t.HasLatency {
 			a.latencies = append(a.latencies, t.DetectLatency)
 		}
+	case sim.Recovered:
+		a.recovered++
+		a.recLatencies = append(a.recLatencies, t.RecoverInstret)
 	default:
 		a.timeouts++
 	}
@@ -108,7 +125,37 @@ type PointResult struct {
 	// check caught it — i.e. the recovery cost of checkpoint rollback.
 	DetectLatencyP50 uint64 `json:"detect_latency_p50"`
 	DetectLatencyP95 uint64 `json:"detect_latency_p95"`
-	EarlyStopped     bool   `json:"early_stopped"`
+	// Recovered counts trials that trapped, rolled back to a checkpoint
+	// and finally completed with output bit-identical to the golden run
+	// (Point.MaxRecoveries > 0; see sim.Recovered). Degraded counts the
+	// subset of Completed that finished after one or more replays with
+	// output still differing from golden — an SDC that survived rollback.
+	// RecoveryAttempts totals restore-replay rounds across every trial of
+	// the point, and RecoverLatencyP50/P95 are nearest-rank percentiles,
+	// over Recovered trials, of the instructions their replays retired.
+	Recovered         int     `json:"recovered"`
+	Degraded          int     `json:"degraded"`
+	RecoveryAttempts  int     `json:"recovery_attempts"`
+	RecoverPct        float64 `json:"recover_pct"`
+	RecoverLoPct      float64 `json:"recover_lo_pct"`
+	RecoverHiPct      float64 `json:"recover_hi_pct"`
+	RecoverLatencyP50 uint64  `json:"recover_latency_p50"`
+	RecoverLatencyP95 uint64  `json:"recover_latency_p95"`
+	// Availability accounting in the tolerated/detected/untolerated style
+	// of freestore's fault-tolerance model: Tolerated counts trials whose
+	// work still completed acceptably (threshold-passing completions plus
+	// Recovered trials), the Detected counter above covers fail-fast
+	// stops that recovery was unable (or not allowed) to absorb, and
+	// Untolerated is everything else — crashes, timeouts and unacceptable
+	// completions. Tolerated + Detected + Untolerated == Trials, and
+	// AvailabilityPct = 100 * Tolerated / Trials with a Wilson 95%
+	// interval [AvailabilityLoPct, AvailabilityHiPct].
+	Tolerated         int     `json:"tolerated"`
+	Untolerated       int     `json:"untolerated"`
+	AvailabilityPct   float64 `json:"availability_pct"`
+	AvailabilityLoPct float64 `json:"availability_lo_pct"`
+	AvailabilityHiPct float64 `json:"availability_hi_pct"`
+	EarlyStopped      bool    `json:"early_stopped"`
 	// Cancelled marks a partial aggregate: the point's context was
 	// cancelled before the trial budget (or early stop) was reached. A
 	// cancelled point's numbers are not reproducible.
@@ -134,6 +181,13 @@ func (a *aggregate) result(errors int, lo, hi uint8, stopped, cancelled bool) Po
 	}
 	r.DetectLatencyP50 = percentile(a.latencies, 50)
 	r.DetectLatencyP95 = percentile(a.latencies, 95)
+	r.Recovered = a.recovered
+	r.Degraded = a.degraded
+	r.RecoveryAttempts = a.recAttempts
+	r.RecoverLatencyP50 = percentile(a.recLatencies, 50)
+	r.RecoverLatencyP95 = percentile(a.recLatencies, 95)
+	r.Tolerated = a.accepted + a.recovered
+	r.Untolerated = a.trials - r.Tolerated - a.detected
 	if a.valueN > 0 {
 		mean := a.valueSum / float64(a.valueN)
 		r.MeanValue = mean
@@ -149,11 +203,17 @@ func (a *aggregate) result(errors int, lo, hi uint8, stopped, cancelled bool) Po
 		r.FailPct = 100 * float64(a.crashes+a.timeouts) / float64(a.trials)
 		r.AcceptPct = 100 * float64(a.accepted) / float64(a.trials)
 		r.DetectPct = 100 * float64(a.detected) / float64(a.trials)
+		r.RecoverPct = 100 * float64(a.recovered) / float64(a.trials)
+		r.AvailabilityPct = 100 * float64(r.Tolerated) / float64(a.trials)
 	}
 	flo, fhi := a.failInterval()
 	r.FailLoPct, r.FailHiPct = 100*flo, 100*fhi
 	dlo, dhi := wilson(a.detected, a.trials, 1.96)
 	r.DetectLoPct, r.DetectHiPct = 100*dlo, 100*dhi
+	rlo, rhi := wilson(a.recovered, a.trials, 1.96)
+	r.RecoverLoPct, r.RecoverHiPct = 100*rlo, 100*rhi
+	alo, ahi := wilson(r.Tolerated, a.trials, 1.96)
+	r.AvailabilityLoPct, r.AvailabilityHiPct = 100*alo, 100*ahi
 	return r
 }
 

@@ -269,6 +269,13 @@ func (e *Engine) RunPlan(plan *sim.FaultPlan) sim.Result {
 	return e.rec.RunFrom(e.planIdx(plan), plan, e.Budget)
 }
 
+// RunPlanRecover is RunPlan with checkpoint-restore recovery applied to
+// Detected trials: up to maxAttempts restore-replay rounds per trial (see
+// Point.MaxRecoveries). maxAttempts 0 degenerates to RunPlan.
+func (e *Engine) RunPlanRecover(plan *sim.FaultPlan, maxAttempts int) sim.Result {
+	return e.rec.RunRecover(e.planIdx(plan), plan, e.Budget, sim.RecoveryPolicy{MaxAttempts: maxAttempts})
+}
+
 // planIdx picks the checkpoint a trial plan resumes from.
 func (e *Engine) planIdx(plan *sim.FaultPlan) int {
 	if len(plan.Injections) > 0 {
@@ -320,6 +327,14 @@ type Point struct {
 	// Workers overrides the engine worker count; 0 keeps it. Never
 	// affects results.
 	Workers int
+	// MaxRecoveries enables checkpoint-restore recovery for Detected
+	// trials: a trapdet rolls the trial back to the latest checkpoint
+	// strictly before the detection point and replays it with the
+	// injections that had not yet fired, up to this many restore-replay
+	// rounds per trial (see sim.RecoveryPolicy). Zero, the default, keeps
+	// detection terminal — the point is then bit-identical to one run
+	// before recovery existed.
+	MaxRecoveries int
 }
 
 // Trial is the record of one executed trial, as seen by RunPoint's
@@ -348,6 +363,12 @@ type Trial struct {
 	// that ended a Detected trial, from the engine's DetectClass;
 	// "unknown" for Detected trials without a classifier, "" otherwise.
 	DetectKind string
+	// RecoveryAttempts counts the checkpoint restore-replay rounds the
+	// trial consumed (Point.MaxRecoveries), and RecoverInstret the
+	// instructions those replays retired. Both are zero with recovery
+	// disabled or for trials that never trapped.
+	RecoveryAttempts int
+	RecoverInstret   uint64
 }
 
 // Observer receives every aggregated trial of a point in deterministic
@@ -456,7 +477,7 @@ func (e *Engine) RunPoint(ctx context.Context, pt Point, observe Observer) Point
 				if rem := pt.MaxTrials - s*shardSize; rem < count {
 					count = rem
 				}
-				trials := e.runShard(ctx, seed, pt.Errors, lo, hi, s, count)
+				trials := e.runShard(ctx, seed, pt.Errors, lo, hi, pt.MaxRecoveries, s, count)
 				if len(trials) < count {
 					curtailed.Store(true)
 				}
@@ -517,7 +538,7 @@ func (e *Engine) RunPoint(ctx context.Context, pt Point, observe Observer) Point
 // sim.Runner, so machine state, page tables and sparse maps are built once
 // and reused across its trials (batched trial scheduling); results stay
 // bit-identical to per-trial construction.
-func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi uint8, shard, count int) []Trial {
+func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi uint8, maxRec, shard, count int) []Trial {
 	defer observeShard(time.Now())
 	// One span per shard, never per trial: span creation stays off the
 	// trial path, and per-trial data rides as bounded span events
@@ -565,8 +586,9 @@ func (e *Engine) runShard(ctx context.Context, seed int64, errors int, lo, hi ui
 			trials = append(trials, tr)
 			continue
 		}
-		res := rn.RunFrom(e.planIdx(plan), plan, e.Budget)
-		tr := Trial{Outcome: res.Outcome, Value: math.NaN(), Instret: res.Instret, Injected: res.Injected, Shard: shard}
+		res := rn.RunRecover(e.planIdx(plan), plan, e.Budget, sim.RecoveryPolicy{MaxAttempts: maxRec})
+		tr := Trial{Outcome: res.Outcome, Value: math.NaN(), Instret: res.Instret, Injected: res.Injected, Shard: shard,
+			RecoveryAttempts: res.RecoveryAttempts, RecoverInstret: res.RecoverInstret}
 		tr.DetectLatency, tr.HasLatency = res.DetectLatency()
 		if res.Outcome == sim.Detected {
 			tr.DetectKind = "unknown"

@@ -73,10 +73,15 @@ func WriteJSON(w io.Writer, reports []*Report) error {
 // csvHeader is the flat per-point schema shared by every report row.
 var csvHeader = []string{
 	"benchmark", "mode", "seed", "errors", "lo_bit", "hi_bit",
-	"trials", "crashes", "timeouts", "detected", "completed", "masked", "accepted",
+	"trials", "crashes", "timeouts", "detected", "recovered", "degraded",
+	"completed", "masked", "accepted", "tolerated", "untolerated",
 	"mean_value", "value_stddev", "fail_pct", "accept_pct", "detect_pct",
+	"recover_pct", "availability_pct",
 	"fail_lo_pct", "fail_hi_pct", "detect_lo_pct", "detect_hi_pct",
-	"detect_latency_p50", "detect_latency_p95", "early_stopped", "cancelled",
+	"recover_lo_pct", "recover_hi_pct", "availability_lo_pct", "availability_hi_pct",
+	"detect_latency_p50", "detect_latency_p95",
+	"recover_latency_p50", "recover_latency_p95", "recovery_attempts",
+	"early_stopped", "cancelled",
 }
 
 // WriteCSV renders reports as one flat CSV table, one row per point. NaN
@@ -98,11 +103,16 @@ func WriteCSV(w io.Writer, reports []*Report) error {
 				r.Benchmark, r.Mode, strconv.FormatInt(r.Seed, 10),
 				strconv.Itoa(p.Errors), strconv.Itoa(int(p.LoBit)), strconv.Itoa(int(p.HiBit)),
 				strconv.Itoa(p.Trials), strconv.Itoa(p.Crashes), strconv.Itoa(p.Timeouts),
-				strconv.Itoa(p.Detected),
+				strconv.Itoa(p.Detected), strconv.Itoa(p.Recovered), strconv.Itoa(p.Degraded),
 				strconv.Itoa(p.Completed), strconv.Itoa(p.Masked), strconv.Itoa(p.Accepted),
+				strconv.Itoa(p.Tolerated), strconv.Itoa(p.Untolerated),
 				f(p.MeanValue), f(p.ValueStddev), f(p.FailPct), f(p.AcceptPct), f(p.DetectPct),
+				f(p.RecoverPct), f(p.AvailabilityPct),
 				f(p.FailLoPct), f(p.FailHiPct), f(p.DetectLoPct), f(p.DetectHiPct),
+				f(p.RecoverLoPct), f(p.RecoverHiPct), f(p.AvailabilityLoPct), f(p.AvailabilityHiPct),
 				strconv.FormatUint(p.DetectLatencyP50, 10), strconv.FormatUint(p.DetectLatencyP95, 10),
+				strconv.FormatUint(p.RecoverLatencyP50, 10), strconv.FormatUint(p.RecoverLatencyP95, 10),
+				strconv.Itoa(p.RecoveryAttempts),
 				strconv.FormatBool(p.EarlyStopped), strconv.FormatBool(p.Cancelled),
 			}
 			if err := cw.Write(row); err != nil {

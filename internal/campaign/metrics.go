@@ -20,10 +20,11 @@ var (
 	// Index by sim.Outcome so the per-trial hot path is one array load
 	// plus one atomic add.
 	trialOutcome = [...]*obs.Counter{
-		sim.OK:       campTrials.With(sim.OK.String()),
-		sim.Crash:    campTrials.With(sim.Crash.String()),
-		sim.Timeout:  campTrials.With(sim.Timeout.String()),
-		sim.Detected: campTrials.With(sim.Detected.String()),
+		sim.OK:        campTrials.With(sim.OK.String()),
+		sim.Crash:     campTrials.With(sim.Crash.String()),
+		sim.Timeout:   campTrials.With(sim.Timeout.String()),
+		sim.Detected:  campTrials.With(sim.Detected.String()),
+		sim.Recovered: campTrials.With(sim.Recovered.String()),
 	}
 
 	campPoints = obs.Default().Counter("etap_campaign_points_total",
@@ -41,6 +42,12 @@ var (
 	latencyDup     = campDetectLatency.With("dup")
 	latencyCFS     = campDetectLatency.With("cfs")
 	latencyUnknown = campDetectLatency.With("unknown")
+
+	campRecoverLatency = obs.Default().Histogram("etap_campaign_recover_latency_instructions",
+		"Instructions replayed by checkpoint-restore recovery per Recovered trial (the rollback cost of absorbing a detected fault).",
+		obs.ExpBuckets(1, 4, 16))
+	campRecoveries = obs.Default().Counter("etap_campaign_recoveries_total",
+		"Checkpoint restore-replay rounds executed across all trials, whatever the trial's final outcome.")
 )
 
 // latencyFor maps a trial's DetectKind to its pre-resolved histogram.
@@ -61,6 +68,12 @@ func countTrial(tr Trial) {
 	}
 	if tr.HasLatency {
 		latencyFor(tr.DetectKind).Observe(float64(tr.DetectLatency))
+	}
+	if tr.RecoveryAttempts > 0 {
+		campRecoveries.Add(float64(tr.RecoveryAttempts))
+	}
+	if tr.Outcome == sim.Recovered {
+		campRecoverLatency.Observe(float64(tr.RecoverInstret))
 	}
 }
 

@@ -57,6 +57,8 @@ func TestPruningDifferential(t *testing.T) {
 	names := all.Names()
 	if testing.Short() {
 		names = names[:1]
+	} else if raceEnabled {
+		names = names[:2]
 	}
 	totalPruned := uint64(0)
 	for _, name := range names {
@@ -82,6 +84,12 @@ func TestPruningDifferential(t *testing.T) {
 				fullPts = append(fullPts, fr)
 				prunedPts = append(prunedPts, pr)
 			}
+			// A recovery-enabled point rides through the same contract:
+			// synthesized all-benign trials are never Detected, so pruning
+			// and recovery must compose without perturbing either stream.
+			fr, pr := diffPoint(t, full, pruned, campaign.Point{Errors: 2, HiBit: 31, MaxTrials: 32, MaxRecoveries: 2})
+			fullPts = append(fullPts, fr)
+			prunedPts = append(prunedPts, pr)
 
 			// The serialized artifacts must be byte-identical too.
 			var fj, pj, fc, pc bytes.Buffer
@@ -155,6 +163,12 @@ func TestPruningDifferentialHardened(t *testing.T) {
 	}
 	for _, errors := range []int{0, 1, 3} {
 		diffPoint(t, full, pruned, campaign.Point{Errors: errors, HiBit: 31, MaxTrials: 24})
+		// With recovery on, some Detected trials become Recovered; pruned
+		// and fully simulated engines must agree on those too.
+		fr, _ := diffPoint(t, full, pruned, campaign.Point{Errors: errors, HiBit: 31, MaxTrials: 24, MaxRecoveries: 2})
+		if errors > 0 && fr.Recovered == 0 && fr.Detected == 0 && fr.RecoveryAttempts == 0 {
+			t.Fatalf("errors=%d: hardened recovery point never trapped nor recovered: %+v", errors, fr)
+		}
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package campaign_test
+
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package campaign_test
+
+// raceEnabled reports that the race detector is compiled in. The
+// all-benchmark differential sweeps trim themselves under it: the
+// detector multiplies simulation cost by roughly an order of magnitude,
+// and the concurrency it audits (shard dispatch, collector folding,
+// recovery replay) is identical across benchmarks.
+const raceEnabled = true

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"etap/internal/apps"
+	"etap/internal/apps/all"
+	"etap/internal/campaign"
+	"etap/internal/core"
+	"etap/internal/harden"
+	"etap/internal/minic"
+	"etap/internal/sim"
+)
+
+// availabilityRecoveries is the restore-replay budget per detected trial
+// in the experiment's recovery configuration.
+const availabilityRecoveries = 3
+
+// buildHardenedEngine compiles one benchmark, applies the redundancy
+// transforms and prepares a detection-campaign engine over the primary
+// protected copies, with the app's fidelity scorer attached.
+func buildHardenedEngine(a apps.App, pol core.Policy) (*campaign.Engine, error) {
+	prog, err := minic.Build(a.Source())
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", a.Name(), err)
+	}
+	rep, err := core.Analyze(prog, pol)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", a.Name(), err)
+	}
+	res, err := harden.Harden(rep, harden.Options{DupCompare: true, Signatures: true})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s (harden): %w", a.Name(), err)
+	}
+	e, err := campaign.New(res.Prog, res.PrimaryProtected, sim.Config{Input: a.Input()}, campaign.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s (hardened): %w", a.Name(), err)
+	}
+	e.Score = apps.Scorer(a)
+	e.DetectClass = func(pc int) string { return res.CheckKindAt(pc).String() }
+	return e, nil
+}
+
+// Availability closes the detect→recover loop over every hardened
+// benchmark: single-bit trials against the protected copies, once with
+// detection terminal and once with checkpoint-restore recovery, binned
+// in the tolerated/detected/untolerated style of freestore's
+// fault-tolerance accounting. Tolerated = threshold-passing completions
+// plus Recovered trials; Detected = fail-fast stops recovery could not
+// (or was not allowed to) absorb; Untolerated = crashes, hangs and
+// unacceptable completions. The availability column is the tolerated
+// fraction with its Wilson 95% interval.
+func Availability(ctx context.Context, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	r := &Report{
+		ID:   "availability",
+		Kind: KindTable,
+		Title: fmt.Sprintf("Availability under single-bit faults on hardened benchmarks (%d trials):\ntolerated = acceptable completion or checkpoint-restore recovery;\ndetected = redundancy check stopped the run unrecovered; untolerated =\ncrash, hang or unacceptable output. Recovery replays up to %d rollbacks.",
+			opt.Trials, availabilityRecoveries),
+		Columns: []Column{
+			{Name: "Algorithm"},
+			{Name: "Recovery"},
+			{Name: "Tolerated", Unit: "%"},
+			{Name: "Detected", Unit: "%"},
+			{Name: "Untolerated", Unit: "%"},
+			{Name: "Availability", Unit: "%"},
+			{Name: "Recovered", Unit: "count"},
+			{Name: "Replay p50", Unit: "instructions"},
+		},
+		Trials: opt.Trials,
+		Seed:   opt.Seed,
+		Policy: opt.Policy.String(),
+	}
+	for _, a := range all.Apps() {
+		e, err := buildHardenedEngine(a, opt.Policy)
+		if err != nil {
+			return nil, err
+		}
+		for _, maxRec := range []int{0, availabilityRecoveries} {
+			p := e.RunPoint(ctx, campaign.Point{
+				Errors:        1,
+				HiBit:         31,
+				MaxTrials:     opt.Trials,
+				Seed:          opt.Seed,
+				Workers:       opt.Workers,
+				MaxRecoveries: maxRec,
+			}, opt.Observer)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			pcts := func(n int) float64 { return 100 * float64(n) / float64(p.Trials) }
+			mode := "off"
+			if maxRec > 0 {
+				mode = fmt.Sprintf("×%d", maxRec)
+			}
+			r.Rows = append(r.Rows, []Cell{
+				CellStr(a.Name()),
+				CellStr(mode),
+				CellNum(pct(pcts(p.Tolerated)), pcts(p.Tolerated)),
+				CellNum(pct(p.DetectPct), p.DetectPct),
+				CellNum(pct(pcts(p.Untolerated)), pcts(p.Untolerated)),
+				CellCI(pct(p.AvailabilityPct), p.AvailabilityPct, p.AvailabilityLoPct, p.AvailabilityHiPct),
+				CellInt(p.Recovered),
+				CellNum(fmt.Sprintf("%d", p.RecoverLatencyP50), float64(p.RecoverLatencyP50)),
+			})
+		}
+	}
+	return r, nil
+}

@@ -245,10 +245,64 @@ func TestMaskingBins(t *testing.T) {
 	}
 }
 
+// TestAvailabilityExperiment checks the recovery experiment's accounting:
+// rows partition into tolerated/detected/untolerated, the recovery-off
+// row reports no recoveries, and enabling recovery never lowers the
+// tolerated fraction at the same seed.
+func TestAvailabilityExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := fastOpt
+	opt.Trials = 16
+	r, err := Availability(ctx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "availability" || r.Kind != KindTable {
+		t.Fatalf("report identity: %s/%s", r.ID, r.Kind)
+	}
+	if len(r.Rows) != 2*len(all.Names()) {
+		t.Fatalf("availability has %d rows, want 2 per app", len(r.Rows))
+	}
+	anyRecovered := false
+	for i, row := range r.Rows {
+		app, mode := row[0].Text, row[1].Text
+		tol, det, untol := *row[2].Num, *row[3].Num, *row[4].Num
+		if s := tol + det + untol; s < 99.9 || s > 100.1 {
+			t.Errorf("%s (%s): bins sum to %.2f%%", app, mode, s)
+		}
+		if avail := row[5]; avail.Num == nil || *avail.Num != tol || avail.Lo == nil {
+			t.Errorf("%s (%s): availability cell inconsistent: %+v", app, mode, avail)
+		}
+		recovered := int(*row[6].Num)
+		if mode == "off" {
+			if recovered != 0 {
+				t.Errorf("%s: recovery off but %d recovered", app, recovered)
+			}
+		} else {
+			if recovered > 0 {
+				anyRecovered = true
+			}
+			if offTol := *r.Rows[i-1][2].Num; tol < offTol {
+				t.Errorf("%s: recovery lowered tolerated %.1f%% -> %.1f%%", app, offTol, tol)
+			}
+		}
+	}
+	if !anyRecovered {
+		t.Error("no benchmark recovered a single trial")
+	}
+	out := r.RenderText()
+	if !strings.Contains(out, "Untolerated") || !strings.Contains(out, "Availability") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+}
+
 // TestRegistryComplete pins the canonical experiment set and its order.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "figure1", "figure2", "figure3",
-		"figure4", "figure5", "figure6", "ablation", "potential", "bits", "masking"}
+		"figure4", "figure5", "figure6", "ablation", "potential", "bits", "masking",
+		"availability"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v", got)

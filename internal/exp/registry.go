@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{ID: "potential", Title: "Selective-protection speedup (paper §5.3)", Run: Potential},
 		{ID: "bits", Title: "Bit-lane sensitivity of injected upsets", Run: BitSensitivity},
 		{ID: "masking", Title: "Single-error outcome distribution (AVF and beyond)", Run: Masking},
+		{ID: "availability", Title: "Availability with checkpoint-restore recovery (tolerated/detected/untolerated)", Run: Availability},
 	}
 }
 

@@ -25,6 +25,8 @@ const (
 	MaxErrorsPerTrial = 1 << 16
 	// MaxWorkers bounds the per-job campaign worker pool.
 	MaxWorkers = 64
+	// MaxRecovery bounds the restore-replay rounds per detected trial.
+	MaxRecovery = 64
 )
 
 // HardenSpec selects the protection transforms for a hardened job; it
@@ -75,6 +77,10 @@ type SubmitRequest struct {
 	Seed      int64   `json:"seed,omitempty"`
 	Workers   int     `json:"workers,omitempty"`
 	StopCI    float64 `json:"stop_ci,omitempty"`
+	// Recovery lets a detected trial of a hardened job roll back to a
+	// checkpoint and replay, up to this many rounds per trial. Zero keeps
+	// detection terminal; it only applies to harden jobs.
+	Recovery int `json:"recovery,omitempty"`
 }
 
 // Subject describes what the request runs, for status displays.
@@ -154,7 +160,7 @@ func (r *SubmitRequest) validate() error {
 	}
 	if r.Experiment != "" {
 		if r.Harden != nil || r.Protected != nil || len(r.Errors) > 0 || r.Input != "" ||
-			r.MinTrials != 0 || r.StopCI != 0 {
+			r.MinTrials != 0 || r.StopCI != 0 || r.Recovery != 0 {
 			return badRequest("invalid_job", "experiment jobs take only policy, trials, seed and workers")
 		}
 	}
@@ -183,6 +189,12 @@ func (r *SubmitRequest) validate() error {
 	}
 	if r.StopCI < 0 || r.StopCI > 1 {
 		return badRequest("invalid_job", "stop_ci %v out of range [0, 1]", r.StopCI)
+	}
+	if r.Recovery < 0 || r.Recovery > MaxRecovery {
+		return badRequest("invalid_job", "recovery %d out of range [0, %d]", r.Recovery, MaxRecovery)
+	}
+	if r.Recovery > 0 && r.Harden == nil {
+		return badRequest("invalid_job", "recovery requires a harden job: only detected trials can roll back")
 	}
 	return nil
 }

@@ -311,13 +311,17 @@ func TestSourceJobSweepReport(t *testing.T) {
 		if got := *row[1].Num; got != 24 {
 			t.Fatalf("row %d trials = %v, want 24", i, got)
 		}
-		// crashes+timeouts+detected+completed == trials
-		sum := *row[2].Num + *row[3].Num + *row[4].Num + *row[5].Num
+		// crashes+timeouts+detected+recovered+completed == trials
+		sum := *row[2].Num + *row[3].Num + *row[4].Num + *row[5].Num + *row[6].Num
 		if sum != 24 {
 			t.Fatalf("row %d outcome tallies sum to %v", i, sum)
 		}
-		if row[14].Text != "ok" {
-			t.Fatalf("row %d status %q", i, row[14].Text)
+		// tolerated+detected+untolerated == trials (availability partition)
+		if part := *row[9].Num + *row[4].Num + *row[10].Num; part != 24 {
+			t.Fatalf("row %d availability partition sums to %v", i, part)
+		}
+		if row[19].Text != "ok" {
+			t.Fatalf("row %d status %q", i, row[19].Text)
 		}
 	}
 }
@@ -592,6 +596,63 @@ func TestRestartServesPersistedJobs(t *testing.T) {
 	}
 }
 
+// TestHardenedRecoveryJob: a hardened job with recovery enabled reports
+// the availability columns, recovers trials, and streams "recovered"
+// outcomes over SSE.
+func TestHardenedRecoveryJob(t *testing.T) {
+	_, hs := newTestServer(t)
+	id := submitJob(t, hs.URL,
+		`{"benchmark":"adpcm","harden":{"dup_compare":true,"signatures":true},"errors":[1],"trials":24,"seed":9,"workers":2,"recovery":3}`)
+	waitForState(t, hs.URL, id, server.StateDone)
+
+	resp, data := doJSON(t, http.MethodGet, hs.URL+"/api/v1/jobs/"+id+"/report", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %d: %s", resp.StatusCode, data)
+	}
+	var reports []struct {
+		Columns []struct {
+			Name string `json:"name"`
+		} `json:"columns"`
+		Rows [][]struct {
+			Text string   `json:"text"`
+			Num  *float64 `json:"num"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &reports); err != nil || len(reports) != 1 {
+		t.Fatalf("report does not parse: %v: %s", err, data)
+	}
+	col := map[string]int{}
+	for i, c := range reports[0].Columns {
+		col[c.Name] = i
+	}
+	for _, name := range []string{"recovered", "tolerated", "untolerated", "availability", "recover latency p50"} {
+		if _, ok := col[name]; !ok {
+			t.Fatalf("report missing %q column (have %v)", name, col)
+		}
+	}
+	if len(reports[0].Rows) != 1 {
+		t.Fatalf("got %d rows", len(reports[0].Rows))
+	}
+	row := reports[0].Rows[0]
+	recovered := *row[col["recovered"]].Num
+	if recovered == 0 {
+		t.Fatal("hardened recovery job recovered no trial")
+	}
+	if part := *row[col["tolerated"]].Num + *row[col["detected"]].Num + *row[col["untolerated"]].Num; part != 24 {
+		t.Fatalf("availability partition sums to %v", part)
+	}
+
+	// The event stream labels recovered trials with the public outcome
+	// string.
+	resp, events := doJSON(t, http.MethodGet, hs.URL+"/api/v1/jobs/"+id+"/events", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	if n := strings.Count(string(events), `"recovered"`); float64(n) < recovered {
+		t.Fatalf("SSE stream has %d recovered outcomes, report says %v", n, recovered)
+	}
+}
+
 // TestSubmitRejections: malformed submissions are structured 4xx and
 // never occupy a job slot.
 func TestSubmitRejections(t *testing.T) {
@@ -614,6 +675,9 @@ func TestSubmitRejections(t *testing.T) {
 		{"experiment with sweep", `{"experiment":"table1","errors":[1]}`, http.StatusBadRequest, "invalid_job"},
 		{"experiment with stop_ci", `{"experiment":"table1","stop_ci":0.1,"min_trials":8}`, http.StatusBadRequest, "invalid_job"},
 		{"empty harden", fmt.Sprintf(`{"source":%s,"harden":{}}`, jsonStr(fastSource)), http.StatusBadRequest, "invalid_job"},
+		{"experiment with recovery", `{"experiment":"table1","recovery":2}`, http.StatusBadRequest, "invalid_job"},
+		{"recovery without harden", `{"benchmark":"adpcm","recovery":2}`, http.StatusBadRequest, "invalid_job"},
+		{"recovery out of range", fmt.Sprintf(`{"source":%s,"harden":{"dup_compare":true},"recovery":65}`, jsonStr(fastSource)), http.StatusBadRequest, "invalid_job"},
 		{"source does not compile", `{"source":"int main() { return x; }"}`, http.StatusBadRequest, "bad_source"},
 		{"source crashes clean", `{"source":"int main() { int a; a = 1 / 0; return a; }"}`, http.StatusBadRequest, "bad_source"},
 	}

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"fmt"
 	mathbits "math/bits"
 	"sync"
 	"time"
@@ -144,6 +145,12 @@ func (rn *Runner) RunFrom(idx int, plan *FaultPlan, maxInstr uint64) Result {
 	cfg.Plan = plan
 	if maxInstr != 0 {
 		cfg.MaxInstr = maxInstr
+	}
+	if idx >= 0 && plan != nil && !sameMask(plan.Eligible, r.elig) &&
+		maskFingerprint(plan.Eligible) != r.maskFP {
+		// Fail fast: resuming mid-stream under a different mask would
+		// mis-place every injection and silently corrupt the trial.
+		panic(fmt.Sprintf("sim: RunFrom(%d): trial plan's eligibility mask (fingerprint %#x) differs from the recorded one (%#x); checkpoint eligible-stream positions are meaningless under any other mask", idx, maskFingerprint(plan.Eligible), r.maskFP))
 	}
 	code := codeForPlan(r, plan)
 	if idx < 0 {

@@ -52,6 +52,11 @@ const (
 	// mismatch and stopped the run. It is neither a completion nor a
 	// catastrophic failure; campaigns count it as detection coverage.
 	Detected
+	// Recovered means the run trapped (Detected) at least once, was rolled
+	// back to a checkpoint strictly before the detection point, replayed,
+	// and finally completed with output bit-identical to the golden run.
+	// Only Runner.RunRecover produces it; plain runs never do.
+	Recovered
 )
 
 func (o Outcome) String() string {
@@ -64,6 +69,8 @@ func (o Outcome) String() string {
 		return "timeout"
 	case Detected:
 		return "detected"
+	case Recovered:
+		return "recovered"
 	}
 	return fmt.Sprintf("outcome(%d)", uint8(o))
 }
@@ -197,6 +204,16 @@ type Result struct {
 	Output []byte
 	// ClassCounts counts executed instructions per isa.Class.
 	ClassCounts [6]uint64
+	// RecoveryAttempts is how many checkpoint restore-replay rounds the
+	// trial consumed (Runner.RunRecover); 0 when recovery is disabled or
+	// the run never trapped.
+	RecoveryAttempts int
+	// RecoverInstret is the total instructions retired across all recovery
+	// replays — the rollback cost of the trial in re-executed work. The
+	// headline Instret field ends at the final replay's retirement count
+	// and does not include instructions that earlier, abandoned attempts
+	// executed.
+	RecoverInstret uint64
 }
 
 // DetectLatency is the distance, in retired instructions, between the

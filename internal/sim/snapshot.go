@@ -76,13 +76,41 @@ type Recording struct {
 	// Result is the golden (fault-free) run outcome.
 	Result Result
 
-	prog  *isa.Program
-	cfg   Config // defaults applied; Plan/Trace/SiteVisit stripped
-	snaps []*Snapshot
-	base  []*[pageSize]byte // initial fast-region image (data segment)
-	elig  []bool            // eligibility mask the golden pass counted with
-	code  []dinstr          // predecoded stream with elig folded in
+	prog   *isa.Program
+	cfg    Config // defaults applied; Plan/Trace/SiteVisit stripped
+	snaps  []*Snapshot
+	base   []*[pageSize]byte // initial fast-region image (data segment)
+	elig   []bool            // eligibility mask the golden pass counted with
+	maskFP uint64            // fingerprint of elig; restores reject other masks
+	code   []dinstr          // predecoded stream with elig folded in
 }
+
+// maskFingerprint hashes an eligibility mask (FNV-1a over length and
+// bools) so a Recording can cheaply reject trial plans built for a
+// different mask: checkpoint eligible-stream positions are meaningless
+// under any other mask, and a restore would silently mis-place every
+// injection.
+func maskFingerprint(elig []bool) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(len(elig))) * prime64
+	for _, b := range elig {
+		x := uint64(0)
+		if b {
+			x = 1
+		}
+		h = (h ^ x) * prime64
+	}
+	return h
+}
+
+// MaskFingerprint identifies the eligibility mask the golden pass was
+// recorded with. Restores (RunFrom with idx >= 0) panic when the trial
+// plan's mask does not match it.
+func (r *Recording) MaskFingerprint() uint64 { return r.maskFP }
 
 // recorder holds the capture state threaded through the machine during a
 // golden pass.
@@ -231,6 +259,7 @@ func Record(p *isa.Program, cfg Config, opt RecordOptions) (*Recording, error) {
 		snaps:  rec.snaps,
 		base:   base,
 		elig:   elig,
+		maskFP: maskFingerprint(elig),
 		code:   compile(p.Text, elig),
 	}, nil
 }
@@ -258,7 +287,10 @@ func (r *Recording) SnapshotBefore(at uint64) int {
 // RunFrom resumes execution from checkpoint idx under a trial plan and
 // instruction budget; idx -1 runs from scratch. The plan's eligibility
 // mask must be the one the golden pass was recorded with — checkpoint
-// eligible-stream positions are meaningless under any other mask.
+// eligible-stream positions are meaningless under any other mask — and a
+// restore under a plan whose mask content differs panics rather than
+// silently producing garbage (the masks are compared by fingerprint, so
+// an equal copy of the recorded mask is fine).
 //
 // Each call builds and discards the per-trial machine state; callers
 // running many trials against one recording should hold a Runner

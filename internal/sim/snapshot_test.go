@@ -157,6 +157,57 @@ func TestSnapshotBefore(t *testing.T) {
 	}
 }
 
+// TestSnapshotBeforeBoundary pins both sides of the "strictly before"
+// boundary: for an injection at ordinal a, a checkpoint taken at exactly
+// EligCount == a must NOT be chosen — a machine resumed there has already
+// consumed ordinal a's eligible slot, so the flip would never fire — while
+// SnapshotBefore(a+1) may return it. The functional half demonstrates the
+// boundary is load-bearing: resuming from the too-late checkpoint silently
+// drops the injection.
+func TestSnapshotBeforeBoundary(t *testing.T) {
+	p, rec := record(t, sim.RecordOptions{Interval: 512})
+	elig := make([]bool, len(p.Text))
+	for i := range elig {
+		elig[i] = true
+	}
+	snaps := rec.Snapshots()
+	for idx, s := range snaps {
+		if s.EligCount == 0 {
+			continue
+		}
+		// Table half: the boundary ordinal itself must resolve to an
+		// earlier checkpoint; one past it must resolve to exactly idx.
+		if got := rec.SnapshotBefore(s.EligCount); got != idx-1 {
+			t.Fatalf("SnapshotBefore(%d) = %d, want %d (checkpoint %d sits exactly at the ordinal)",
+				s.EligCount, got, idx-1, idx)
+		}
+		if got := rec.SnapshotBefore(s.EligCount + 1); got != idx {
+			t.Fatalf("SnapshotBefore(%d) = %d, want %d", s.EligCount+1, got, idx)
+		}
+	}
+	// Functional half, on one mid-run checkpoint: an injection at exactly
+	// the checkpoint's eligible count fires when resumed from
+	// SnapshotBefore(at) and is silently lost when resumed from the
+	// checkpoint at the boundary.
+	idx := len(snaps) / 2
+	at := snaps[idx].EligCount
+	if at == 0 || idx == 0 {
+		t.Fatalf("fixture too small: snapshot %d has eligible count %d", idx, at)
+	}
+	plan := &sim.FaultPlan{Eligible: elig, Injections: []sim.Injection{{At: at, Bit: 7}}}
+	good := rec.RunFrom(rec.SnapshotBefore(at), plan, 0)
+	if good.Injected != 1 {
+		t.Fatalf("injection at %d resumed from SnapshotBefore: fired %d times, want 1", at, good.Injected)
+	}
+	if !resultsEqual(good, rec.RunFrom(-1, plan, 0)) {
+		t.Fatal("boundary-correct resume differs from scratch")
+	}
+	late := rec.RunFrom(idx, plan, 0)
+	if late.Injected != 0 {
+		t.Fatalf("checkpoint at the injection ordinal still fired %d flips; boundary semantics changed", late.Injected)
+	}
+}
+
 func TestRecordPrunesToBound(t *testing.T) {
 	p, rec := record(t, sim.RecordOptions{Interval: 64, MaxSnapshots: 4})
 	elig := make([]bool, len(p.Text))
@@ -175,6 +226,55 @@ func TestRecordPrunesToBound(t *testing.T) {
 	res := rec.RunFrom(last, &sim.FaultPlan{Eligible: elig}, 0)
 	if !resultsEqual(res, rec.Result) {
 		t.Fatalf("pruned resume differs from golden run")
+	}
+}
+
+// TestThinnedRecordingRestoresEverywhere pins snapshot thinning: after
+// maxSnaps compaction has run (possibly several times), the surviving
+// checkpoints must keep a uniform cadence — recomputing `next` from the
+// last kept snapshot must not let the post-thin interval drift — and every
+// surviving checkpoint must still restore bit-identically.
+func TestThinnedRecordingRestoresEverywhere(t *testing.T) {
+	p, rec := record(t, sim.RecordOptions{Interval: 64, MaxSnapshots: 4})
+	elig := make([]bool, len(p.Text))
+	for i := range elig {
+		elig[i] = true
+	}
+	snaps := rec.Snapshots()
+	if len(snaps) < 3 {
+		t.Fatalf("fixture too small: %d snapshots survived", len(snaps))
+	}
+	if len(snaps) >= 8 {
+		t.Fatalf("thinning kept %d snapshots with MaxSnapshots=4", len(snaps))
+	}
+	// The run is long enough to force thinning at least once, so the
+	// surviving spacing must be a power-of-two multiple of the initial
+	// interval and identical between every adjacent pair.
+	delta := snaps[1].Instret - snaps[0].Instret
+	if delta <= 64 || delta%64 != 0 {
+		t.Fatalf("post-thin interval %d is not a doubled multiple of the initial 64", delta)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if d := snaps[i].Instret - snaps[i-1].Instret; d != delta {
+			t.Fatalf("snapshot cadence drifts after thinning: delta[%d]=%d, delta[1]=%d", i, d, delta)
+		}
+	}
+	if snaps[0].Instret != delta {
+		t.Fatalf("first surviving snapshot at instret %d, want one full interval %d", snaps[0].Instret, delta)
+	}
+	// Restore fidelity at every surviving ordinal, with an injection just
+	// past each checkpoint so the eligible-stream position matters too.
+	for idx, s := range snaps {
+		plan := &sim.FaultPlan{Eligible: elig, Injections: []sim.Injection{{At: s.EligCount + 1, Bit: uint8(idx % 32)}}}
+		scratch := rec.RunFrom(-1, plan, 0)
+		resumed := rec.RunFrom(idx, plan, 0)
+		if !resultsEqual(scratch, resumed) {
+			t.Fatalf("thinned snapshot %d (instret %d) restores differently\nscratch: %+v\nresumed: %+v",
+				idx, s.Instret, headline(scratch), headline(resumed))
+		}
+		if resumed.Injected != 1 {
+			t.Fatalf("thinned snapshot %d: injection at %d never fired", idx, s.EligCount+1)
+		}
 	}
 }
 

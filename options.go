@@ -36,6 +36,7 @@ type runConfig struct {
 	seed      int64
 	workers   int
 	stopCI    float64
+	recovery  int
 	policy    Policy
 	policySet bool
 	progress  func(ProgressEvent)
@@ -81,6 +82,18 @@ func WithStopCI(width float64) Option {
 	return func(c *runConfig) { c.stopCI = width }
 }
 
+// WithRecovery lets a detected trial roll back to the latest checkpoint
+// strictly before the detection point and replay, up to maxAttempts
+// restore-replay rounds per trial within the trial's instruction budget.
+// A replay that completes with output bit-identical to the fault-free run
+// classifies Recovered; one that completes with different output stays
+// Completed (a degraded result); exhausting attempts or budget leaves the
+// trial Detected. Zero or negative keeps recovery off — detection stays
+// terminal and results are bit-identical to campaigns without the option.
+func WithRecovery(maxAttempts int) Option {
+	return func(c *runConfig) { c.recovery = maxAttempts }
+}
+
 // WithPolicy selects the analysis policy for experiment runs (campaign
 // calls ignore it — their policy was fixed at Build time). Defaults to
 // PolicyControlAddr, the configuration the paper's headline results use.
@@ -118,14 +131,19 @@ func (c runConfig) point(errors int) campaign.Point {
 	if trials <= 0 {
 		trials = 40
 	}
+	maxRec := c.recovery
+	if maxRec < 0 {
+		maxRec = 0
+	}
 	return campaign.Point{
-		Errors:    errors,
-		HiBit:     31,
-		MaxTrials: trials,
-		MinTrials: c.minTrials,
-		StopWidth: c.stopCI,
-		Seed:      c.seed,
-		Workers:   c.workers,
+		Errors:        errors,
+		HiBit:         31,
+		MaxTrials:     trials,
+		MinTrials:     c.minTrials,
+		StopWidth:     c.stopCI,
+		Seed:          c.seed,
+		Workers:       c.workers,
+		MaxRecoveries: maxRec,
 	}
 }
 
@@ -154,6 +172,8 @@ func outcomeFromSim(o sim.Outcome) Outcome {
 		return TimedOut
 	case sim.Detected:
 		return Detected
+	case sim.Recovered:
+		return Recovered
 	default:
 		return Completed
 	}

@@ -344,6 +344,9 @@ func campaignOptions(req *server.SubmitRequest) []Option {
 	if req.StopCI > 0 {
 		opts = append(opts, WithStopCI(req.StopCI))
 	}
+	if req.Recovery > 0 {
+		opts = append(opts, WithRecovery(req.Recovery))
+	}
 	return opts
 }
 
@@ -503,15 +506,20 @@ func sweepReport(req *server.SubmitRequest, subject, mode string, policy Policy,
 			{Name: "crashes", Unit: "count"},
 			{Name: "timeouts", Unit: "count"},
 			{Name: "detected", Unit: "count"},
+			{Name: "recovered", Unit: "count"},
 			{Name: "completed", Unit: "count"},
 			{Name: "masked", Unit: "count"},
 			{Name: "accepted", Unit: "count"},
+			{Name: "tolerated", Unit: "count"},
+			{Name: "untolerated", Unit: "count"},
 			{Name: "fail", Unit: "%"},
 			{Name: "accept", Unit: "%"},
 			{Name: "detect", Unit: "%"},
+			{Name: "availability", Unit: "%"},
 			{Name: "mean fidelity", Unit: "x"},
 			{Name: "detect latency p50", Unit: "instructions"},
 			{Name: "detect latency p95", Unit: "instructions"},
+			{Name: "recover latency p50", Unit: "instructions"},
 			{Name: "status"},
 		},
 		Trials: trials,
@@ -532,15 +540,20 @@ func sweepReport(req *server.SubmitRequest, subject, mode string, policy Policy,
 			exp.CellInt(p.Crashes),
 			exp.CellInt(p.Timeouts),
 			exp.CellInt(p.Detected),
+			exp.CellInt(p.Recovered),
 			exp.CellInt(p.Completed),
 			exp.CellInt(p.Masked),
 			exp.CellInt(p.Accepted),
+			exp.CellInt(p.Tolerated),
+			exp.CellInt(p.Untolerated),
 			exp.CellCI(fmtPct(p.FailPct), p.FailPct, p.FailLowPct, p.FailHighPct),
 			exp.CellNum(fmtPct(p.AcceptPct), p.AcceptPct),
 			exp.CellCI(fmtPct(p.DetectPct), p.DetectPct, p.DetectLowPct, p.DetectHighPct),
+			exp.CellCI(fmtPct(p.AvailabilityPct), p.AvailabilityPct, p.AvailabilityLowPct, p.AvailabilityHighPct),
 			exp.CellNum(fmtFid(p.MeanValue), p.MeanValue),
 			exp.CellInt(int(p.DetectLatencyP50)),
 			exp.CellInt(int(p.DetectLatencyP95)),
+			exp.CellInt(int(p.RecoverLatencyP50)),
 			exp.CellStr(status),
 		})
 	}
